@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures on scaled
+stand-in datasets and writes the rendered rows to ``benchmarks/results/``.
+Tune cost with environment variables:
+
+* ``REPRO_BENCH_SCALE`` — dataset size multiplier (default 0.08: the four
+  stand-ins span roughly 1.2k-2.4k nodes).  Raise toward 1.0 for
+  closer-to-paper sizes if you have the patience.
+* ``REPRO_BENCH_SEED`` — RNG seed for workload generation (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.08"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return SEED
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment's rendered table and echo it to the console."""
+    (results_dir / f"{name}.txt").write_text(text)
+    print("\n" + text)

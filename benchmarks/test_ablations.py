@@ -1,0 +1,153 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not paper figures, but checks that each design ingredient pulls its weight:
+
+* Algorithm 6's out-degree tie-break vs plain greedy inside HIST.
+* Automatic sentinel size b vs a fixed small b.
+* The three general-IC samplers (sorted / bucket / indexed) head-to-head.
+* Lazy vs exact Eq. 2 upper-bound tracking cost (greedy with and without).
+"""
+
+import time
+from collections import defaultdict
+
+import numpy as np
+from conftest import write_result
+
+from repro.algorithms.hist import HIST
+from repro.coverage.greedy import max_coverage_greedy
+from repro.experiments.calibration import calibrate_wc_variant
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import make_dataset
+from repro.estimation.montecarlo import estimate_spread
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+
+
+def _high_influence_graph(scale, seed):
+    base = make_dataset("pokec-like", scale=scale, seed=seed)
+    _, graph, _ = calibrate_wc_variant(
+        base, 0.2 * base.n, num_samples=120, seed=seed
+    )
+    return graph
+
+
+def test_ablation_tie_break_and_fixed_b(
+    benchmark, results_dir, bench_scale, bench_seed
+):
+    graph = _high_influence_graph(bench_scale, bench_seed)
+    k = 50
+
+    def run_variants():
+        rows = []
+        variants = (
+            ("hist (full)", {}),
+            ("no out-degree tie-break", {"use_out_degree_tie_break": False}),
+            ("fixed b=1", {"fixed_b": 1}),
+            ("fixed b=k//2", {"fixed_b": k // 2}),
+        )
+        for label, kwargs in variants:
+            algo = HIST(graph, VanillaICGenerator, **kwargs)
+            res = algo.run(k, eps=0.3, seed=bench_seed)
+            spread = estimate_spread(
+                graph, res.seeds, num_simulations=100, seed=0
+            ).mean
+            rows.append(
+                {
+                    "variant": label,
+                    "runtime_s": round(res.runtime_seconds, 3),
+                    "b": res.extras["b"],
+                    "avg_rr_size": round(res.average_rr_size, 1),
+                    "spread": round(spread, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    spreads = [r["spread"] for r in rows]
+    # Every ablation keeps the guarantee, so quality stays in a tight band.
+    assert max(spreads) <= 1.2 * min(spreads)
+    write_result(
+        results_dir,
+        "ablation_hist_variants",
+        render_table(rows, title=f"Ablation — HIST variants, k={k}"),
+    )
+
+
+def test_ablation_general_ic_samplers(
+    benchmark, results_dir, bench_scale, bench_seed
+):
+    from repro.graphs.weights import exponential_weights
+
+    base = make_dataset("pokec-like", scale=bench_scale, seed=bench_seed)
+    graph = exponential_weights(base, seed=bench_seed)
+    num_rr = 2000
+
+    def run_samplers():
+        rows = []
+        for mode in ("sorted", "bucket", "indexed"):
+            generator = SubsimICGenerator(graph, general_mode=mode)
+            rng = np.random.default_rng(bench_seed)
+            start = time.perf_counter()
+            for _ in range(num_rr):
+                generator.generate(rng)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "mode": mode,
+                    "runtime_s": round(elapsed, 3),
+                    "edges_examined": generator.counters.edges_examined,
+                    "avg_rr_size": round(
+                        generator.counters.average_size(), 2
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_samplers, rounds=1, iterations=1)
+    sizes = [r["avg_rr_size"] for r in rows]
+    # All three sample the same distribution.
+    assert max(sizes) <= 1.25 * max(min(sizes), 0.5)
+    write_result(
+        results_dir,
+        "ablation_general_ic_samplers",
+        render_table(rows, title=f"Ablation — general-IC samplers, {num_rr} RR sets"),
+    )
+
+
+def test_ablation_upper_bound_tracking_cost(
+    benchmark, results_dir, bench_scale, bench_seed
+):
+    graph = _high_influence_graph(bench_scale, bench_seed)
+    rng = np.random.default_rng(bench_seed)
+    pool = RRCollection(graph.n)
+    pool.extend(400, SubsimICGenerator(graph), rng)
+    k = 50
+
+    def run_both():
+        rows = []
+        for label, track in (("with Eq.2 bound", True), ("without", False)):
+            start = time.perf_counter()
+            res = max_coverage_greedy(
+                pool, select=k, track_upper_bound=track
+            )
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "greedy": label,
+                    "runtime_s": round(elapsed, 4),
+                    "coverage": res.coverage,
+                    "upper_bound": res.upper_bound_coverage,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # Identical selections either way.
+    assert rows[0]["coverage"] == rows[1]["coverage"]
+    write_result(
+        results_dir,
+        "ablation_upper_bound_tracking",
+        render_table(rows, title="Ablation — Eq. 2 tracking cost in greedy"),
+    )

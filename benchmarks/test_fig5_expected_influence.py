@@ -1,0 +1,50 @@
+"""Figure 5: expected influence vs k under the high-influence setting.
+
+Paper shape: the expected influence of HIST's seeds rises significantly as
+k grows from 1 to 2000 (scaled here), i.e. the speedups of Figure 4 are not
+bought with seed quality.
+"""
+
+from conftest import write_result
+
+from repro.experiments.figures import figure5_rows
+from repro.experiments.reporting import render_table
+
+K_VALUES = (1, 5, 10, 25, 50, 100)
+
+
+def test_fig5_expected_influence(benchmark, results_dir, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        figure5_rows,
+        kwargs={
+            "dataset": "pokec-like",
+            "k_values": K_VALUES,
+            "eps": 0.3,
+            "scale": bench_scale,
+            "seed": bench_seed,
+            "target_size_fraction": 0.2,
+            "num_simulations": 150,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    spreads = [row["spread"] for row in rows]
+    # Influence grows with k...
+    assert spreads[-1] > spreads[0]
+    # ...monotonically up to Monte-Carlo noise (5% slack).
+    for earlier, later in zip(spreads, spreads[1:]):
+        assert later >= 0.95 * earlier
+    # High-influence regime: even one seed reaches a sizeable fraction.
+    assert rows[0]["spread_fraction_of_n"] > 0.05
+
+    write_result(
+        results_dir,
+        "fig5_expected_influence",
+        render_table(
+            rows,
+            title=(
+                "Figure 5 — expected influence vs k (hist+subsim, "
+                f"scale={bench_scale})"
+            ),
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Figure 6: running time across the WC-variant average-RR-size ladder.
+
+Paper shape: at average RR size ~50 HIST is already competitive with
+OPIM-C; as the ladder climbs (theta_50 ... theta_32K, scaled here to
+fractions of n) HIST's advantage grows to two orders of magnitude, and
+HIST+SUBSIM stays ahead throughout.  We assert the advantage at the top of
+the ladder exceeds the advantage at the bottom, and that HIST wins wherever
+RR sets are large.
+"""
+
+from collections import defaultdict
+
+from conftest import write_result
+
+from repro.experiments.figures import figure6_rows
+from repro.experiments.reporting import render_table
+
+# The bottom rung is deliberately low-influence (~0.4% of n): there the
+# sentinel rarely triggers and HIST ~ OPIM-C, which is where the paper's
+# ladder starts; the advantage then grows up the ladder.
+FRACTIONS = (0.004, 0.02, 0.1, 0.2, 0.35)
+
+
+def test_fig6_wc_variant_ladder(benchmark, results_dir, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        figure6_rows,
+        kwargs={
+            "dataset": "pokec-like",
+            "k": 50,
+            "eps": 0.3,
+            "scale": bench_scale,
+            "seed": bench_seed,
+            "size_fractions": FRACTIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by_target = defaultdict(dict)
+    for row in rows:
+        by_target[row["target_avg_rr_size"]][row["algorithm"]] = row
+
+    targets = sorted(by_target)
+    advantages = [
+        by_target[t]["opim-c"]["runtime_s"]
+        / max(by_target[t]["hist"]["runtime_s"], 1e-9)
+        for t in targets
+    ]
+    # The advantage grows with average RR size (paper's headline trend).
+    assert advantages[-1] > 1.5 * advantages[0], advantages
+    # And at the top of the ladder HIST clearly wins.
+    assert advantages[-1] > 3.0, advantages
+    # HIST+SUBSIM is the overall fastest at the top.
+    top = by_target[targets[-1]]
+    assert top["hist+subsim"]["runtime_s"] <= top["hist"]["runtime_s"]
+
+    write_result(
+        results_dir,
+        "fig6_wc_variant_ladder",
+        render_table(
+            rows,
+            title=(
+                "Figure 6 — runtime vs avg RR size, WC variant "
+                f"(scale={bench_scale})"
+            ),
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Figure 7: running time across the uniform-IC average-RR-size ladder.
+
+Paper shape: mirrors Figure 6 under uniform edge probabilities — HIST is
+several times faster than OPIM-C even at small RR sizes and at least an
+order faster at the top; HIST+SUBSIM adds another order.
+"""
+
+from collections import defaultdict
+
+from conftest import write_result
+
+from repro.experiments.figures import figure7_rows
+from repro.experiments.reporting import render_table
+
+# Ladder mirrors Figure 6: low-influence bottom rung, high-influence top.
+FRACTIONS = (0.004, 0.02, 0.1, 0.2, 0.35)
+
+
+def test_fig7_uniform_ladder(benchmark, results_dir, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        figure7_rows,
+        kwargs={
+            "dataset": "pokec-like",
+            "k": 50,
+            "eps": 0.3,
+            "scale": bench_scale,
+            "seed": bench_seed,
+            "size_fractions": FRACTIONS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by_target = defaultdict(dict)
+    for row in rows:
+        by_target[row["target_avg_rr_size"]][row["algorithm"]] = row
+
+    targets = sorted(by_target)
+    top = by_target[targets[-1]]
+    assert top["hist"]["runtime_s"] < top["opim-c"]["runtime_s"]
+    assert top["hist+subsim"]["runtime_s"] < top["opim-c"]["runtime_s"]
+
+    advantages = [
+        by_target[t]["opim-c"]["runtime_s"]
+        / max(by_target[t]["hist"]["runtime_s"], 1e-9)
+        for t in targets
+    ]
+    assert advantages[-1] > 1.2 * advantages[0], advantages
+
+    write_result(
+        results_dir,
+        "fig7_uniform_ladder",
+        render_table(
+            rows,
+            title=(
+                "Figure 7 — runtime vs avg RR size, uniform IC "
+                f"(scale={bench_scale})"
+            ),
+        ),
+    )

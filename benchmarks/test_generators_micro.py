@@ -1,0 +1,62 @@
+"""Micro-benchmarks: single-RR-set generation cost per generator.
+
+These use pytest-benchmark's statistical timing (many rounds) rather than
+the one-shot figure harnesses, giving stable per-operation numbers for the
+three generator families under WC weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.workloads import make_dataset
+from repro.graphs.weights import (
+    exponential_weights,
+    lt_normalized_weights,
+    wc_weights,
+)
+from repro.rrsets.lt import LTGenerator
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+
+
+@pytest.fixture(scope="module")
+def wc_bench_graph():
+    return wc_weights(make_dataset("pokec-like", scale=0.08, seed=0))
+
+
+@pytest.fixture(scope="module")
+def skewed_bench_graph():
+    return exponential_weights(make_dataset("pokec-like", scale=0.08, seed=0), seed=0)
+
+
+def test_micro_vanilla_wc(benchmark, wc_bench_graph):
+    generator = VanillaICGenerator(wc_bench_graph)
+    rng = np.random.default_rng(0)
+    benchmark(generator.generate, rng)
+
+
+def test_micro_subsim_wc(benchmark, wc_bench_graph):
+    generator = SubsimICGenerator(wc_bench_graph)
+    rng = np.random.default_rng(0)
+    benchmark(generator.generate, rng)
+
+
+def test_micro_vanilla_skewed(benchmark, skewed_bench_graph):
+    generator = VanillaICGenerator(skewed_bench_graph)
+    rng = np.random.default_rng(0)
+    benchmark(generator.generate, rng)
+
+
+def test_micro_subsim_skewed_sorted(benchmark, skewed_bench_graph):
+    generator = SubsimICGenerator(skewed_bench_graph, general_mode="sorted")
+    rng = np.random.default_rng(0)
+    benchmark(generator.generate, rng)
+
+
+def test_micro_lt(benchmark):
+    graph = lt_normalized_weights(
+        exponential_weights(make_dataset("pokec-like", scale=0.08, seed=0), seed=0)
+    )
+    generator = LTGenerator(graph)
+    rng = np.random.default_rng(0)
+    benchmark(generator.generate, rng)

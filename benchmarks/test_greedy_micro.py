@@ -1,0 +1,42 @@
+"""Micro-benchmarks: exact-decremental greedy vs CELF lazy greedy.
+
+Quantifies the design note in `repro/coverage/celf.py`: which selection
+strategy wins on realistic RR pools (many small sets, heavy-tailed node
+coverage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage.celf import celf_max_coverage
+from repro.coverage.greedy import max_coverage_greedy
+from repro.experiments.workloads import make_dataset
+from repro.graphs.weights import wc_weights
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.subsim import SubsimICGenerator
+
+
+@pytest.fixture(scope="module")
+def pool():
+    graph = wc_weights(make_dataset("pokec-like", scale=0.08, seed=0))
+    rng = np.random.default_rng(0)
+    collection = RRCollection(graph.n)
+    collection.extend(4000, SubsimICGenerator(graph), rng)
+    return collection
+
+
+def test_micro_greedy_decremental(benchmark, pool):
+    result = benchmark(
+        max_coverage_greedy, pool, 50, None, None, None, False
+    )
+    assert len(result.seeds) == 50
+
+
+def test_micro_greedy_decremental_with_eq2(benchmark, pool):
+    result = benchmark(max_coverage_greedy, pool, 50)
+    assert result.upper_bound_coverage >= result.coverage
+
+
+def test_micro_greedy_celf(benchmark, pool):
+    result = benchmark(celf_max_coverage, pool, 50)
+    assert len(result.seeds) == 50

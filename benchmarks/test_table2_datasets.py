@@ -1,0 +1,29 @@
+"""Table 2: dataset summary (scaled stand-ins next to the paper's sizes)."""
+
+from conftest import write_result
+
+from repro.experiments.reporting import render_table
+from repro.experiments.workloads import table2_rows
+
+
+def test_table2_dataset_summary(benchmark, results_dir, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        table2_rows,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 4
+    # Stand-ins preserve the paper's directedness per dataset.
+    by_name = {r["dataset"]: r for r in rows}
+    assert by_name["pokec-like"]["type"] == "directed"
+    assert by_name["orkut-like"]["type"] == "undirected"
+    assert by_name["twitter-like"]["type"] == "directed"
+    assert by_name["friendster-like"]["type"] == "undirected"
+    # twitter-like is the largest, as in the paper's ordering by n.
+    assert by_name["twitter-like"]["n"] == max(r["n"] for r in rows)
+    write_result(
+        results_dir,
+        "table2_datasets",
+        render_table(rows, title=f"Table 2 — datasets (scale={bench_scale})"),
+    )

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Influence maximization under the Linear Threshold model.
+
+The LT model activates a node once the *total* weight of its active
+in-neighbors crosses a random threshold.  Its RR sets are backward walks
+(each node keeps at most one live in-edge), so generation is naturally
+cheap — the paper shows LT-based IM already enjoys the tightened
+``O(k n log n / eps^2)`` bound without algorithmic changes.
+
+This example normalises learned-style (exponential) weights to satisfy the
+LT precondition, runs OPIM-C and HIST with the LT generator, and verifies
+the seeds by forward LT simulation.
+
+Run:  python examples/linear_threshold.py
+"""
+
+from repro import (
+    estimate_spread,
+    exponential_weights,
+    lt_normalized_weights,
+    maximize_influence,
+    preferential_attachment,
+)
+from repro.experiments.reporting import render_table
+
+
+def main() -> None:
+    base = preferential_attachment(4000, 6, seed=3, reciprocal=0.3)
+    graph = lt_normalized_weights(exponential_weights(base, seed=1))
+    print(f"LT network: {graph.n} nodes, max incoming weight sum "
+          f"{graph.in_prob_sums.max():.3f} (must be <= 1)\n")
+
+    rows = []
+    for algorithm in ("opim-c-lt", "hist-lt", "degree"):
+        result = maximize_influence(graph, 25, algorithm=algorithm, eps=0.2, seed=4)
+        spread = estimate_spread(
+            graph, result.seeds, model="lt", num_simulations=400, seed=1
+        )
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "runtime_s": round(result.runtime_seconds, 3),
+                "rr_sets": result.num_rr_sets,
+                "avg_rr_size": round(result.average_rr_size, 2),
+                "lt_spread": round(spread.mean, 1),
+            }
+        )
+    print(render_table(rows, title="k=25 under Linear Threshold"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: pick influential seeds on a synthetic social network.
+
+Builds a weighted-cascade social graph, runs the paper's best algorithm
+(HIST + SUBSIM), evaluates the selected seeds with forward Monte-Carlo
+simulation, and compares against a naive high-degree baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    InfluenceMaximizer,
+    estimate_spread,
+    preferential_attachment,
+    wc_weights,
+)
+
+
+def main() -> None:
+    # 1. A social network: 5,000 users, heavy-tailed popularity, and
+    #    weighted-cascade edge probabilities p(u, v) = 1 / in-degree(v).
+    graph = wc_weights(
+        preferential_attachment(5000, 6, seed=42, reciprocal=0.3)
+    )
+    print(f"network: {graph.n} users, {graph.m} follow edges")
+
+    # 2. Select 20 seed users with a (1 - 1/e - 0.1) guarantee.
+    maximizer = InfluenceMaximizer(graph)
+    result = maximizer.maximize(k=20, algorithm="hist+subsim", eps=0.1, seed=7)
+    print(f"algorithm        : {result.algorithm}")
+    print(f"selected seeds   : {result.seeds}")
+    print(f"runtime          : {result.runtime_seconds:.3f}s")
+    print(f"RR sets generated: {result.num_rr_sets} (avg size "
+          f"{result.average_rr_size:.1f})")
+    print(f"certified ratio  : {result.approx_ratio_certified:.3f} "
+          f"(needs > {1 - 1/2.718281828 - 0.1:.3f})")
+
+    # 3. Ground-truth the spread with forward cascade simulation.
+    spread = maximizer.evaluate(result, num_simulations=500, seed=1)
+    print(f"expected spread  : {spread.mean:.1f} users "
+          f"(95% CI {spread.confidence_interval()[0]:.1f}"
+          f"-{spread.confidence_interval()[1]:.1f})")
+
+    # 4. Compare against the high-degree heuristic.  On pure
+    #    preferential-attachment graphs degree is a strong baseline; the
+    #    principled algorithm matches it *and* certifies its quality.
+    degree = maximizer.maximize(k=20, algorithm="degree", seed=7)
+    degree_spread = estimate_spread(
+        graph, degree.seeds, num_simulations=500, seed=1
+    )
+    print(f"degree heuristic : {degree_spread.mean:.1f} users "
+          f"(no guarantee; ratio {spread.mean / max(degree_spread.mean, 1e-9):.2f})")
+
+
+if __name__ == "__main__":
+    main()

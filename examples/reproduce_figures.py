@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce a paper figure interactively, with an ASCII chart.
+
+The benchmark suite regenerates every figure with shape assertions; this
+example is the exploratory spelling — pick a figure, a scale, and watch
+the ladder.  Defaults to Figure 6 (the headline HIST result) at a small
+scale so it finishes in about a minute.
+
+Run:  python examples/reproduce_figures.py [fig1|fig2|fig4|fig6|fig7] [scale]
+"""
+
+import sys
+
+from repro.experiments import figures
+from repro.experiments.plotting import runtime_ladder_chart
+from repro.experiments.reporting import render_table
+
+RUNNERS = {
+    "fig1": lambda scale: (
+        figures.figure1_rows(
+            datasets=["pokec-like"], k=25, eps=0.5, scale=scale,
+            max_rr_sets=50_000,
+        ),
+        "k",
+    ),
+    "fig2": lambda scale: (figures.figure2_rows(
+        datasets=["pokec-like"], num_rr=1500, scale=scale), None),
+    "fig4": lambda scale: (
+        figures.figure4_rows(k_values=(5, 10, 25, 50), scale=scale), "k"),
+    "fig6": lambda scale: (
+        figures.figure6_rows(
+            k=25, scale=scale, size_fractions=(0.02, 0.08, 0.2, 0.35)
+        ),
+        "target_avg_rr_size",
+    ),
+    "fig7": lambda scale: (
+        figures.figure7_rows(
+            k=25, scale=scale, size_fractions=(0.02, 0.08, 0.2, 0.35)
+        ),
+        "target_avg_rr_size",
+    ),
+}
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fig6"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.04
+    if name not in RUNNERS:
+        print(f"unknown figure {name!r}; choose from {sorted(RUNNERS)}")
+        raise SystemExit(2)
+    print(f"regenerating {name} at scale {scale} (see EXPERIMENTS.md for "
+          "the paper-vs-measured discussion)...\n")
+    rows, x_key = RUNNERS[name](scale)
+    print(render_table(rows, title=f"{name} (scale={scale})"))
+    if x_key is not None and "algorithm" in rows[0]:
+        print(runtime_ladder_chart(
+            rows, x_key=x_key,
+            title=f"{name}: runtime (log scale) vs {x_key}",
+        ))
+
+
+if __name__ == "__main__":
+    main()

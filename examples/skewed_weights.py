@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Skewed edge weights: SUBSIM's general-IC samplers (paper Section 3.3).
+
+Learned influence probabilities are rarely uniform — the paper evaluates
+exponential and Weibull weight distributions.  This example compares all
+three subset-sampling strategies against vanilla per-edge coin flipping on
+the same graphs, reporting wall time and the machine-independent
+``edges_examined`` counter (the quantity the paper's analysis bounds).
+
+Run:  python examples/skewed_weights.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    SubsimICGenerator,
+    VanillaICGenerator,
+    exponential_weights,
+    preferential_attachment,
+    weibull_weights,
+)
+from repro.experiments.reporting import render_table
+
+NUM_RR = 3000
+
+
+def measure(generator, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    for _ in range(NUM_RR):
+        generator.generate(rng)
+    elapsed = time.perf_counter() - start
+    return elapsed, generator.counters
+
+
+def main() -> None:
+    base = preferential_attachment(4000, 8, seed=2, reciprocal=0.3)
+    for dist_name, weighter in (
+        ("exponential", exponential_weights),
+        ("weibull", weibull_weights),
+    ):
+        graph = weighter(base, seed=7)
+        contenders = [
+            ("vanilla (Alg. 2)", VanillaICGenerator(graph)),
+            ("subsim sorted (index-free)", SubsimICGenerator(graph, "sorted")),
+            ("subsim bucket (B-P)", SubsimICGenerator(graph, "bucket")),
+            ("subsim indexed (O(1+mu))", SubsimICGenerator(graph, "indexed")),
+        ]
+        rows = []
+        base_time = None
+        for label, generator in contenders:
+            elapsed, counters = measure(generator)
+            if base_time is None:
+                base_time = elapsed
+            rows.append(
+                {
+                    "sampler": label,
+                    "runtime_s": round(elapsed, 3),
+                    "speedup": round(base_time / elapsed, 2),
+                    "edges_examined": counters.edges_examined,
+                    "avg_rr_size": round(counters.average_size(), 2),
+                }
+            )
+        print(render_table(rows, title=f"{dist_name} weights, {NUM_RR} RR sets"))
+
+
+if __name__ == "__main__":
+    main()

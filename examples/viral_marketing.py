@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Viral marketing: choose which customers receive free products.
+
+The paper's motivating application — a company gives its product to k
+influential users hoping word-of-mouth does the rest.  This example models
+a customer base with community structure (stochastic block model: a few
+tight clusters plus cross-cluster ties), compares every principled
+algorithm and heuristic on both *quality* (expected adopters) and *cost*
+(runtime, samples), and prints a recommendation table.
+
+Run:  python examples/viral_marketing.py
+"""
+
+from repro import (
+    available_algorithms,
+    estimate_spread,
+    maximize_influence,
+    stochastic_block_model,
+    wc_weights,
+)
+from repro.experiments.reporting import render_table
+
+BUDGET = 15  # free products to give away
+EPS = 0.25  # accuracy/cost knob: SSA in particular is steep below this
+CONTENDERS = ("subsim", "hist+subsim", "opim-c", "ssa", "degree",
+              "degree-discount", "random")
+
+
+def main() -> None:
+    # Customer communities: 8 clusters of 400, denser inside than across.
+    graph = wc_weights(
+        stochastic_block_model(
+            [400] * 8, p_within=0.02, p_between=0.001, seed=11
+        )
+    )
+    print(f"customer graph: {graph.n} customers, {graph.m} influence edges")
+    print(f"available algorithms: {available_algorithms()}\n")
+
+    rows = []
+    for algorithm in CONTENDERS:
+        result = maximize_influence(
+            graph, BUDGET, algorithm=algorithm, eps=EPS, seed=3
+        )
+        spread = estimate_spread(
+            graph, result.seeds, num_simulations=400, seed=1
+        )
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "expected_adopters": round(spread.mean, 1),
+                "runtime_s": round(result.runtime_seconds, 3),
+                "rr_sets": result.num_rr_sets,
+                "guaranteed": result.num_rr_sets > 0,
+            }
+        )
+    rows.sort(key=lambda r: -r["expected_adopters"])
+    print(render_table(rows, title=f"Giving away {BUDGET} products"))
+
+    best = rows[0]
+    print(
+        f"Recommendation: seed via {best['algorithm']!r} — "
+        f"about {best['expected_adopters']} expected adopters from "
+        f"{BUDGET} free units."
+    )
+
+
+if __name__ == "__main__":
+    main()

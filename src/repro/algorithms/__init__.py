@@ -1,0 +1,45 @@
+"""Influence-maximization algorithms.
+
+The paper's contributions and every baseline it compares against:
+
+* :class:`OPIMC` — Tang et al.'s online-processing algorithm [37]; pass
+  ``generator_cls=SubsimICGenerator`` to obtain the paper's **SUBSIM**
+  configuration (OPIM-C with subset-sampling RR generation).
+* :class:`HIST` — the paper's Hit-and-Stop algorithm (Algorithms 4/7/8);
+  again parameterised by the RR generator ("HIST" vs "HIST+SUBSIM").
+* :class:`IMM` [38], :class:`TIMPlus` [39], :class:`SSA` [34]-with-[24]'s
+  fix — the vanilla-generation baselines.
+* :class:`GreedyMonteCarlo` — Kempe et al.'s original greedy with CELF
+  lazy evaluation (tiny graphs only; the sanity baseline).
+* :mod:`~repro.algorithms.heuristics` — degree, degree-discount, random.
+"""
+
+from repro.algorithms.base import IMAlgorithm
+from repro.algorithms.borgs import BorgsRIS
+from repro.algorithms.dssa import DSSA
+from repro.algorithms.greedy_mc import GreedyMonteCarlo
+from repro.algorithms.heuristics import DegreeDiscount, DegreeTopK, RandomSeeds
+from repro.algorithms.hist import HIST, IMSentinelPhase, SentinelSetPhase
+from repro.algorithms.imm import IMM
+from repro.algorithms.opimc import OPIMC
+from repro.algorithms.pagerank import PageRankSeeds
+from repro.algorithms.ssa import SSA
+from repro.algorithms.tim import TIMPlus
+
+__all__ = [
+    "BorgsRIS",
+    "DSSA",
+    "DegreeDiscount",
+    "DegreeTopK",
+    "GreedyMonteCarlo",
+    "HIST",
+    "IMAlgorithm",
+    "IMM",
+    "IMSentinelPhase",
+    "OPIMC",
+    "PageRankSeeds",
+    "RandomSeeds",
+    "SSA",
+    "SentinelSetPhase",
+    "TIMPlus",
+]

@@ -1,0 +1,110 @@
+"""Shared machinery for IM algorithms: parameter handling and accounting."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Type
+
+import numpy as np
+
+from repro.core.results import IMResult
+from repro.graphs.csr import CSRGraph
+from repro.rrsets.base import RRGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+class IMAlgorithm:
+    """Base class for influence-maximization algorithms.
+
+    Subclasses implement :meth:`_select` and set :attr:`name`.  The public
+    :meth:`run` validates parameters (``delta`` defaults to the customary
+    ``1/n``), seeds the RNG, times the run, and folds the generator counters
+    into the returned :class:`~repro.core.results.IMResult`.
+    """
+
+    name = "base"
+    #: set False for algorithms that do not generate RR sets (heuristics)
+    uses_rr_sets = True
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        generator_cls: Type[RRGenerator] = VanillaICGenerator,
+    ) -> None:
+        if graph.n < 1:
+            raise ConfigurationError("graph must contain at least one node")
+        self.graph = graph
+        self.generator_cls = generator_cls
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        k: int,
+        eps: float = 0.1,
+        delta: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> IMResult:
+        """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
+
+        ``delta`` defaults to ``1/n``; ``seed`` accepts anything
+        :func:`repro.utils.rng.as_generator` does.
+        """
+        n = self.graph.n
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"k must lie in [1, n={n}], got {k}")
+        if eps <= 0 or eps >= 1:
+            raise ConfigurationError(f"eps must lie in (0, 1), got {eps}")
+        if delta is None:
+            delta = 1.0 / n if n > 1 else 0.5
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+        rng = as_generator(seed)
+        begin = time.perf_counter()
+        result = self._select(k, eps, delta, rng)
+        result.runtime_seconds = time.perf_counter() - begin
+        return result
+
+    # ------------------------------------------------------------------
+    def _select(
+        self, k: int, eps: float, delta: float, rng: np.random.Generator
+    ) -> IMResult:
+        raise NotImplementedError
+
+    def _new_generator(self) -> RRGenerator:
+        return self.generator_cls(self.graph)
+
+    def _result_from(
+        self,
+        seeds,
+        k: int,
+        eps: float,
+        delta: float,
+        generators=(),
+        **extras,
+    ) -> IMResult:
+        """Assemble an IMResult, merging counters from ``generators``."""
+        num_sets = sum(g.counters.sets_generated for g in generators)
+        total_nodes = sum(g.counters.nodes_added for g in generators)
+        return IMResult(
+            algorithm=self.name,
+            seeds=list(seeds),
+            k=k,
+            eps=eps,
+            delta=delta,
+            runtime_seconds=0.0,  # filled in by run()
+            num_rr_sets=num_sets,
+            average_rr_size=(total_nodes / num_sets) if num_sets else 0.0,
+            edges_examined=sum(g.counters.edges_examined for g in generators),
+            rng_draws=sum(g.counters.rng_draws for g in generators),
+            extras=extras,
+        )
+
+    @staticmethod
+    def _doubling_iterations(theta0: int, theta_max: int) -> int:
+        """Number of doubling rounds from ``theta0`` to ``theta_max``."""
+        if theta_max <= theta0:
+            return 1
+        return int(math.ceil(math.log2(theta_max / theta0)))

@@ -1,0 +1,89 @@
+"""Guarantee-free heuristic baselines.
+
+The IM literature's classic quick-and-dirty selectors; they anchor the
+quality comparisons (a principled algorithm must beat these) and serve as
+cheap seed sources in examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.algorithms.base import IMAlgorithm
+from repro.core.results import IMResult
+
+
+class DegreeTopK(IMAlgorithm):
+    """Select the ``k`` nodes with the highest out-degree."""
+
+    name = "degree"
+    uses_rr_sets = False
+
+    def _select(
+        self, k: int, eps: float, delta: float, rng: np.random.Generator
+    ) -> IMResult:
+        out_deg = self.graph.out_degree()
+        # argsort is ascending; take the tail, then reverse for rank order.
+        seeds = np.argsort(out_deg, kind="stable")[-k:][::-1].tolist()
+        return self._result_from(seeds, k, eps, delta)
+
+
+class DegreeDiscount(IMAlgorithm):
+    """Degree-discount heuristic (Chen et al., KDD'09).
+
+    After selecting a seed, each out-neighbor ``v`` discounts its effective
+    degree by the expected overlap: ``dd(v) = d(v) - 2 t(v) - (d(v) - t(v))
+    * t(v) * p``, where ``t(v)`` counts already-selected in-neighbors of
+    ``v`` and ``p`` is a representative propagation probability (the graph's
+    mean edge probability unless overridden).
+    """
+
+    name = "degree-discount"
+    uses_rr_sets = False
+
+    def __init__(self, graph, p: float = None) -> None:  # type: ignore[assignment]
+        super().__init__(graph)
+        if p is None:
+            p = float(graph.out_probs.mean()) if graph.m else 0.01
+        self.p = p
+
+    def _select(
+        self, k: int, eps: float, delta: float, rng: np.random.Generator
+    ) -> IMResult:
+        graph = self.graph
+        degree = graph.out_degree().astype(np.float64)
+        dd = degree.copy()
+        t = np.zeros(graph.n, dtype=np.float64)
+        selected = np.zeros(graph.n, dtype=bool)
+        seeds: List[int] = []
+        for _ in range(k):
+            dd_masked = np.where(selected, -np.inf, dd)
+            s = int(np.argmax(dd_masked))
+            selected[s] = True
+            seeds.append(s)
+            neighbors, _ = graph.out_neighbors(s)
+            for v in neighbors:
+                if selected[v]:
+                    continue
+                t[v] += 1.0
+                dd[v] = (
+                    degree[v]
+                    - 2.0 * t[v]
+                    - (degree[v] - t[v]) * t[v] * self.p
+                )
+        return self._result_from(seeds, k, eps, delta, p=self.p)
+
+
+class RandomSeeds(IMAlgorithm):
+    """Uniformly random seeds — the floor any method must clear."""
+
+    name = "random"
+    uses_rr_sets = False
+
+    def _select(
+        self, k: int, eps: float, delta: float, rng: np.random.Generator
+    ) -> IMResult:
+        seeds = rng.choice(self.graph.n, size=k, replace=False).tolist()
+        return self._result_from(seeds, k, eps, delta)

@@ -1,0 +1,347 @@
+"""HIST — Hit-and-Stop (paper Section 4, Algorithms 4, 7 and 8).
+
+In high-influence networks the bottleneck of every RR-based IM algorithm is
+the *size* of each RR set, not their number.  HIST splits the budget:
+
+1. :class:`SentinelSetPhase` (Algorithm 7) cheaply finds a small sentinel
+   set ``S_b*`` with the loose guarantee
+   ``I(S_b*) >= (1 - (1-1/k)^b - eps1) * OPT_k``: it runs the revised greedy
+   (Algorithm 6, out-degree tie-break) on a doubling pool ``R1``, picks the
+   largest prefix ``b`` whose *estimated* Eq.-1 lower bound clears the
+   prefix-specific threshold, then verifies that prefix on an independent
+   sentinel-stopped pool ``R2`` (grown up to ``4 |R1|`` before giving up on
+   the current candidate, per lines 13–15).
+2. :class:`IMSentinelPhase` (Algorithm 8) selects the remaining ``k - b``
+   seeds with an OPIM-C-style loop in which **every RR set stops as soon as
+   it hits a sentinel** (Algorithm 5), shrinking average RR size by up to
+   the paper's 700x.  RR sets already hit by the sentinels are treated as
+   covered before greedy runs (line 5).
+
+Budget split (Algorithm 4): ``eps1 = eps2 = eps/2`` and ``delta1 = delta2 =
+delta/2``, giving ``(1 - 1/e - eps)`` with probability ``1 - delta`` overall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Type
+
+import numpy as np
+
+from repro.algorithms.base import IMAlgorithm
+from repro.bounds.opim import influence_lower_bound, influence_upper_bound
+from repro.bounds.thresholds import theta_max_im_sentinel, theta_max_sentinel
+from repro.core.results import IMResult
+from repro.coverage.greedy import max_coverage_greedy
+from repro.graphs.csr import CSRGraph
+from repro.rrsets.base import RRGenerator
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.timing import Timer
+
+
+@dataclass
+class SentinelResult:
+    """Outcome of the sentinel-selection phase."""
+
+    seeds: List[int]
+    b: int
+    selection_rr_sets: int        # |R1| at termination
+    total_rr_sets: int            # R1 + all R2 validation sets
+    verified: bool                # True if the Eq.-1 check passed in-loop
+    iterations: int
+    generators: tuple = field(repr=False, default=())
+
+
+class SentinelSetPhase:
+    """Algorithm 7: find a size-``b`` sentinel set with a loose guarantee."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        generator_cls: Type[RRGenerator] = VanillaICGenerator,
+        use_out_degree_tie_break: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.generator_cls = generator_cls
+        self.use_out_degree_tie_break = use_out_degree_tie_break
+
+    def run(
+        self,
+        k: int,
+        eps1: float,
+        delta1: float,
+        rng: np.random.Generator,
+        max_b: Optional[int] = None,
+    ) -> SentinelResult:
+        """Execute the phase.  ``max_b`` optionally caps the sentinel size
+        (used by the fixed-``b`` ablation); the automatic choice of line 8
+        applies within ``[1, max_b]``.
+        """
+        graph = self.graph
+        n = graph.n
+        out_deg = graph.out_degree() if self.use_out_degree_tie_break else None
+        if max_b is None:
+            max_b = k
+        if not 1 <= max_b <= k:
+            raise ConfigurationError(f"max_b must lie in [1, k={k}], got {max_b}")
+
+        theta0 = max(1, int(math.ceil(3.0 * math.log(1.0 / delta1))))
+        theta_max = theta_max_sentinel(n, k, eps1, delta1)
+        i_max = max(1, int(math.ceil(math.log2(max(theta_max / theta0, 2.0)))))
+        delta_u = delta1 / (3.0 * i_max)
+        delta_l = delta1 / (6.0 * i_max)
+        x = 1.0 - 1.0 / k
+
+        gen1 = self.generator_cls(graph)
+        gen2 = self.generator_cls(graph)
+        pool1 = RRCollection(n)
+        pool1.extend(theta0, gen1, rng)
+
+        candidate_b = 0
+        candidate_seeds: List[int] = []
+        validation_sets = 0
+        iterations = 0
+        verified = False
+        greedy = None
+
+        for i in range(1, i_max + 1):
+            iterations = i
+            greedy = max_coverage_greedy(
+                pool1, select=k, topk=k, out_degree=out_deg
+            )
+            upper = influence_upper_bound(
+                greedy.upper_bound_coverage, pool1.num_rr, n, delta_u
+            )
+            # Line 8: the largest prefix whose *estimated* lower bound
+            # (Eq. 1 applied to R1 as if it were independent) clears the
+            # prefix threshold 1 - x^a - eps1.
+            b = 0
+            for a in range(1, max_b + 1):
+                est_lower = influence_lower_bound(
+                    greedy.coverage_history[a], pool1.num_rr, n, delta_l
+                )
+                if upper > 0 and est_lower / upper > 1.0 - x ** a - eps1:
+                    b = a
+            if b >= 1:
+                seeds_b = greedy.seeds[:b]
+                candidate_b, candidate_seeds = b, seeds_b
+                stop_mask = np.zeros(n, dtype=bool)
+                stop_mask[seeds_b] = True
+                threshold = 1.0 - x ** b - eps1
+                # Lines 9-15: verify on an independent sentinel-stopped pool,
+                # growing it once to 4 |R1| before giving up on the candidate.
+                pool2 = RRCollection(n)
+                pool2.extend(pool1.num_rr, gen2, rng, stop_mask=stop_mask)
+                for _ in range(2):
+                    lower = influence_lower_bound(
+                        pool2.coverage(seeds_b), pool2.num_rr, n, delta_l
+                    )
+                    if upper > 0 and lower / upper > threshold:
+                        verified = True
+                        break
+                    if pool2.num_rr < 4 * pool1.num_rr:
+                        pool2.extend(
+                            4 * pool1.num_rr - pool2.num_rr,
+                            gen2,
+                            rng,
+                            stop_mask=stop_mask,
+                        )
+                validation_sets += pool2.num_rr
+                if verified:
+                    break
+            if i < i_max:
+                pool1.extend(pool1.num_rr, gen1, rng)
+
+        if candidate_b == 0:
+            # Degenerate fallback: even the loosest prefix never cleared the
+            # estimated test.  theta_max samples still certify any prefix
+            # (Lemma 6), so return the strongest single sentinel.
+            assert greedy is not None
+            candidate_b, candidate_seeds = 1, greedy.seeds[:1]
+
+        return SentinelResult(
+            seeds=candidate_seeds,
+            b=candidate_b,
+            selection_rr_sets=pool1.num_rr,
+            total_rr_sets=pool1.num_rr + validation_sets,
+            verified=verified,
+            iterations=iterations,
+            generators=(gen1, gen2),
+        )
+
+
+@dataclass
+class IMSentinelResult:
+    """Outcome of the IM-Sentinel phase."""
+
+    seeds: List[int]
+    lower_bound: float
+    upper_bound: float
+    num_rr_sets: int
+    average_rr_size: float
+    iterations: int
+    generators: tuple = field(repr=False, default=())
+
+
+class IMSentinelPhase:
+    """Algorithm 8: select the remaining seeds with sentinel-stopped RR sets."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        generator_cls: Type[RRGenerator] = VanillaICGenerator,
+        use_out_degree_tie_break: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.generator_cls = generator_cls
+        self.use_out_degree_tie_break = use_out_degree_tie_break
+
+    def run(
+        self,
+        k: int,
+        eps: float,
+        sentinel_seeds: List[int],
+        eps2: float,
+        delta2: float,
+        rng: np.random.Generator,
+    ) -> IMSentinelResult:
+        graph = self.graph
+        n = graph.n
+        b = len(sentinel_seeds)
+        if not 1 <= b < k:
+            raise ConfigurationError(
+                f"IM-Sentinel needs 1 <= b < k, got b={b}, k={k}"
+            )
+        out_deg = graph.out_degree() if self.use_out_degree_tie_break else None
+        stop_mask = np.zeros(n, dtype=bool)
+        stop_mask[sentinel_seeds] = True
+        target = 1.0 - 1.0 / math.e - eps
+
+        theta0 = max(1, int(math.ceil(3.0 * math.log(1.0 / delta2))))
+        theta_max = theta_max_im_sentinel(n, k, b, eps2, delta2)
+        i_max = max(1, int(math.ceil(math.log2(max(theta_max / theta0, 2.0)))))
+        delta_iter = delta2 / (3.0 * i_max)
+
+        gen1 = self.generator_cls(graph)
+        gen2 = self.generator_cls(graph)
+        pool1 = RRCollection(n)
+        pool2 = RRCollection(n)
+        pool1.extend(theta0, gen1, rng, stop_mask=stop_mask)
+        pool2.extend(theta0, gen2, rng, stop_mask=stop_mask)
+
+        seeds: List[int] = list(sentinel_seeds)
+        lower = 0.0
+        upper = float("inf")
+        iterations = 0
+        for i in range(1, i_max + 1):
+            iterations = i
+            # Line 5: RR sets already hit by a sentinel carry no marginal
+            # coverage; mark them covered before greedy runs.
+            initial_covered = pool1.covered_mask(sentinel_seeds)
+            greedy = max_coverage_greedy(
+                pool1,
+                select=k - b,
+                topk=k,
+                out_degree=out_deg,
+                initial_covered=initial_covered,
+                excluded=sentinel_seeds,
+            )
+            seeds = list(sentinel_seeds) + greedy.seeds
+            upper = influence_upper_bound(
+                greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
+            )
+            lower = influence_lower_bound(
+                pool2.coverage(seeds), pool2.num_rr, n, delta_iter
+            )
+            if upper > 0 and lower / upper > target:
+                break
+            if i < i_max:
+                pool1.extend(pool1.num_rr, gen1, rng, stop_mask=stop_mask)
+                pool2.extend(pool2.num_rr, gen2, rng, stop_mask=stop_mask)
+
+        sets = gen1.counters.sets_generated + gen2.counters.sets_generated
+        nodes = gen1.counters.nodes_added + gen2.counters.nodes_added
+        return IMSentinelResult(
+            seeds=seeds,
+            lower_bound=lower,
+            upper_bound=upper,
+            num_rr_sets=sets,
+            average_rr_size=(nodes / sets) if sets else 0.0,
+            iterations=iterations,
+            generators=(gen1, gen2),
+        )
+
+
+class HIST(IMAlgorithm):
+    """Algorithm 4: sentinel selection followed by IM-Sentinel.
+
+    ``generator_cls`` picks the RR engine: vanilla (paper's "HIST") or
+    :class:`~repro.rrsets.subsim.SubsimICGenerator` ("HIST+SUBSIM").
+    ``fixed_b`` forces a sentinel size (ablation); ``use_out_degree_tie_break
+    = False`` disables Algorithm 6's revision (ablation).
+    """
+
+    name = "hist"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        generator_cls: Type[RRGenerator] = VanillaICGenerator,
+        fixed_b: Optional[int] = None,
+        use_out_degree_tie_break: bool = True,
+    ) -> None:
+        super().__init__(graph, generator_cls)
+        if generator_cls is not VanillaICGenerator:
+            self.name = f"hist+{generator_cls.name}"
+        self.fixed_b = fixed_b
+        self.use_out_degree_tie_break = use_out_degree_tie_break
+
+    def _select(
+        self, k: int, eps: float, delta: float, rng: np.random.Generator
+    ) -> IMResult:
+        eps1 = eps2 = eps / 2.0
+        delta1 = delta2 = delta / 2.0
+        if self.fixed_b is not None and not 1 <= self.fixed_b <= k:
+            raise ConfigurationError(
+                f"fixed_b must lie in [1, k={k}], got {self.fixed_b}"
+            )
+
+        with Timer() as t_sentinel:
+            sentinel = SentinelSetPhase(
+                self.graph, self.generator_cls, self.use_out_degree_tie_break
+            ).run(k, eps1, delta1, rng, max_b=self.fixed_b)
+        generators = list(sentinel.generators)
+        phases = {"sentinel": t_sentinel.elapsed}
+        extras = {
+            "b": sentinel.b,
+            "sentinel_rr_sets": sentinel.total_rr_sets,
+            "sentinel_selection_rr_sets": sentinel.selection_rr_sets,
+            "sentinel_verified": sentinel.verified,
+        }
+
+        if sentinel.b >= k:
+            result = self._result_from(
+                sentinel.seeds, k, eps, delta, generators=generators, **extras
+            )
+            result.phases = phases
+            return result
+
+        with Timer() as t_im:
+            im = IMSentinelPhase(
+                self.graph, self.generator_cls, self.use_out_degree_tie_break
+            ).run(k, eps, sentinel.seeds, eps2, delta2, rng)
+        generators.extend(im.generators)
+        phases["im_sentinel"] = t_im.elapsed
+        extras["im_sentinel_rr_sets"] = im.num_rr_sets
+        extras["im_sentinel_avg_rr_size"] = im.average_rr_size
+
+        result = self._result_from(
+            im.seeds, k, eps, delta, generators=generators, **extras
+        )
+        result.phases = phases
+        result.lower_bound = im.lower_bound
+        result.upper_bound = im.upper_bound
+        return result

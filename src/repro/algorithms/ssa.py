@@ -1,0 +1,103 @@
+"""SSA — Stop-and-Stare (Nguyen et al. [34]) with the SSA-Fix guarantees.
+
+The "stop-and-stare" loop alternates between a *selection* pool that doubles
+until the greedy solution's coverage clears a minimum threshold ``Lambda1``,
+and a *stare* (validation) phase that estimates the selected set's influence
+on **independent** RR sets drawn until ``Lambda2`` of them are covered.  The
+run stops when the optimistic selection-side estimate is confirmed by the
+independent one: ``n * cov / theta <= (1 + eps1) * I_validate``.
+
+Huang et al. [24] showed the original analysis over-claimed; following their
+SSA-Fix we (a) use the conservative epsilon split ``eps1 = eps2 = eps3 =
+eps / 4`` — which satisfies the requirement ``eps1 + eps2 + eps1*eps2 +
+(1 - 1/e) * eps3 <= eps`` for all ``eps < 1`` — and (b) cap the schedule at
+OPIM-C's unconditional ``theta_max`` so a failed validation loop still
+terminates with the worst-case guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import IMAlgorithm
+from repro.bounds.thresholds import theta_max_opimc
+from repro.core.results import IMResult
+from repro.coverage.greedy import max_coverage_greedy
+from repro.rrsets.collection import RRCollection
+
+
+class SSA(IMAlgorithm):
+    """Stop-and-Stare with the [24] fix."""
+
+    name = "ssa"
+
+    def _select(
+        self, k: int, eps: float, delta: float, rng: np.random.Generator
+    ) -> IMResult:
+        n = self.graph.n
+        e1 = e2 = e3 = eps / 4.0
+        delta_work = delta / 3.0  # selection / validation / cap union bound
+
+        lambda1 = 1.0 + (1.0 + e1) * (1.0 + e2) * (2.0 + 2.0 * e3 / 3.0) * math.log(
+            3.0 / delta_work
+        ) / (e3 * e3)
+        lambda2 = 1.0 + (1.0 + e2) * (2.0 + 2.0 * e2 / 3.0) * math.log(
+            3.0 / delta_work
+        ) / (e2 * e2)
+        theta_cap = theta_max_opimc(n, k, eps, delta)
+
+        gen_select = self._new_generator()
+        gen_validate = self._new_generator()
+        pool = RRCollection(n)
+        theta = max(1, int(math.ceil(lambda1)))
+        theta = min(theta, theta_cap)
+
+        seeds = []
+        rounds = 0
+        validated = False
+        while True:
+            rounds += 1
+            pool.extend_to(theta, gen_select, rng)
+            greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+            seeds = greedy.seeds
+            if greedy.coverage >= lambda1:
+                estimate = self._stare(seeds, lambda2, theta_cap, gen_validate, rng)
+                if estimate is not None:
+                    selection_estimate = n * greedy.coverage / pool.num_rr
+                    if selection_estimate <= (1.0 + e1) * estimate:
+                        validated = True
+                        break
+            if theta >= theta_cap:
+                break  # worst-case sample size reached: guarantee holds anyway
+            theta = min(2 * theta, theta_cap)
+
+        return self._result_from(
+            seeds,
+            k,
+            eps,
+            delta,
+            generators=(gen_select, gen_validate),
+            rounds=rounds,
+            validated=validated,
+            theta=pool.num_rr,
+        )
+
+    def _stare(self, seeds, lambda2, cap, generator, rng):
+        """Sequential validation: sample until ``lambda2`` RR sets are covered.
+
+        Returns the influence estimate ``n * lambda2 / T`` or None when the
+        sampling budget ``cap`` is exhausted first (validation failure).
+        """
+        seed_set = set(seeds)
+        covered = 0
+        drawn = 0
+        while covered < lambda2:
+            if drawn >= cap:
+                return None
+            rr = generator.generate(rng)
+            drawn += 1
+            if any(node in seed_set for node in rr):
+                covered += 1
+        return self.graph.n * covered / drawn

@@ -1,0 +1,30 @@
+"""Concentration bounds and sample-size thresholds for RR-based IM."""
+
+from repro.bounds.combinatorics import log_binomial
+from repro.bounds.concentration import (
+    martingale_lower_tail,
+    martingale_upper_tail,
+    monte_carlo_sample_bound,
+)
+from repro.bounds.opim import influence_lower_bound, influence_upper_bound
+from repro.bounds.thresholds import (
+    imm_lambda_prime,
+    imm_lambda_star,
+    theta_max_im_sentinel,
+    theta_max_opimc,
+    theta_max_sentinel,
+)
+
+__all__ = [
+    "imm_lambda_prime",
+    "imm_lambda_star",
+    "influence_lower_bound",
+    "influence_upper_bound",
+    "log_binomial",
+    "martingale_lower_tail",
+    "martingale_upper_tail",
+    "monte_carlo_sample_bound",
+    "theta_max_im_sentinel",
+    "theta_max_opimc",
+    "theta_max_sentinel",
+]

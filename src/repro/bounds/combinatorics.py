@@ -1,0 +1,22 @@
+"""Combinatorial helpers: numerically stable log-binomials."""
+
+from __future__ import annotations
+
+import math
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of the binomial coefficient C(n, k).
+
+    Computed through ``lgamma`` so that the ``ln C(n, k)`` terms of the
+    paper's sample-size thresholds (Eqs. 3 and 4) stay finite for any
+    realistic ``n``.  ``k`` outside ``[0, n]`` gives ``-inf`` (an impossible
+    event), matching the probabilistic reading.
+    """
+    if k < 0 or k > n:
+        return float("-inf")
+    if k == 0 or k == n:
+        return 0.0
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )

@@ -1,0 +1,91 @@
+"""Worst-case sample-size ceilings for the adaptive IM algorithms.
+
+Every adaptive algorithm in this library doubles its RR-set pool until an
+early-stopping test passes, but caps the pool at a ``theta_max`` that already
+guarantees the approximation unconditionally:
+
+* :func:`theta_max_opimc` — OPIM-C's ceiling (also used by our SUBSIM runner).
+* :func:`theta_max_sentinel` — paper Eq. 3, the sentinel-selection phase.
+* :func:`theta_max_im_sentinel` — paper Eq. 4, the IM-Sentinel phase.
+* :func:`imm_lambda_prime` / :func:`imm_lambda_star` — IMM's two thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.combinatorics import log_binomial
+
+_ONE_MINUS_INV_E = 1.0 - 1.0 / math.e
+
+
+def _check_common(n: int, k: int, eps: float, delta: float) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must lie in [1, n={n}], got {k}")
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must lie in (0, 1), got {delta}")
+
+
+def theta_max_opimc(n: int, k: int, eps: float, delta: float) -> int:
+    """OPIM-C's worst-case RR-set count (OPT lower-bounded by ``k``)."""
+    _check_common(n, k, eps, delta)
+    ln6d = math.log(6.0 / delta)
+    alpha = _ONE_MINUS_INV_E * math.sqrt(ln6d)
+    beta = math.sqrt(_ONE_MINUS_INV_E * (log_binomial(n, k) + ln6d))
+    return int(math.ceil(2.0 * n * (alpha + beta) ** 2 / (eps * eps * k)))
+
+
+def theta_max_sentinel(n: int, k: int, eps1: float, delta1: float) -> int:
+    """Paper Eq. 3: ceiling for the sentinel-set selection phase.
+
+    Derived from Lemma 6 with the worst-case substitutions
+    ``I(S_k^o) -> k``, ``ln C(n, b) -> ln C(n, k)``, ``1 - x^b -> 1``.
+    """
+    _check_common(n, k, eps1, delta1)
+    ln6d = math.log(6.0 / delta1)
+    term = math.sqrt(ln6d) + math.sqrt(log_binomial(n, k) + ln6d)
+    return int(math.ceil(2.0 * n * term * term / (eps1 * eps1 * k)))
+
+
+def theta_max_im_sentinel(
+    n: int, k: int, b: int, eps2: float, delta2: float
+) -> int:
+    """Paper Eq. 4: ceiling for the IM-Sentinel phase given sentinel size ``b``."""
+    _check_common(n, k, eps2, delta2)
+    if not 0 <= b <= k:
+        raise ValueError(f"b must lie in [0, k={k}], got {b}")
+    ln9d = math.log(9.0 / delta2)
+    term = math.sqrt(ln9d) + math.sqrt(
+        _ONE_MINUS_INV_E * (log_binomial(n - b, k - b) + ln9d)
+    )
+    return int(math.ceil(2.0 * n * term * term / (eps2 * eps2 * k)))
+
+
+def imm_lambda_prime(n: int, k: int, eps_prime: float, delta: float) -> float:
+    """IMM's sampling-phase threshold ``lambda'`` ([38], parameterised by delta).
+
+    IMM states the thresholds with failure probability ``n^-l``; we invert
+    ``l = ln(1/delta) / ln(n)`` so callers speak in terms of ``delta``.
+    """
+    _check_common(n, k, eps_prime, delta)
+    log_terms = (
+        log_binomial(n, k)
+        + math.log(1.0 / delta)
+        + math.log(max(math.log2(n), 1.0))
+    )
+    return (2.0 + 2.0 * eps_prime / 3.0) * log_terms * n / (eps_prime * eps_prime)
+
+
+def imm_lambda_star(n: int, k: int, eps: float, delta: float) -> float:
+    """IMM's selection-phase threshold ``lambda*`` ([38])."""
+    _check_common(n, k, eps, delta)
+    log_inv_delta = math.log(1.0 / delta)
+    alpha = math.sqrt(log_inv_delta + math.log(2.0))
+    beta = math.sqrt(
+        _ONE_MINUS_INV_E * (log_binomial(n, k) + log_inv_delta + math.log(2.0))
+    )
+    return 2.0 * n * (_ONE_MINUS_INV_E * alpha + beta) ** 2 / (eps * eps)

@@ -1,0 +1,434 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's workflow:
+
+* ``generate`` — build a synthetic graph (optionally weighted) and save it.
+* ``summarize`` — print Table-2 style statistics of a graph file.
+* ``run`` — run an IM algorithm on a graph file and print the seeds.
+* ``evaluate`` — Monte-Carlo spread of an explicit seed list.
+* ``calibrate`` — find the WC-variant theta / uniform p for a target
+  average RR-set size.
+* ``rr-stats`` — average RR-set size and generation cost per generator.
+* ``experiment`` — regenerate one of the paper's figures/tables.
+
+Every command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.registry import available_algorithms, get_algorithm
+from repro.estimation.montecarlo import estimate_spread
+from repro.experiments import calibration, figures, workloads
+from repro.experiments.reporting import render_table
+from repro.graphs import generators, io, stats, weights
+from repro.graphs.csr import CSRGraph
+from repro.rrsets.fast_vanilla import FastVanillaICGenerator
+from repro.rrsets.lt import LTGenerator
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ReproError
+
+_GENERATOR_CLASSES = {
+    "vanilla": VanillaICGenerator,
+    "subsim": SubsimICGenerator,
+    "fast-vanilla": FastVanillaICGenerator,
+    "lt": LTGenerator,
+}
+
+_FIGURES = {
+    "table2": lambda args: workloads.table2_rows(scale=args.scale, seed=args.seed),
+    "fig1": lambda args: figures.figure1_rows(scale=args.scale, seed=args.seed),
+    "fig2": lambda args: figures.figure2_rows(scale=args.scale, seed=args.seed),
+    "fig3": lambda args: figures.figure3_rows(scale=args.scale, seed=args.seed),
+    "fig4": lambda args: figures.figure4_rows(scale=args.scale, seed=args.seed),
+    "fig5": lambda args: figures.figure5_rows(scale=args.scale, seed=args.seed),
+    "fig6": lambda args: figures.figure6_rows(scale=args.scale, seed=args.seed),
+    "fig7": lambda args: figures.figure7_rows(scale=args.scale, seed=args.seed),
+}
+
+
+def _load(path: str) -> CSRGraph:
+    if path.endswith(".npz"):
+        return io.load_npz(path)
+    return io.load_edge_list(path)
+
+
+def _save(graph: CSRGraph, path: str) -> None:
+    if path.endswith(".npz"):
+        io.save_npz(graph, path)
+    else:
+        io.save_edge_list(graph, path)
+
+
+def _apply_weights(graph: CSRGraph, scheme: str, seed: int) -> CSRGraph:
+    """Apply a weight scheme named like "wc", "wc-variant:2.5", "uniform:0.01"."""
+    name, _, arg = scheme.partition(":")
+    if name == "wc":
+        return weights.wc_weights(graph)
+    if name == "wc-variant":
+        return weights.wc_variant_weights(graph, float(arg))
+    if name == "uniform":
+        return weights.uniform_weights(graph, float(arg))
+    if name == "exponential":
+        return weights.exponential_weights(graph, seed=seed)
+    if name == "weibull":
+        return weights.weibull_weights(graph, seed=seed)
+    if name == "trivalency":
+        return weights.trivalency_weights(graph, seed=seed)
+    if name == "lt":
+        return weights.lt_normalized_weights(graph)
+    raise ReproError(
+        f"unknown weight scheme {scheme!r}; use wc, wc-variant:<theta>, "
+        "uniform:<p>, exponential, weibull, trivalency, or lt"
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+def cmd_generate(args) -> int:
+    if args.model == "pa":
+        graph = generators.preferential_attachment(
+            args.n, max(1, int(args.degree)), seed=args.seed,
+            directed=not args.undirected, reciprocal=args.reciprocal,
+        )
+    elif args.model == "er":
+        graph = generators.erdos_renyi(
+            args.n, args.degree, seed=args.seed, directed=not args.undirected
+        )
+    elif args.model == "ws":
+        graph = generators.watts_strogatz(
+            args.n, max(1, int(args.degree)), args.beta, seed=args.seed
+        )
+    else:  # dataset stand-in
+        graph = workloads.make_dataset(args.model, scale=args.scale, seed=args.seed)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    _save(graph, args.output)
+    print(f"wrote {graph.n} nodes / {graph.m} edges to {args.output}")
+    return 0
+
+
+def cmd_summarize(args) -> int:
+    graph = _load(args.graph)
+    summary = stats.graph_summary(graph)
+    print(render_table([summary.as_row()], title=args.graph))
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = _load(args.graph)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    kwargs = {}
+    if args.max_rr_sets and args.algorithm in ("imm", "tim+", "imm-lt"):
+        kwargs["max_rr_sets"] = args.max_rr_sets
+    algo = get_algorithm(args.algorithm, graph, **kwargs)
+    result = algo.run(args.k, eps=args.eps, seed=args.seed)
+    payload = {
+        "algorithm": result.algorithm,
+        "seeds": result.seeds,
+        "runtime_seconds": round(result.runtime_seconds, 4),
+        "num_rr_sets": result.num_rr_sets,
+        "average_rr_size": round(result.average_rr_size, 2),
+        "certified_ratio": round(result.approx_ratio_certified, 4),
+    }
+    if args.evaluate:
+        spread = estimate_spread(
+            graph, result.seeds,
+            model="lt" if args.algorithm.endswith("-lt") else "ic",
+            num_simulations=args.simulations, seed=args.seed,
+        )
+        payload["expected_spread"] = round(spread.mean, 2)
+    print(json.dumps(payload, indent=2, default=int))
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    graph = _load(args.graph)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    seeds = [int(s) for s in args.seeds.split(",")]
+    spread = estimate_spread(
+        graph, seeds, model=args.model,
+        num_simulations=args.simulations, seed=args.seed,
+    )
+    lo, hi = spread.confidence_interval()
+    print(f"expected spread: {spread.mean:.2f}  (95% CI {lo:.2f} - {hi:.2f})")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from repro.core.certify import certify_result
+    from repro.estimation.attribution import (
+        attribution_table,
+        marginal_contributions,
+    )
+
+    graph = _load(args.graph)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    seeds = [int(s) for s in args.seeds.split(",")]
+    cert = certify_result(
+        graph, seeds, k=args.k, num_rr=args.num_rr,
+        delta=args.delta, seed=args.seed,
+    )
+    print(
+        f"certificate: I(S) >= {cert.ratio:.4f} * OPT_{args.k} "
+        f"(lower {cert.lower_bound:.2f}, upper {cert.upper_bound:.2f}, "
+        f"confidence {1 - cert.delta:g})"
+    )
+    if args.attribution:
+        records = marginal_contributions(
+            graph, seeds, num_simulations=args.simulations, seed=args.seed
+        )
+        print(render_table(attribution_table(records),
+                           title="leave-one-out attribution"))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    graph = _load(args.graph)
+    if args.mode == "wc-variant":
+        value, _, achieved = calibration.calibrate_wc_variant(
+            graph, args.target, seed=args.seed
+        )
+        label = "theta"
+    else:
+        value, _, achieved = calibration.calibrate_uniform_ic(
+            graph, args.target, seed=args.seed
+        )
+        label = "p"
+    print(f"{label} = {value:.6g}  (average RR size {achieved:.1f}, "
+          f"target {args.target})")
+    return 0
+
+
+def cmd_rr_stats(args) -> int:
+    graph = _load(args.graph)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    rows = []
+    for name in args.generators.split(","):
+        try:
+            cls = _GENERATOR_CLASSES[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown generator {name!r}; choose from "
+                f"{sorted(_GENERATOR_CLASSES)}"
+            ) from None
+        generator = cls(graph)
+        rng = np.random.default_rng(args.seed)
+        import time
+
+        start = time.perf_counter()
+        for _ in range(args.count):
+            generator.generate(rng)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "generator": name,
+                "rr_sets": args.count,
+                "runtime_s": round(elapsed, 4),
+                "avg_rr_size": round(generator.counters.average_size(), 2),
+                "edges_examined": generator.counters.edges_examined,
+            }
+        )
+    print(render_table(rows, title="RR generation statistics"))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    rows = _FIGURES[args.name](args)
+    print(render_table(rows, title=f"{args.name} (scale={args.scale})"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.reportgen import generate_report
+
+    text = generate_report(args.results_dir, output_path=args.output)
+    if args.output:
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.experiments.profiles import profile_rr_sizes
+
+    graph = _load(args.graph)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    sentinel = (
+        [int(s) for s in args.sentinels.split(",")] if args.sentinels else None
+    )
+    profile = profile_rr_sizes(
+        graph,
+        num_samples=args.count,
+        sentinel_seeds=sentinel,
+        seed=args.seed,
+    )
+    print(render_table([profile.summary_row()], title="RR-set size profile"))
+    print(profile.histogram_chart())
+    return 0
+
+
+def cmd_stability(args) -> int:
+    from repro.experiments.stability import stability_report
+
+    graph = _load(args.graph)
+    if args.weights:
+        graph = _apply_weights(graph, args.weights, args.seed)
+    report = stability_report(
+        graph,
+        args.algorithm,
+        args.k,
+        eps=args.eps,
+        runs=args.runs,
+        num_simulations=args.simulations,
+        seed=args.seed,
+    )
+    print(render_table([report.summary_row()], title="seed-set stability"))
+    print(f"core seeds (in every run): {sorted(report.core_seeds)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SUBSIM + HIST influence maximization (SIGMOD 2020 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="build a synthetic graph")
+    p.add_argument(
+        "--model",
+        default="pa",
+        choices=["pa", "er", "ws", *workloads.DATASET_NAMES],
+    )
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--degree", type=float, default=4.0)
+    p.add_argument("--beta", type=float, default=0.1, help="WS rewiring prob")
+    p.add_argument("--reciprocal", type=float, default=0.0)
+    p.add_argument("--undirected", action="store_true")
+    p.add_argument("--scale", type=float, default=0.1, help="dataset scale")
+    p.add_argument("--weights", default=None, help="e.g. wc, uniform:0.01")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("summarize", help="print graph statistics")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_summarize)
+
+    p = sub.add_parser("run", help="run an IM algorithm")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", default="hist+subsim",
+                   choices=available_algorithms())
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--eps", type=float, default=0.1)
+    p.add_argument("--weights", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-rr-sets", type=int, default=None)
+    p.add_argument("--evaluate", action="store_true")
+    p.add_argument("--simulations", type=int, default=500)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("evaluate", help="Monte-Carlo spread of given seeds")
+    p.add_argument("graph")
+    p.add_argument("--seeds", required=True, help="comma-separated node ids")
+    p.add_argument("--model", default="ic", choices=["ic", "lt"])
+    p.add_argument("--weights", default=None)
+    p.add_argument("--simulations", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("audit", help="certify a seed set + attribute spread")
+    p.add_argument("graph")
+    p.add_argument("--seeds", required=True, help="comma-separated node ids")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--num-rr", type=int, default=20_000)
+    p.add_argument("--delta", type=float, default=0.01)
+    p.add_argument("--weights", default=None)
+    p.add_argument("--attribution", action="store_true")
+    p.add_argument("--simulations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("calibrate", help="tune theta/p for a target RR size")
+    p.add_argument("graph")
+    p.add_argument("--mode", default="wc-variant",
+                   choices=["wc-variant", "uniform"])
+    p.add_argument("--target", type=float, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("rr-stats", help="RR generation cost per generator")
+    p.add_argument("graph")
+    p.add_argument("--generators", default="vanilla,subsim")
+    p.add_argument("--count", type=int, default=1000)
+    p.add_argument("--weights", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_rr_stats)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p.add_argument("name", choices=sorted(_FIGURES))
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("report", help="aggregate benchmark results")
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("profile", help="RR-set size distribution")
+    p.add_argument("graph")
+    p.add_argument("--count", type=int, default=1000)
+    p.add_argument("--weights", default=None)
+    p.add_argument("--sentinels", default=None,
+                   help="comma-separated ids enabling sentinel stop")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("stability", help="seed-set stability across runs")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", default="subsim",
+                   choices=available_algorithms())
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--eps", type=float, default=0.3)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--simulations", type=int, default=200)
+    p.add_argument("--weights", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_stability)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Result object shared by every influence-maximization algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Set
+
+
+@dataclass
+class IMResult:
+    """Seeds plus the bookkeeping the experiment harness reports on.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the algorithm that produced the result.
+    seeds:
+        Selected seed nodes, in selection order.
+    k, eps, delta:
+        The query parameters (heuristics report ``eps = delta = 0``).
+    runtime_seconds:
+        Wall-clock time of the full run.
+    num_rr_sets:
+        Total RR sets generated across all pools and phases.
+    average_rr_size:
+        Mean node count per generated RR set (0 for non-RR algorithms).
+    edges_examined, rng_draws:
+        Machine-independent cost counters summed over all generators.
+    lower_bound, upper_bound:
+        The final influence bounds of adaptive algorithms (0 / inf
+        otherwise); ``approx_ratio_certified = lower_bound / upper_bound``.
+    phases:
+        Per-phase wall-clock seconds (e.g. HIST's "sentinel" and
+        "im_sentinel").
+    extras:
+        Algorithm-specific details (e.g. HIST's sentinel size ``b``).
+    """
+
+    algorithm: str
+    seeds: List[int]
+    k: int
+    eps: float
+    delta: float
+    runtime_seconds: float
+    num_rr_sets: int = 0
+    average_rr_size: float = 0.0
+    edges_examined: int = 0
+    rng_draws: int = 0
+    lower_bound: float = 0.0
+    upper_bound: float = float("inf")
+    phases: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seed_set(self) -> Set[int]:
+        """The seeds as a set (order-insensitive comparisons)."""
+        return set(self.seeds)
+
+    @property
+    def approx_ratio_certified(self) -> float:
+        """The lower/upper bound ratio the algorithm certified at stop time."""
+        if self.upper_bound in (0.0, float("inf")):
+            return 0.0
+        return self.lower_bound / self.upper_bound
+
+    def summary_row(self) -> Dict[str, Any]:
+        """Flat dictionary for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "runtime_s": round(self.runtime_seconds, 4),
+            "num_rr_sets": self.num_rr_sets,
+            "avg_rr_size": round(self.average_rr_size, 2),
+            "edges_examined": self.edges_examined,
+            "certified_ratio": round(self.approx_ratio_certified, 4),
+        }

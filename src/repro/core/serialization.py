@@ -1,0 +1,79 @@
+"""JSON persistence for :class:`~repro.core.results.IMResult`.
+
+Experiment sweeps produce many results; these helpers round-trip them
+losslessly (up to float text representation) so runs can be archived and
+re-analysed without recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Union
+
+from repro.core.results import IMResult
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def result_to_dict(result: IMResult) -> dict:
+    """Plain-JSON-compatible dictionary of every result field."""
+    def clean(value):
+        if isinstance(value, float) and not math.isfinite(value):
+            return str(value)  # "inf" / "nan" survive JSON round-trips
+        return value
+
+    return {
+        "algorithm": result.algorithm,
+        "seeds": [int(s) for s in result.seeds],
+        "k": result.k,
+        "eps": result.eps,
+        "delta": result.delta,
+        "runtime_seconds": result.runtime_seconds,
+        "num_rr_sets": result.num_rr_sets,
+        "average_rr_size": result.average_rr_size,
+        "edges_examined": result.edges_examined,
+        "rng_draws": result.rng_draws,
+        "lower_bound": clean(result.lower_bound),
+        "upper_bound": clean(result.upper_bound),
+        "phases": dict(result.phases),
+        "extras": {k: clean(v) for k, v in result.extras.items()},
+    }
+
+
+def result_from_dict(payload: dict) -> IMResult:
+    """Inverse of :func:`result_to_dict`."""
+    def revive(value):
+        if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+            return float(value)
+        return value
+
+    return IMResult(
+        algorithm=payload["algorithm"],
+        seeds=list(payload["seeds"]),
+        k=payload["k"],
+        eps=payload["eps"],
+        delta=payload["delta"],
+        runtime_seconds=payload["runtime_seconds"],
+        num_rr_sets=payload.get("num_rr_sets", 0),
+        average_rr_size=payload.get("average_rr_size", 0.0),
+        edges_examined=payload.get("edges_examined", 0),
+        rng_draws=payload.get("rng_draws", 0),
+        lower_bound=revive(payload.get("lower_bound", 0.0)),
+        upper_bound=revive(payload.get("upper_bound", float("inf"))),
+        phases=dict(payload.get("phases", {})),
+        extras={k: revive(v) for k, v in payload.get("extras", {}).items()},
+    )
+
+
+def save_result(result: IMResult, path: PathLike) -> None:
+    """Write one result as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, default=int)
+
+
+def load_result(path: PathLike) -> IMResult:
+    """Load a result previously written by :func:`save_result`."""
+    with open(path) as handle:
+        return result_from_dict(json.load(handle))

@@ -1,0 +1,48 @@
+"""Influence-spread estimation: forward Monte-Carlo and RR-based."""
+
+from repro.estimation.attribution import (
+    SeedContribution,
+    attribution_table,
+    incremental_contributions,
+    marginal_contributions,
+)
+from repro.estimation.montecarlo import (
+    SpreadEstimate,
+    estimate_spread,
+    simulate_ic,
+    simulate_lt,
+)
+from repro.estimation.rr_estimator import rr_influence_estimate
+from repro.estimation.sequential import (
+    SequentialEstimate,
+    estimate_mean_sequential,
+    estimate_spread_sequential,
+)
+from repro.estimation.snapshots import (
+    estimate_spread_snapshots,
+    exact_influence_ic,
+    exact_rr_hit_probability,
+    snapshot_spread,
+)
+from repro.estimation.structural import influence_envelope, reachable_set
+
+__all__ = [
+    "SeedContribution",
+    "SequentialEstimate",
+    "SpreadEstimate",
+    "attribution_table",
+    "estimate_mean_sequential",
+    "estimate_spread",
+    "estimate_spread_sequential",
+    "estimate_spread_snapshots",
+    "exact_influence_ic",
+    "exact_rr_hit_probability",
+    "incremental_contributions",
+    "influence_envelope",
+    "marginal_contributions",
+    "reachable_set",
+    "rr_influence_estimate",
+    "simulate_ic",
+    "simulate_lt",
+    "snapshot_spread",
+]

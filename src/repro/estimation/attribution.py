@@ -1,0 +1,130 @@
+"""Per-seed attribution: which seeds carry the spread?
+
+Marketing budgets get audited seed by seed.  Two standard decompositions:
+
+* :func:`marginal_contributions` — leave-one-out: the spread lost when a
+  single seed is dropped.  Fast, but overlapping seeds can all look
+  dispensable at once.
+* :func:`incremental_contributions` — prefix gains in a given order (e.g.
+  greedy selection order): how much each seed added when it was chosen.
+  Sums exactly to the full spread estimate.
+
+Both use the forward simulator and shared cascades count, so numbers are
+comparable within one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.estimation.montecarlo import estimate_spread
+from repro.graphs.csr import CSRGraph
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class SeedContribution:
+    """Attribution record for one seed."""
+
+    seed: int
+    contribution: float
+    full_spread: float
+
+    @property
+    def share(self) -> float:
+        """Contribution as a fraction of the full spread."""
+        if self.full_spread <= 0:
+            return 0.0
+        return self.contribution / self.full_spread
+
+
+def _validated_seeds(graph: CSRGraph, seeds: Sequence[int]) -> List[int]:
+    seed_list = list(dict.fromkeys(int(s) for s in seeds))
+    if not seed_list:
+        raise ConfigurationError("need at least one seed to attribute")
+    for s in seed_list:
+        if not 0 <= s < graph.n:
+            raise ConfigurationError(f"seed {s} out of range [0, {graph.n})")
+    return seed_list
+
+
+def marginal_contributions(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    model: str = "ic",
+    num_simulations: int = 500,
+    seed: SeedLike = 0,
+) -> List[SeedContribution]:
+    """Leave-one-out spread loss per seed, sorted most-valuable first."""
+    seed_list = _validated_seeds(graph, seeds)
+    full = estimate_spread(
+        graph, seed_list, model=model, num_simulations=num_simulations, seed=seed
+    ).mean
+    records = []
+    for drop in seed_list:
+        rest = [s for s in seed_list if s != drop]
+        reduced = (
+            estimate_spread(
+                graph, rest, model=model,
+                num_simulations=num_simulations, seed=seed,
+            ).mean
+            if rest
+            else 0.0
+        )
+        records.append(
+            SeedContribution(seed=drop, contribution=full - reduced, full_spread=full)
+        )
+    records.sort(key=lambda r: -r.contribution)
+    return records
+
+
+def incremental_contributions(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    model: str = "ic",
+    num_simulations: int = 500,
+    seed: SeedLike = 0,
+) -> List[SeedContribution]:
+    """Prefix gains in the given seed order (selection-order attribution).
+
+    ``sum(contribution) == spread(all seeds)`` by construction (telescoping
+    over the same seeded estimator).
+    """
+    seed_list = _validated_seeds(graph, seeds)
+    full = estimate_spread(
+        graph, seed_list, model=model, num_simulations=num_simulations, seed=seed
+    ).mean
+    records = []
+    previous = 0.0
+    for i in range(1, len(seed_list) + 1):
+        prefix = (
+            estimate_spread(
+                graph, seed_list[:i], model=model,
+                num_simulations=num_simulations, seed=seed,
+            ).mean
+            if i < len(seed_list)
+            else full
+        )
+        records.append(
+            SeedContribution(
+                seed=seed_list[i - 1],
+                contribution=prefix - previous,
+                full_spread=full,
+            )
+        )
+        previous = prefix
+    return records
+
+
+def attribution_table(records: Sequence[SeedContribution]) -> List[Dict[str, object]]:
+    """Dict-rows for :func:`repro.experiments.reporting.render_table`."""
+    return [
+        {
+            "seed": r.seed,
+            "contribution": round(r.contribution, 2),
+            "share": round(r.share, 4),
+        }
+        for r in records
+    ]

@@ -1,0 +1,136 @@
+"""Sequential (optimal) Monte-Carlo estimation — Dagum et al. [16].
+
+The paper's sample-size initialisation (``theta_0 = 3 ln(1/delta)``) comes
+from the *optimal Monte-Carlo estimation* result: to estimate the mean
+``mu`` of a [0, 1] variable within relative error ``eps`` with confidence
+``1 - delta``, roughly ``3 ln(2/delta) / (eps^2 mu)`` samples are necessary
+and sufficient — but ``mu`` is unknown up front.  The stopping-rule
+algorithm solves the chicken-and-egg: keep sampling until the *running
+sum* crosses a threshold that only depends on ``eps`` and ``delta``.
+
+:func:`estimate_mean_sequential` implements that stopping rule for
+arbitrary [0, 1] variables, and :func:`estimate_spread_sequential` applies
+it to influence estimation (cascade size / n), replacing a blind
+``num_simulations`` with an explicit accuracy contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List
+
+import numpy as np
+
+from repro.estimation.montecarlo import simulate_ic, simulate_lt
+from repro.graphs.csr import CSRGraph
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class SequentialEstimate:
+    """Outcome of a stopping-rule estimation run."""
+
+    mean: float
+    num_samples: int
+    eps: float
+    delta: float
+    converged: bool  # False when max_samples cut the run short
+
+
+def estimate_mean_sequential(
+    sample: Callable[[np.random.Generator], float],
+    eps: float,
+    delta: float,
+    rng: np.random.Generator,
+    max_samples: int = 10_000_000,
+) -> SequentialEstimate:
+    """Stopping-rule estimation of ``E[sample()]`` for a [0, 1] variable.
+
+    Draws until the running sum reaches ``upsilon = 1 + (1 + eps) * 4
+    (e - 2) ln(2/delta) / eps^2``, then returns ``upsilon / N``.  With
+    probability at least ``1 - delta`` the result lies within ``(1 +- eps)``
+    of the true mean (Dagum–Karp–Luby–Ross, Theorem 1 simplified).
+
+    ``max_samples`` guards against a (near-)zero mean, where the faithful
+    rule never stops; hitting it is reported via ``converged=False``.
+    """
+    if eps <= 0 or eps >= 1:
+        raise ConfigurationError(f"eps must lie in (0, 1), got {eps}")
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+    if max_samples < 1:
+        raise ConfigurationError("max_samples must be positive")
+
+    upsilon = 1.0 + (1.0 + eps) * 4.0 * (math.e - 2.0) * math.log(
+        2.0 / delta
+    ) / (eps * eps)
+    total = 0.0
+    count = 0
+    while total < upsilon:
+        if count >= max_samples:
+            return SequentialEstimate(
+                mean=total / count if count else 0.0,
+                num_samples=count,
+                eps=eps,
+                delta=delta,
+                converged=False,
+            )
+        value = float(sample(rng))
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(
+                f"sample() must return values in [0, 1], got {value}"
+            )
+        total += value
+        count += 1
+    return SequentialEstimate(
+        mean=upsilon / count,
+        num_samples=count,
+        eps=eps,
+        delta=delta,
+        converged=True,
+    )
+
+
+def estimate_spread_sequential(
+    graph: CSRGraph,
+    seeds: Iterable[int],
+    eps: float = 0.1,
+    delta: float = 0.05,
+    model: str = "ic",
+    seed: SeedLike = None,
+    max_samples: int = 200_000,
+) -> SequentialEstimate:
+    """Influence estimate with an explicit ``(eps, delta)`` contract.
+
+    Simulates cascades until the stopping rule fires on the normalised
+    spread ``I / n``; the returned ``mean`` is scaled back to node units.
+    High-influence seed sets converge in a handful of cascades; near-zero
+    spreads fall back to ``max_samples`` (flagged by ``converged``).
+    """
+    seed_list: List[int] = list(dict.fromkeys(int(s) for s in seeds))
+    for s in seed_list:
+        if not 0 <= s < graph.n:
+            raise ConfigurationError(f"seed {s} out of range [0, {graph.n})")
+    if not seed_list:
+        raise ConfigurationError("cannot estimate the spread of no seeds")
+    if model not in ("ic", "lt"):
+        raise ConfigurationError(f"model must be 'ic' or 'lt', got {model!r}")
+    simulate = simulate_ic if model == "ic" else simulate_lt
+    rng = as_generator(seed)
+
+    result = estimate_mean_sequential(
+        lambda r: simulate(graph, seed_list, r) / graph.n,
+        eps,
+        delta,
+        rng,
+        max_samples=max_samples,
+    )
+    return SequentialEstimate(
+        mean=result.mean * graph.n,
+        num_samples=result.num_samples,
+        eps=eps,
+        delta=delta,
+        converged=result.converged,
+    )

@@ -1,0 +1,48 @@
+"""Structural (probability-free) influence bounds.
+
+Cheap sanity envelopes around any spread estimate:
+
+* upper: ``I(S) <= |forward-reachable(S)|`` — the all-edges-live ceiling;
+* lower: ``I(S) >= |S|`` — seeds activate themselves.
+
+The test suite wraps every estimator in these; experiment code uses the
+ceiling to detect mis-calibrated workloads (a target spread above the
+ceiling is unreachable no matter the probabilities).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.traversal import forward_reachable
+from repro.utils.exceptions import ConfigurationError
+
+
+def reachable_set(graph: CSRGraph, seeds: Iterable[int]) -> Set[int]:
+    """Union of forward-reachable sets — everything any cascade could touch."""
+    seed_list = list(dict.fromkeys(int(s) for s in seeds))
+    if not seed_list:
+        return set()
+    for s in seed_list:
+        if not 0 <= s < graph.n:
+            raise ConfigurationError(f"seed {s} out of range [0, {graph.n})")
+    out: Set[int] = set()
+    for s in seed_list:
+        if s not in out:  # already-absorbed seeds add nothing new
+            out |= forward_reachable(graph, s)
+    return out
+
+
+def influence_envelope(
+    graph: CSRGraph, seeds: Iterable[int]
+) -> Tuple[float, float]:
+    """``(lower, upper)`` bracketing the expected influence of ``seeds``.
+
+    ``lower = |distinct seeds|`` (self-activation), ``upper`` the reachable
+    count.  Any correct estimator's value lies inside, which is how the
+    test suite cross-checks all four of them at once.
+    """
+    seed_list = list(dict.fromkeys(int(s) for s in seeds))
+    upper = float(len(reachable_set(graph, seed_list)))
+    return float(len(seed_list)), upper

@@ -1,0 +1,61 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7)."""
+
+from repro.experiments.calibration import (
+    average_rr_size,
+    calibrate_uniform_ic,
+    calibrate_wc_variant,
+)
+from repro.experiments.guarantees import GuaranteeAudit, audit_guarantee
+from repro.experiments.harness import RunRecord, timed_run
+from repro.experiments.profiles import RRSizeProfile, profile_rr_sizes
+from repro.experiments.reportgen import available_results, generate_report
+from repro.experiments.reporting import format_float, render_table, rows_to_csv
+from repro.experiments.stability import (
+    StabilityReport,
+    pairwise_jaccard,
+    seed_set_jaccard,
+    stability_report,
+)
+from repro.experiments.sweep import SweepConfig, run_sweep, summarize_sweep
+from repro.experiments.theory_checks import (
+    check_lemma3,
+    check_lemma4_wc,
+    theory_check_rows,
+)
+from repro.experiments.workloads import (
+    DATASET_NAMES,
+    dataset_spec,
+    make_dataset,
+    table2_rows,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "GuaranteeAudit",
+    "RRSizeProfile",
+    "RunRecord",
+    "StabilityReport",
+    "SweepConfig",
+    "audit_guarantee",
+    "available_results",
+    "average_rr_size",
+    "generate_report",
+    "calibrate_uniform_ic",
+    "calibrate_wc_variant",
+    "check_lemma3",
+    "check_lemma4_wc",
+    "theory_check_rows",
+    "dataset_spec",
+    "format_float",
+    "make_dataset",
+    "pairwise_jaccard",
+    "profile_rr_sizes",
+    "render_table",
+    "rows_to_csv",
+    "seed_set_jaccard",
+    "stability_report",
+    "run_sweep",
+    "summarize_sweep",
+    "table2_rows",
+    "timed_run",
+]

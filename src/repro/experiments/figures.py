@@ -1,0 +1,288 @@
+"""Per-figure experiment functions (paper Section 7, Figures 1-7).
+
+Each function regenerates the data series behind one figure on the scaled
+stand-in datasets, returning a list of dict-rows that
+:func:`repro.experiments.reporting.render_table` prints in the same
+who-wins-where layout the paper plots.  Absolute numbers differ from the
+paper's C++/200GB testbed — the reproduction target is the *shape*:
+
+* Figure 1 — SUBSIM fastest under WC; IMM slowest by orders of magnitude.
+* Figure 2 — SUBSIM beats vanilla RR generation on skewed (exponential /
+  Weibull) weights by roughly the average degree.
+* Figure 3 — HIST needs far fewer RR sets in its sentinel phase than
+  OPIM-C overall (3a) and its average RR set is orders of magnitude
+  smaller (3b).
+* Figures 4/5 — HIST's advantage grows with k; influence still rises.
+* Figures 6/7 — the larger the average RR size (theta / p ladder), the
+  bigger HIST's win over OPIM-C.
+
+Every function takes ``scale`` (dataset size multiplier) and ``seed`` so
+benchmarks can dial cost; defaults are sized for laptop runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.calibration import calibrate_uniform_ic, calibrate_wc_variant
+from repro.experiments.harness import timed_run
+from repro.experiments.workloads import DATASET_NAMES, make_dataset
+from repro.graphs.csr import CSRGraph
+from repro.graphs.weights import exponential_weights, wc_weights, weibull_weights
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.rng import as_generator
+
+_DEFAULT_DATASETS = DATASET_NAMES
+
+
+def _graphs(
+    datasets: Optional[Sequence[str]], scale: float, seed: int
+) -> Dict[str, CSRGraph]:
+    names = datasets if datasets is not None else _DEFAULT_DATASETS
+    return {name: make_dataset(name, scale=scale, seed=seed) for name in names}
+
+
+# ----------------------------------------------------------------------
+# Figure 1: running time under the WC model.
+# ----------------------------------------------------------------------
+
+def figure1_rows(
+    datasets: Optional[Sequence[str]] = None,
+    k: int = 50,
+    eps: float = 0.5,
+    scale: float = 0.05,
+    seed: int = 0,
+    algorithms: Sequence[str] = ("imm", "ssa", "opim-c", "subsim"),
+    max_rr_sets: int = 200_000,
+) -> List[dict]:
+    """IM running time under WC: SUBSIM vs IMM / SSA / OPIM-C.
+
+    ``max_rr_sets`` caps IMM/TIM+'s faithful-but-huge schedules (reported in
+    the ``capped`` column when hit).
+    """
+    rows = []
+    for name, base in _graphs(datasets, scale, seed).items():
+        graph = wc_weights(base)
+        for algorithm in algorithms:
+            kwargs = (
+                {"max_rr_sets": max_rr_sets}
+                if algorithm in ("imm", "tim+")
+                else {}
+            )
+            record = timed_run(
+                graph, name, algorithm, k, eps, seed, setting="wc", **kwargs
+            )
+            row = record.as_row()
+            row["capped"] = record.result.extras.get("capped", False)
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 2: RR-generation cost under skewed weight distributions.
+# ----------------------------------------------------------------------
+
+def figure2_rows(
+    datasets: Optional[Sequence[str]] = None,
+    num_rr: int = 2000,
+    distributions: Sequence[str] = ("exponential", "weibull"),
+    scale: float = 0.05,
+    seed: int = 0,
+) -> List[dict]:
+    """Vanilla vs SUBSIM generation cost for a fixed number of RR sets."""
+    weighters = {"exponential": exponential_weights, "weibull": weibull_weights}
+    rows = []
+    for name, base in _graphs(datasets, scale, seed).items():
+        for dist in distributions:
+            graph = weighters[dist](base, seed=seed)
+            for gen_cls in (VanillaICGenerator, SubsimICGenerator):
+                generator = gen_cls(graph)
+                rng = as_generator(seed)
+                start = time.perf_counter()
+                for _ in range(num_rr):
+                    generator.generate(rng)
+                elapsed = time.perf_counter() - start
+                rows.append(
+                    {
+                        "dataset": name,
+                        "distribution": dist,
+                        "generator": generator.name,
+                        "num_rr": num_rr,
+                        "runtime_s": round(elapsed, 4),
+                        "edges_examined": generator.counters.edges_examined,
+                        "avg_rr_size": round(generator.counters.average_size(), 2),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 3-6: WC-variant high-influence ladder.
+# ----------------------------------------------------------------------
+
+def _calibrated_wc_variant(
+    base: CSRGraph, target_size: float, seed: int
+) -> CSRGraph:
+    _, graph, _ = calibrate_wc_variant(
+        base, target_size, num_samples=120, seed=seed
+    )
+    return graph
+
+
+def figure3_rows(
+    datasets: Optional[Sequence[str]] = None,
+    k: int = 100,
+    eps: float = 0.3,
+    scale: float = 0.05,
+    seed: int = 0,
+    target_size_fraction: float = 0.2,
+) -> List[dict]:
+    """RR-set statistics: HIST's sentinel phase vs OPIM-C (Figures 3a/3b).
+
+    ``target_size_fraction`` positions the WC-variant theta so the average
+    RR size is that fraction of n — the paper's theta_4K regime scaled down.
+    """
+    rows = []
+    for name, base in _graphs(datasets, scale, seed).items():
+        graph = _calibrated_wc_variant(base, target_size_fraction * base.n, seed)
+        opim = timed_run(graph, name, "opim-c", k, eps, seed, setting="theta_hi")
+        hist = timed_run(graph, name, "hist", k, eps, seed, setting="theta_hi")
+        rows.append(
+            {
+                "dataset": name,
+                "k": k,
+                "opimc_rr_sets": opim.result.num_rr_sets,
+                "hist_sentinel_rr_sets": hist.result.extras["sentinel_rr_sets"],
+                "opimc_avg_rr_size": round(opim.result.average_rr_size, 1),
+                "hist_avg_rr_size": round(hist.result.average_rr_size, 1),
+                "rr_set_reduction": round(
+                    opim.result.num_rr_sets
+                    / max(hist.result.extras["sentinel_rr_sets"], 1),
+                    2,
+                ),
+                "size_reduction": round(
+                    opim.result.average_rr_size
+                    / max(hist.result.average_rr_size, 1e-9),
+                    2,
+                ),
+            }
+        )
+    return rows
+
+
+def figure4_rows(
+    dataset: str = "pokec-like",
+    k_values: Sequence[int] = (1, 5, 10, 25, 50, 100),
+    eps: float = 0.3,
+    scale: float = 0.05,
+    seed: int = 0,
+    target_size_fraction: float = 0.2,
+    algorithms: Sequence[str] = ("opim-c", "hist", "hist+subsim"),
+) -> List[dict]:
+    """Running time vs k under the WC-variant high-influence setting."""
+    base = make_dataset(dataset, scale=scale, seed=seed)
+    graph = _calibrated_wc_variant(base, target_size_fraction * base.n, seed)
+    rows = []
+    for k in k_values:
+        for algorithm in algorithms:
+            record = timed_run(
+                graph, dataset, algorithm, k, eps, seed, setting="theta_hi"
+            )
+            rows.append(record.as_row())
+    return rows
+
+
+def figure5_rows(
+    dataset: str = "pokec-like",
+    k_values: Sequence[int] = (1, 5, 10, 25, 50, 100),
+    eps: float = 0.3,
+    scale: float = 0.05,
+    seed: int = 0,
+    target_size_fraction: float = 0.2,
+    algorithm: str = "hist+subsim",
+    num_simulations: int = 200,
+) -> List[dict]:
+    """Expected influence of the selected seeds as k grows."""
+    base = make_dataset(dataset, scale=scale, seed=seed)
+    graph = _calibrated_wc_variant(base, target_size_fraction * base.n, seed)
+    rows = []
+    for k in k_values:
+        record = timed_run(
+            graph,
+            dataset,
+            algorithm,
+            k,
+            eps,
+            seed,
+            setting="theta_hi",
+            evaluate_spread=True,
+            num_simulations=num_simulations,
+        )
+        row = record.as_row()
+        row["spread_fraction_of_n"] = round(record.spread / graph.n, 4)
+        rows.append(row)
+    return rows
+
+
+def figure6_rows(
+    dataset: str = "pokec-like",
+    k: int = 50,
+    eps: float = 0.3,
+    scale: float = 0.05,
+    seed: int = 0,
+    size_fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.35),
+    algorithms: Sequence[str] = ("opim-c", "hist", "hist+subsim"),
+) -> List[dict]:
+    """Running time across the WC-variant average-RR-size ladder."""
+    base = make_dataset(dataset, scale=scale, seed=seed)
+    rows = []
+    for fraction in size_fractions:
+        target = fraction * base.n
+        graph = _calibrated_wc_variant(base, target, seed)
+        for algorithm in algorithms:
+            record = timed_run(
+                graph,
+                dataset,
+                algorithm,
+                k,
+                eps,
+                seed,
+                setting=f"size~{int(target)}",
+            )
+            row = record.as_row()
+            row["target_avg_rr_size"] = int(target)
+            rows.append(row)
+    return rows
+
+
+def figure7_rows(
+    dataset: str = "pokec-like",
+    k: int = 50,
+    eps: float = 0.3,
+    scale: float = 0.05,
+    seed: int = 0,
+    size_fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.35),
+    algorithms: Sequence[str] = ("opim-c", "hist", "hist+subsim"),
+) -> List[dict]:
+    """Running time across the uniform-IC average-RR-size ladder."""
+    base = make_dataset(dataset, scale=scale, seed=seed)
+    rows = []
+    for fraction in size_fractions:
+        target = fraction * base.n
+        p, graph, _ = calibrate_uniform_ic(base, target, num_samples=120, seed=seed)
+        for algorithm in algorithms:
+            record = timed_run(
+                graph,
+                dataset,
+                algorithm,
+                k,
+                eps,
+                seed,
+                setting=f"p={p:.4g}",
+            )
+            row = record.as_row()
+            row["target_avg_rr_size"] = int(target)
+            rows.append(row)
+    return rows

@@ -1,0 +1,73 @@
+"""Shared runner utilities for the per-figure experiment functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.core.registry import get_algorithm
+from repro.core.results import IMResult
+from repro.estimation.montecarlo import estimate_spread
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class RunRecord:
+    """One (dataset, algorithm, setting) measurement."""
+
+    dataset: str
+    algorithm: str
+    k: int
+    setting: str
+    result: IMResult
+    spread: Optional[float] = None
+
+    def as_row(self) -> Dict[str, Any]:
+        row = {
+            "dataset": self.dataset,
+            "setting": self.setting,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "runtime_s": round(self.result.runtime_seconds, 4),
+            "num_rr_sets": self.result.num_rr_sets,
+            "avg_rr_size": round(self.result.average_rr_size, 2),
+            "edges_examined": self.result.edges_examined,
+        }
+        if self.spread is not None:
+            row["spread"] = round(self.spread, 1)
+        return row
+
+
+def timed_run(
+    graph: CSRGraph,
+    dataset: str,
+    algorithm: str,
+    k: int,
+    eps: float,
+    seed: SeedLike,
+    setting: str = "",
+    evaluate_spread: bool = False,
+    num_simulations: int = 300,
+    **algorithm_kwargs,
+) -> RunRecord:
+    """Run one algorithm and wrap the outcome as a :class:`RunRecord`.
+
+    ``IMResult.runtime_seconds`` is measured inside ``run`` itself, so the
+    record's timing excludes graph construction and spread evaluation.
+    """
+    algo = get_algorithm(algorithm, graph, **algorithm_kwargs)
+    result = algo.run(k, eps=eps, seed=seed)
+    spread = None
+    if evaluate_spread:
+        spread = estimate_spread(
+            graph, result.seeds, num_simulations=num_simulations, seed=seed
+        ).mean
+    return RunRecord(
+        dataset=dataset,
+        algorithm=algorithm,
+        k=k,
+        setting=setting,
+        result=result,
+        spread=spread,
+    )

@@ -1,0 +1,148 @@
+"""Dependency-free ASCII charts for the experiment harness.
+
+The benchmarks print tables; sometimes a quick visual of a runtime curve
+or a ladder makes the shape obvious in a terminal or CI log.  Two chart
+types cover the repo's needs: grouped horizontal bars (one figure rung per
+row) and a multi-series line chart over a shared x axis.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+_BLOCK = "#"
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:.3g}"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 50,
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart of non-negative label -> value pairs.
+
+    ``log_scale`` maps bar lengths logarithmically — the right choice for
+    the order-of-magnitude runtime gaps these experiments produce.
+    """
+    if not values:
+        return "(no data)\n"
+    if min(values.values()) < 0:
+        raise ValueError("bar_chart needs non-negative values")
+    out = io.StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    label_width = max(len(str(k)) for k in values)
+    positives = [v for v in values.values() if v > 0]
+    if log_scale and positives:
+        low = min(positives)
+        high = max(positives)
+        span = math.log10(high / low) if high > low else 1.0
+
+        def length(v: float) -> int:
+            if v <= 0:
+                return 0
+            return 1 + int((width - 1) * math.log10(v / low) / span)
+    else:
+        high = max(values.values()) or 1.0
+
+        def length(v: float) -> int:
+            return int(round(width * v / high))
+
+    for label, value in values.items():
+        bar = _BLOCK * length(value)
+        out.write(f"{str(label).ljust(label_width)} | {bar} {_fmt(value)}\n")
+    return out.getvalue()
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    title: Optional[str] = None,
+    height: int = 12,
+    log_scale: bool = False,
+) -> str:
+    """Multi-series ASCII line chart over a shared categorical x axis.
+
+    Each series gets a distinct marker; y positions are binned into
+    ``height`` rows (optionally in log space).  Values must be positive
+    when ``log_scale`` is on.
+    """
+    if not series:
+        return "(no data)\n"
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must match x_labels in length")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+
+    markers = "ox+*#@%&"
+    flat = [v for vs in series.values() for v in vs]
+    if log_scale:
+        if min(flat) <= 0:
+            raise ValueError("log_scale needs strictly positive values")
+        transform = math.log10
+    else:
+        def transform(v):
+            return v
+    lo = min(transform(v) for v in flat)
+    hi = max(transform(v) for v in flat)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * len(x_labels) for _ in range(height)]
+    for (name, values), marker in zip(series.items(), markers):
+        for col, value in enumerate(values):
+            row = int((transform(value) - lo) / span * (height - 1))
+            row = height - 1 - row  # row 0 is the top
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            else:
+                grid[row][col] = "*"  # collision
+
+    out = io.StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    y_top = _fmt(10 ** hi if log_scale else hi)
+    y_bot = _fmt(10 ** lo if log_scale else lo)
+    pad = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        out.write(f"{label.rjust(pad)} | " + "  ".join(row) + "\n")
+    out.write(" " * pad + " +-" + "-" * (3 * len(x_labels) - 1) + "\n")
+    out.write(
+        " " * pad + "   " + " ".join(str(x)[:2].ljust(2) for x in x_labels) + "\n"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    out.write(f"{' ' * pad}   [{legend}]\n")
+    return out.getvalue()
+
+
+def runtime_ladder_chart(
+    rows: Sequence[Dict[str, object]],
+    x_key: str,
+    series_key: str = "algorithm",
+    y_key: str = "runtime_s",
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style rows (as produced by the harness) as a line chart."""
+    x_values = sorted({r[x_key] for r in rows})
+    series: Dict[str, list] = {}
+    for r in rows:
+        series.setdefault(str(r[series_key]), [None] * len(x_values))
+    for r in rows:
+        series[str(r[series_key])][x_values.index(r[x_key])] = float(r[y_key])
+    for name, values in series.items():
+        if any(v is None for v in values):
+            raise ValueError(f"series {name!r} is missing points")
+    return line_chart(series, x_values, title=title, log_scale=True)

@@ -1,0 +1,100 @@
+"""Aggregate benchmark outputs into a single reproduction report.
+
+``pytest benchmarks/ --benchmark-only`` leaves one rendered table per
+experiment under ``benchmarks/results/``; :func:`generate_report` stitches
+them into a single Markdown document ordered like the paper's evaluation,
+ready to diff against EXPERIMENTS.md or attach to an issue.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.utils.exceptions import ConfigurationError
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: canonical presentation order: paper artifacts first, then extensions
+_SECTIONS: Sequence[Tuple[str, str]] = (
+    ("table2_datasets", "Table 2 — datasets"),
+    ("fig1_wc_running_time", "Figure 1 — WC running time"),
+    ("fig2_skewed_rr_cost", "Figure 2 — skewed RR generation cost"),
+    ("fig3_rr_statistics", "Figure 3 — RR statistics (HIST vs OPIM-C)"),
+    ("fig4_hist_vary_k", "Figure 4 — runtime vs k"),
+    ("fig5_expected_influence", "Figure 5 — expected influence vs k"),
+    ("fig6_wc_variant_ladder", "Figure 6 — WC-variant ladder"),
+    ("fig7_uniform_ladder", "Figure 7 — uniform-IC ladder"),
+    ("full_field_wc", "Extension — full field"),
+    ("ext_seed_quality", "Extension — seed quality"),
+    ("ext_lt_model", "Extension — LT model"),
+    ("ext_vectorised_generator", "Extension — generator engineering"),
+    ("guarantee_audit", "Extension — guarantee audit"),
+    ("ablation_hist_variants", "Ablation — HIST variants"),
+    ("ablation_general_ic_samplers", "Ablation — general-IC samplers"),
+    ("ablation_upper_bound_tracking", "Ablation — Eq. 2 tracking"),
+)
+
+
+def available_results(results_dir: PathLike) -> List[str]:
+    """Names (stem) of result tables present in ``results_dir``."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(p.stem for p in directory.glob("*.txt"))
+
+
+def generate_report(
+    results_dir: PathLike,
+    output_path: Optional[PathLike] = None,
+    title: str = "Reproduction report",
+) -> str:
+    """Compose all present result tables into one Markdown document.
+
+    Returns the document text; writes it to ``output_path`` when given.
+    Missing sections are listed at the end so a partial benchmark run is
+    visible rather than silently incomplete.
+    """
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise ConfigurationError(f"no results directory at {directory}")
+    present = set(available_results(directory))
+    if not present:
+        raise ConfigurationError(
+            f"{directory} holds no result tables; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+
+    lines = [f"# {title}", ""]
+    lines.append(
+        f"Generated {datetime.datetime.now():%Y-%m-%d %H:%M} from "
+        f"`{directory}`.  Shape discussion: see EXPERIMENTS.md."
+    )
+    lines.append("")
+
+    ordered = [name for name, _ in _SECTIONS if name in present]
+    extras = sorted(present - {name for name, _ in _SECTIONS})
+    titles = dict(_SECTIONS)
+
+    for name in ordered + extras:
+        lines.append(f"## {titles.get(name, name)}")
+        lines.append("")
+        lines.append("```")
+        lines.append((directory / f"{name}.txt").read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+
+    missing = [t for n, t in _SECTIONS if n not in present]
+    if missing:
+        lines.append("## Missing sections")
+        lines.append("")
+        for item in missing:
+            lines.append(f"- {item}")
+        lines.append("")
+
+    text = "\n".join(lines)
+    if output_path is not None:
+        Path(output_path).write_text(text)
+    return text

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+import math
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Compact float formatting: trims trailing zeros, keeps magnitude."""
+    if not math.isfinite(value):
+        return str(value)  # "inf", "-inf", "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    title: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    ``columns`` fixes the column order; by default the first row's key order
+    is used (dicts preserve insertion order).
+    """
+    out = io.StringIO()
+    if title:
+        out.write(f"== {title} ==\n")
+    if not rows:
+        out.write("(no rows)\n")
+        return out.getvalue()
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(_cell(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in rows:
+        out.write(
+            "  ".join(_cell(row.get(c, "")).ljust(widths[c]) for c in columns) + "\n"
+        )
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Iterable[Mapping[str, object]], path: str) -> None:
+    """Persist dict-rows as CSV (column order from the first row)."""
+    rows = list(rows)
+    if not rows:
+        with open(path, "w") as handle:
+            handle.write("")
+        return
+    columns: List[str] = list(rows[0].keys())
+    with open(path, "w") as handle:
+        handle.write(",".join(columns) + "\n")
+        for row in rows:
+            handle.write(",".join(_cell(row.get(c, "")) for c in columns) + "\n")

@@ -1,0 +1,120 @@
+"""Seed-set stability analysis.
+
+Randomised algorithms return different seed sets run to run; what should
+be stable is their *quality*, while membership can legitimately churn
+among near-equivalent nodes.  These tools quantify both:
+
+* :func:`seed_set_jaccard` / :func:`pairwise_jaccard` — membership overlap;
+* :func:`stability_report` — run an algorithm several times and report
+  overlap statistics alongside the spread band, separating "unstable
+  seeds" (fine) from "unstable quality" (a bug or an eps too large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.core.registry import get_algorithm
+from repro.estimation.montecarlo import estimate_spread
+from repro.graphs.csr import CSRGraph
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import spawn_generators
+
+
+def seed_set_jaccard(a: Iterable[int], b: Iterable[int]) -> float:
+    """Jaccard similarity |A ∩ B| / |A ∪ B| of two seed sets."""
+    sa, sb = set(a), set(b)
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def pairwise_jaccard(seed_sets: Sequence[Iterable[int]]) -> List[float]:
+    """Jaccard similarity of every unordered pair of seed sets."""
+    sets = [set(s) for s in seed_sets]
+    out = []
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            out.append(seed_set_jaccard(sets[i], sets[j]))
+    return out
+
+
+@dataclass
+class StabilityReport:
+    """Membership and quality stability over repeated runs."""
+
+    algorithm: str
+    k: int
+    seed_sets: List[Set[int]]
+    spreads: List[float]
+
+    @property
+    def runs(self) -> int:
+        return len(self.seed_sets)
+
+    @property
+    def mean_jaccard(self) -> float:
+        values = pairwise_jaccard(self.seed_sets)
+        return sum(values) / len(values) if values else 1.0
+
+    @property
+    def core_seeds(self) -> Set[int]:
+        """Seeds present in every run — the consensus backbone."""
+        if not self.seed_sets:
+            return set()
+        core = set(self.seed_sets[0])
+        for s in self.seed_sets[1:]:
+            core &= s
+        return core
+
+    @property
+    def spread_band(self) -> float:
+        """Relative quality spread: (max - min) / max."""
+        if not self.spreads or max(self.spreads) == 0:
+            return 0.0
+        return (max(self.spreads) - min(self.spreads)) / max(self.spreads)
+
+    def summary_row(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "runs": self.runs,
+            "mean_jaccard": round(self.mean_jaccard, 3),
+            "core_seeds": len(self.core_seeds),
+            "min_spread": round(min(self.spreads), 1) if self.spreads else 0,
+            "max_spread": round(max(self.spreads), 1) if self.spreads else 0,
+            "spread_band": round(self.spread_band, 4),
+        }
+
+
+def stability_report(
+    graph: CSRGraph,
+    algorithm: str,
+    k: int,
+    eps: float = 0.3,
+    runs: int = 5,
+    num_simulations: int = 200,
+    seed: int = 0,
+    **algorithm_kwargs,
+) -> StabilityReport:
+    """Run ``algorithm`` ``runs`` times with independent randomness."""
+    if runs < 2:
+        raise ConfigurationError("stability needs at least 2 runs")
+    streams = spawn_generators(seed, runs)
+    seed_sets: List[Set[int]] = []
+    spreads: List[float] = []
+    for stream in streams:
+        algo = get_algorithm(algorithm, graph, **algorithm_kwargs)
+        result = algo.run(k, eps=eps, seed=stream)
+        seed_sets.append(set(result.seeds))
+        spreads.append(
+            estimate_spread(
+                graph, result.seeds,
+                num_simulations=num_simulations, seed=seed,
+            ).mean
+        )
+    return StabilityReport(
+        algorithm=algorithm, k=k, seed_sets=seed_sets, spreads=spreads
+    )

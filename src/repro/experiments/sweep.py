@@ -1,0 +1,114 @@
+"""Generic parameter-sweep runner.
+
+Benchmarks cover the paper's figures; research use needs free-form grids
+("every algorithm x every k x three seeds on these two datasets").
+:func:`run_sweep` executes the Cartesian product of a :class:`SweepConfig`,
+returns flat records, and optionally persists them as CSV for external
+analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import RunRecord, timed_run
+from repro.experiments.reporting import rows_to_csv
+from repro.graphs.csr import CSRGraph
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass
+class SweepConfig:
+    """Grid specification for :func:`run_sweep`.
+
+    ``graphs`` maps dataset labels to already-weighted graphs;
+    ``algorithm_kwargs`` supplies per-algorithm constructor arguments
+    (e.g. ``{"imm": {"max_rr_sets": 50_000}}``).
+    """
+
+    graphs: Dict[str, CSRGraph]
+    algorithms: Sequence[str]
+    k_values: Sequence[int]
+    eps: float = 0.3
+    seeds: Sequence[int] = (0,)
+    evaluate_spread: bool = False
+    num_simulations: int = 200
+    algorithm_kwargs: Dict[str, dict] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.graphs:
+            raise ConfigurationError("sweep needs at least one graph")
+        if not self.algorithms:
+            raise ConfigurationError("sweep needs at least one algorithm")
+        if not self.k_values or min(self.k_values) < 1:
+            raise ConfigurationError("k_values must be positive")
+        if not self.seeds:
+            raise ConfigurationError("sweep needs at least one seed")
+
+    def size(self) -> int:
+        """Number of runs the sweep will execute."""
+        return (
+            len(self.graphs)
+            * len(self.algorithms)
+            * len(self.k_values)
+            * len(self.seeds)
+        )
+
+
+def run_sweep(
+    config: SweepConfig, csv_path: Optional[str] = None
+) -> List[RunRecord]:
+    """Execute the full grid; optionally write flat rows to ``csv_path``.
+
+    Runs are ordered dataset-major, then algorithm, k, seed — so partial
+    output (the returned list grows in this order) is easy to reason about
+    when interrupted.
+    """
+    config.validate()
+    records: List[RunRecord] = []
+    for (label, graph), algorithm, k, seed in itertools.product(
+        config.graphs.items(), config.algorithms, config.k_values, config.seeds
+    ):
+        kwargs = config.algorithm_kwargs.get(algorithm, {})
+        record = timed_run(
+            graph,
+            label,
+            algorithm,
+            k,
+            config.eps,
+            seed,
+            setting=f"seed={seed}",
+            evaluate_spread=config.evaluate_spread,
+            num_simulations=config.num_simulations,
+            **kwargs,
+        )
+        records.append(record)
+    if csv_path is not None:
+        rows_to_csv([r.as_row() for r in records], csv_path)
+    return records
+
+
+def summarize_sweep(records: Sequence[RunRecord]) -> List[dict]:
+    """Aggregate repeated seeds: mean runtime / spread per configuration."""
+    grouped: Dict[tuple, List[RunRecord]] = {}
+    for record in records:
+        key = (record.dataset, record.algorithm, record.k)
+        grouped.setdefault(key, []).append(record)
+    rows = []
+    for (dataset, algorithm, k), group in grouped.items():
+        runtimes = [r.result.runtime_seconds for r in group]
+        row = {
+            "dataset": dataset,
+            "algorithm": algorithm,
+            "k": k,
+            "runs": len(group),
+            "mean_runtime_s": round(sum(runtimes) / len(runtimes), 4),
+            "max_runtime_s": round(max(runtimes), 4),
+        }
+        spreads = [r.spread for r in group if r.spread is not None]
+        if spreads:
+            row["mean_spread"] = round(sum(spreads) / len(spreads), 1)
+        rows.append(row)
+    return rows

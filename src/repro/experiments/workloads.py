@@ -1,0 +1,105 @@
+"""Scaled stand-ins for the paper's four benchmark datasets (Table 2).
+
+The originals (Pokec 30.6M edges, Orkut 117M, Twitter 1.5B, Friendster
+1.8B) are far beyond an interpreted traversal, so each dataset is replaced
+by a preferential-attachment graph that preserves the properties the
+paper's effects hinge on — directedness, heavy-tailed in-degree, and the
+relative average-degree ordering — at ``scale * base_n`` nodes.  See
+DESIGN.md ("Substitutions") for the rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.stats import graph_summary
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic stand-in dataset."""
+
+    name: str
+    stand_in_for: str
+    directed: bool
+    base_n: int
+    edges_per_node: int
+    reciprocal: float
+    paper_n: str
+    paper_m: str
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("pokec-like", "Pokec", True, 20_000, 8, 0.4, "1.6M", "30.6M"),
+        DatasetSpec("orkut-like", "Orkut", False, 15_000, 9, 0.0, "3.1M", "117.2M"),
+        DatasetSpec(
+            "twitter-like", "Twitter", True, 30_000, 7, 0.25, "41.7M", "1.5B"
+        ),
+        DatasetSpec(
+            "friendster-like", "Friendster", False, 25_000, 7, 0.0, "65.6M", "1.8B"
+        ),
+    )
+}
+
+DATASET_NAMES = tuple(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset recipe by name."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {sorted(_SPECS)}"
+        ) from None
+
+
+def make_dataset(name: str, scale: float = 1.0, seed: int = 0) -> CSRGraph:
+    """Build the named stand-in at the given scale (unweighted edges).
+
+    ``scale`` multiplies the node count; apply a weighting scheme from
+    :mod:`repro.graphs.weights` before running algorithms.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    spec = dataset_spec(name)
+    n = max(int(spec.base_n * scale), spec.edges_per_node + 1)
+    return preferential_attachment(
+        n,
+        spec.edges_per_node,
+        seed=seed,
+        directed=spec.directed,
+        reciprocal=spec.reciprocal,
+    )
+
+
+def table2_rows(scale: float = 1.0, seed: int = 0) -> List[dict]:
+    """Regenerate the paper's Table 2 for the stand-in datasets.
+
+    Each row carries the paper's original sizes alongside the stand-in's,
+    making the substitution explicit in the rendered table.
+    """
+    rows = []
+    for name in DATASET_NAMES:
+        spec = dataset_spec(name)
+        graph = make_dataset(name, scale=scale, seed=seed)
+        summary = graph_summary(graph)
+        rows.append(
+            {
+                "dataset": name,
+                "stand_in_for": spec.stand_in_for,
+                "type": "directed" if spec.directed else "undirected",
+                "n": summary.n,
+                "m": summary.m,
+                "avg_degree": round(summary.avg_degree, 1),
+                "paper_n": spec.paper_n,
+                "paper_m": spec.paper_m,
+            }
+        )
+    return rows

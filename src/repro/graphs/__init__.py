@@ -1,0 +1,83 @@
+"""Graph substrate: CSR digraphs, builders, generators, weights, and I/O."""
+
+from repro.graphs.csr import CSRGraph, build_graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.stats import (
+    GraphSummary,
+    degree_histogram,
+    effective_influence_ceiling,
+    graph_summary,
+    power_law_exponent,
+    reciprocity,
+)
+from repro.graphs.subgraph import (
+    Subgraph,
+    induced_subgraph,
+    largest_scc_subgraph,
+)
+from repro.graphs.traversal import (
+    forward_reachable,
+    is_dag,
+    largest_scc_size,
+    reverse_reachable,
+    strongly_connected_components,
+)
+from repro.graphs.weights import (
+    exponential_weights,
+    lt_normalized_weights,
+    reweight,
+    trivalency_weights,
+    uniform_weights,
+    wc_variant_weights,
+    wc_weights,
+    weibull_weights,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphSummary",
+    "build_graph",
+    "complete_graph",
+    "cycle_graph",
+    "degree_histogram",
+    "erdos_renyi",
+    "exponential_weights",
+    "forward_reachable",
+    "graph_summary",
+    "is_dag",
+    "largest_scc_size",
+    "reverse_reachable",
+    "strongly_connected_components",
+    "Subgraph",
+    "effective_influence_ceiling",
+    "induced_subgraph",
+    "largest_scc_subgraph",
+    "load_edge_list",
+    "load_npz",
+    "lt_normalized_weights",
+    "path_graph",
+    "power_law_exponent",
+    "reciprocity",
+    "preferential_attachment",
+    "reweight",
+    "save_edge_list",
+    "save_npz",
+    "star_graph",
+    "stochastic_block_model",
+    "trivalency_weights",
+    "uniform_weights",
+    "watts_strogatz",
+    "wc_variant_weights",
+    "wc_weights",
+    "weibull_weights",
+]

@@ -1,0 +1,102 @@
+"""Graph persistence: plain edge lists and compressed NumPy archives.
+
+The text format is one edge per line — ``src dst [prob]`` — with ``#``
+comments, matching SNAP/KONECT-style downloads so real datasets can be
+plugged in when available.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, build_graph
+from repro.utils.exceptions import GraphFormatError
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def load_edge_list(
+    path: PathLike,
+    default_prob: float = 1.0,
+    n: Optional[int] = None,
+    weight_model: str = "file",
+) -> CSRGraph:
+    """Parse a whitespace-separated edge-list file into a :class:`CSRGraph`.
+
+    Lines are ``src dst`` or ``src dst prob``; blank lines and lines starting
+    with ``#`` are skipped.  Node ids must be non-negative integers; ``n``
+    defaults to ``max(id) + 1``.
+    """
+    src_list, dst_list, prob_list = [], [], []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'src dst [prob]', got {line!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                p = float(parts[2]) if len(parts) == 3 else default_prob
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+            src_list.append(u)
+            dst_list.append(v)
+            prob_list.append(p)
+    if not src_list:
+        raise GraphFormatError(f"{path}: no edges found")
+    src = np.asarray(src_list, dtype=np.int64)
+    dst = np.asarray(dst_list, dtype=np.int64)
+    probs = np.asarray(prob_list, dtype=np.float64)
+    if n is None:
+        n = int(max(src.max(), dst.max())) + 1
+    return build_graph(n, src, dst, probs, weight_model=weight_model)
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike, write_probs: bool = True) -> None:
+    """Write the graph as a text edge list (optionally omitting probabilities)."""
+    src, dst, probs = graph.edges()
+    with open(path, "w") as handle:
+        handle.write(f"# n={graph.n} m={graph.m} weight_model={graph.weight_model}\n")
+        if write_probs:
+            for u, v, p in zip(src, dst, probs):
+                handle.write(f"{u} {v} {p:.17g}\n")
+        else:
+            for u, v in zip(src, dst):
+                handle.write(f"{u} {v}\n")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Persist the graph losslessly as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        n=np.int64(graph.n),
+        out_indptr=graph.out_indptr,
+        out_indices=graph.out_indices,
+        out_probs=graph.out_probs,
+        in_indptr=graph.in_indptr,
+        in_indices=graph.in_indices,
+        in_probs=graph.in_probs,
+        weight_model=np.str_(graph.weight_model),
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        return CSRGraph(
+            int(data["n"]),
+            data["out_indptr"],
+            data["out_indices"],
+            data["out_probs"],
+            data["in_indptr"],
+            data["in_indices"],
+            data["in_probs"],
+            weight_model=str(data["weight_model"]),
+        )

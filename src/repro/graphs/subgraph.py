@@ -1,0 +1,74 @@
+"""Subgraph extraction: induced subgraphs and SCC restriction.
+
+High-influence experiments live inside a graph's giant strongly connected
+component — outside it, cascades die at the DAG frontier.  These helpers
+carve out node-induced subgraphs while keeping edge probabilities, plus a
+mapping back to the original ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, build_graph
+from repro.graphs.traversal import strongly_connected_components
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An induced subgraph plus the id mapping to its parent graph.
+
+    ``to_parent[i]`` is the parent id of subgraph node ``i``;
+    ``from_parent`` maps parent ids back (-1 for nodes outside).
+    """
+
+    graph: CSRGraph
+    to_parent: np.ndarray
+    from_parent: np.ndarray
+
+    def parent_seeds(self, seeds: Sequence[int]) -> list:
+        """Translate subgraph seed ids into parent-graph ids."""
+        return [int(self.to_parent[s]) for s in seeds]
+
+
+def induced_subgraph(graph: CSRGraph, nodes: Sequence[int]) -> Subgraph:
+    """Subgraph induced by ``nodes`` (edges with both endpoints inside).
+
+    Node ids are relabelled ``0..len(nodes)-1`` in the given order;
+    duplicates are rejected.
+    """
+    nodes = np.asarray(list(nodes), dtype=np.int64)
+    if len(nodes) == 0:
+        raise ConfigurationError("induced subgraph needs at least one node")
+    if len(np.unique(nodes)) != len(nodes):
+        raise ConfigurationError("node list contains duplicates")
+    if nodes.min() < 0 or nodes.max() >= graph.n:
+        raise ConfigurationError(f"node ids out of range [0, {graph.n})")
+
+    from_parent = np.full(graph.n, -1, dtype=np.int64)
+    from_parent[nodes] = np.arange(len(nodes), dtype=np.int64)
+
+    src, dst, probs = graph.edges()
+    keep = (from_parent[src] >= 0) & (from_parent[dst] >= 0)
+    sub = build_graph(
+        len(nodes),
+        from_parent[src[keep]],
+        from_parent[dst[keep]],
+        probs[keep],
+        weight_model=graph.weight_model,
+        validate=False,
+    )
+    return Subgraph(graph=sub, to_parent=nodes, from_parent=from_parent)
+
+
+def largest_scc_subgraph(graph: CSRGraph) -> Subgraph:
+    """The subgraph induced by the largest strongly connected component."""
+    components = strongly_connected_components(graph)
+    if not components:
+        raise ConfigurationError("graph has no nodes")
+    biggest = max(components, key=len)
+    return induced_subgraph(graph, sorted(biggest))

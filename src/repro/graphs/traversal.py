@@ -1,0 +1,119 @@
+"""Deterministic graph traversals: reachability and strongly connected components.
+
+These are the exact-structure counterparts of the probabilistic RR-set
+machinery: a reverse-reachable set under "all edges live" (every probability
+1) is precisely :func:`reverse_reachable`, which the test suite uses as
+ground truth, and SCC structure explains the influence ceilings the
+calibration module runs into (a DAG caps spread; a large SCC enables the
+paper's high-influence regime).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Set
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def _bfs(indptr: np.ndarray, indices: np.ndarray, source: int, n: int) -> Set[int]:
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    queue = deque([source])
+    out = {source}
+    while queue:
+        u = queue.popleft()
+        for j in range(indptr[u], indptr[u + 1]):
+            w = int(indices[j])
+            if not seen[w]:
+                seen[w] = True
+                out.add(w)
+                queue.append(w)
+    return out
+
+
+def forward_reachable(graph: CSRGraph, source: int) -> Set[int]:
+    """Nodes reachable from ``source`` following edge direction."""
+    if not 0 <= source < graph.n:
+        raise ValueError(f"source {source} out of range [0, {graph.n})")
+    return _bfs(graph.out_indptr, graph.out_indices, source, graph.n)
+
+
+def reverse_reachable(graph: CSRGraph, target: int) -> Set[int]:
+    """Nodes that can reach ``target`` — the deterministic RR set.
+
+    Equals the RR set of ``target`` when every edge probability is 1, which
+    is how the test suite cross-checks the stochastic generators.
+    """
+    if not 0 <= target < graph.n:
+        raise ValueError(f"target {target} out of range [0, {graph.n})")
+    return _bfs(graph.in_indptr, graph.in_indices, target, graph.n)
+
+
+def strongly_connected_components(graph: CSRGraph) -> List[List[int]]:
+    """Tarjan's SCC algorithm, iterative (no recursion-depth limits).
+
+    Returns components as lists of node ids, in reverse topological order
+    of the condensation (standard Tarjan emission order).
+    """
+    n = graph.n
+    indptr = graph.out_indptr
+    indices = graph.out_indices
+
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Explicit DFS stack of (node, next-edge-pointer).
+        work = [(root, indptr[root])]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            u, ptr = work[-1]
+            if ptr < indptr[u + 1]:
+                work[-1] = (u, ptr + 1)
+                w = int(indices[ptr])
+                if index[w] == -1:
+                    index[w] = lowlink[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, indptr[w]))
+                elif on_stack[w]:
+                    lowlink[u] = min(lowlink[u], index[w])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[u])
+                if lowlink[u] == index[u]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        component.append(w)
+                        if w == u:
+                            break
+                    components.append(component)
+    return components
+
+
+def largest_scc_size(graph: CSRGraph) -> int:
+    """Size of the largest strongly connected component."""
+    components = strongly_connected_components(graph)
+    return max((len(c) for c in components), default=0)
+
+
+def is_dag(graph: CSRGraph) -> bool:
+    """True when the graph has no directed cycles (every SCC is a singleton)."""
+    return largest_scc_size(graph) <= 1

@@ -1,0 +1,86 @@
+"""Common interface and cost accounting for RR-set generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass
+class GenerationCounters:
+    """Machine-independent cost counters accumulated across generations.
+
+    ``edges_examined`` counts edge *inspections* — the quantity the paper's
+    complexity analysis bounds.  Under vanilla generation every incoming edge
+    of an activated node is inspected; under SUBSIM only the edges that the
+    geometric jumps land on are.  ``rng_draws`` counts random numbers
+    consumed, and ``nodes_added`` the total RR-set mass produced.
+    """
+
+    edges_examined: int = 0
+    rng_draws: int = 0
+    nodes_added: int = 0
+    sets_generated: int = 0
+    sentinel_hits: int = 0
+
+    def reset(self) -> None:
+        self.edges_examined = 0
+        self.rng_draws = 0
+        self.nodes_added = 0
+        self.sets_generated = 0
+        self.sentinel_hits = 0
+
+    def average_size(self) -> float:
+        """Mean RR-set size over everything generated since the last reset."""
+        if self.sets_generated == 0:
+            return 0.0
+        return self.nodes_added / self.sets_generated
+
+
+class RRGenerator:
+    """Base class: owns the graph, a scratch visited-mask, and counters.
+
+    Subclasses implement :meth:`generate`, returning the RR set as a list of
+    node ids (the uniformly drawn root always comes first).  Passing a
+    boolean ``stop_mask`` makes generation terminate as soon as any flagged
+    node is activated — Algorithm 5's sentinel early stop.
+    """
+
+    #: human-readable name used by benchmark tables
+    name = "base"
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self.graph = graph
+        self.counters = GenerationCounters()
+        self._visited = np.zeros(graph.n, dtype=bool)
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        root: Optional[int] = None,
+        stop_mask: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        raise NotImplementedError
+
+    def _pick_root(self, rng: np.random.Generator, root: Optional[int]) -> int:
+        if root is None:
+            self.counters.rng_draws += 1
+            return int(rng.integers(0, self.graph.n))
+        if not 0 <= root < self.graph.n:
+            raise ValueError(f"root {root} out of range [0, {self.graph.n})")
+        return int(root)
+
+    def _finish(self, rr: List[int], hit_sentinel: bool = False) -> List[int]:
+        """Clear the scratch mask and update counters; returns ``rr``."""
+        visited = self._visited
+        for node in rr:
+            visited[node] = False
+        self.counters.nodes_added += len(rr)
+        self.counters.sets_generated += 1
+        if hit_sentinel:
+            self.counters.sentinel_hits += 1
+        return rr

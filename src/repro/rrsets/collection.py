@@ -1,0 +1,96 @@
+"""RR-set collections with an incremental inverted coverage index.
+
+:class:`RRCollection` is the shared substrate of every sampling-based IM
+algorithm: it stores the RR sets generated so far, plus — for each node — the
+list of RR-set ids containing that node.  Greedy max-coverage, coverage
+queries, and the OPIM-style bounds all operate on this index.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rrsets.base import RRGenerator
+
+
+class RRCollection:
+    """An append-only pool of RR sets over ``n`` nodes."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"graph must have at least one node, got n={n}")
+        self.n = n
+        self.rr_sets: List[np.ndarray] = []
+        self.node_to_rrs: List[List[int]] = [[] for _ in range(n)]
+        self.total_size = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rr_sets)
+
+    @property
+    def num_rr(self) -> int:
+        return len(self.rr_sets)
+
+    def average_size(self) -> float:
+        """Mean number of nodes per stored RR set."""
+        return self.total_size / self.num_rr if self.num_rr else 0.0
+
+    # ------------------------------------------------------------------
+    def add(self, rr: Sequence[int]) -> int:
+        """Store one RR set; returns its id."""
+        rr_id = len(self.rr_sets)
+        arr = np.asarray(rr, dtype=np.int64)
+        self.rr_sets.append(arr)
+        index = self.node_to_rrs
+        for node in rr:
+            index[node].append(rr_id)
+        self.total_size += len(arr)
+        return rr_id
+
+    def extend(
+        self,
+        count: int,
+        generator: RRGenerator,
+        rng: np.random.Generator,
+        stop_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Generate and store ``count`` fresh random RR sets."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            self.add(generator.generate(rng, stop_mask=stop_mask))
+
+    def extend_to(
+        self,
+        target: int,
+        generator: RRGenerator,
+        rng: np.random.Generator,
+        stop_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """Grow the pool until it holds ``target`` RR sets (no-op if larger)."""
+        self.extend(max(0, target - self.num_rr), generator, rng, stop_mask)
+
+    # ------------------------------------------------------------------
+    def coverage_counts(self) -> np.ndarray:
+        """Per-node count of RR sets containing the node (singleton coverage)."""
+        return np.array([len(lst) for lst in self.node_to_rrs], dtype=np.int64)
+
+    def covered_mask(self, seeds: Iterable[int]) -> np.ndarray:
+        """Boolean mask over RR-set ids marking sets hit by ``seeds``."""
+        mask = np.zeros(self.num_rr, dtype=bool)
+        for s in seeds:
+            mask[self.node_to_rrs[s]] = True
+        return mask
+
+    def coverage(self, seeds: Iterable[int]) -> int:
+        """Number of stored RR sets hit by the seed set (Lambda_R(S))."""
+        return int(self.covered_mask(seeds).sum())
+
+    def estimate_influence(self, seeds: Iterable[int]) -> float:
+        """Unbiased influence estimate ``n * Lambda_R(S) / |R|`` (Lemma 1)."""
+        if self.num_rr == 0:
+            raise ValueError("cannot estimate influence from an empty pool")
+        return self.n * self.coverage(seeds) / self.num_rr

@@ -1,0 +1,70 @@
+"""NumPy-vectorised vanilla RR generation — an engineering extra.
+
+:class:`FastVanillaICGenerator` draws one coin *vector* per activated node
+and filters in C, so it is much faster per examined edge than the
+interpreted Algorithm 2 loop.  It samples the **identical distribution**
+but deliberately breaks the cost model the shape benchmarks rely on (its
+per-edge constant is a few nanoseconds, not the loop's hundreds), which is
+why it is *not* used in the figure reproductions — see DESIGN.md
+("Substitutions").  Use it when you just want seeds fast and the graph has
+meaty degrees.
+
+Note the coin order within a node differs from Algorithm 2's sequential
+draws, so seeded runs differ draw-for-draw from
+:class:`~repro.rrsets.vanilla.VanillaICGenerator` while remaining
+distribution-equivalent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rrsets.base import RRGenerator
+
+
+class FastVanillaICGenerator(RRGenerator):
+    """Vectorised per-node coin flipping under the IC model."""
+
+    name = "fast-vanilla"
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        root: Optional[int] = None,
+        stop_mask: Optional[np.ndarray] = None,
+    ) -> List[int]:
+        graph = self.graph
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        probs = graph.in_probs
+        visited = self._visited
+        counters = self.counters
+
+        v = self._pick_root(rng, root)
+        rr = [v]
+        visited[v] = True
+        if stop_mask is not None and stop_mask[v]:
+            return self._finish(rr, hit_sentinel=True)
+
+        queue = deque(rr)
+        while queue:
+            u = queue.popleft()
+            lo, hi = indptr[u], indptr[u + 1]
+            d = hi - lo
+            if d == 0:
+                continue
+            counters.edges_examined += int(d)
+            counters.rng_draws += int(d)
+            hits = np.flatnonzero(rng.random(d) < probs[lo:hi])
+            for j in hits:
+                w = int(indices[lo + j])
+                if not visited[w]:
+                    visited[w] = True
+                    rr.append(w)
+                    if stop_mask is not None and stop_mask[w]:
+                        return self._finish(rr, hit_sentinel=True)
+                    queue.append(w)
+        return self._finish(rr)

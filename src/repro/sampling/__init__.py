@@ -1,0 +1,37 @@
+"""Subset-sampling primitives underlying SUBSIM (paper Section 3).
+
+Three samplers solve the independent subset-sampling problem — draw a random
+subset of ``h`` elements where element ``i`` enters independently with
+probability ``p_i`` — at different generality/preprocessing trade-offs:
+
+* :func:`sample_equal_probability` — all ``p_i`` equal (WC / uniform IC);
+  geometric skipping, expected cost ``O(1 + mu)`` with zero preprocessing.
+* :func:`sample_sorted_descending` — general ``p_i`` sorted descending;
+  index-free positional bucketing, expected cost ``O(1 + mu + log h)``.
+* :class:`BucketSampler` — general ``p_i`` in any order with ``O(h)``
+  preprocessing (Bringmann–Panagiotou), cost ``O(1 + mu + log h)``; its
+  :class:`IndexedBucketSampler` refinement adds the bucket-jump table from
+  paper Section 3.3 to reach expected ``O(1 + mu)``.
+
+:class:`AliasTable` (Walker) provides O(1) draws from arbitrary discrete
+distributions and powers the bucket-jump rows.
+"""
+
+from repro.sampling.alias import AliasTable
+from repro.sampling.bucket import BucketSampler, IndexedBucketSampler
+from repro.sampling.geometric import (
+    geometric_jump,
+    sample_equal_probability,
+    truncated_geometric,
+)
+from repro.sampling.sorted_sampler import sample_sorted_descending
+
+__all__ = [
+    "AliasTable",
+    "BucketSampler",
+    "IndexedBucketSampler",
+    "geometric_jump",
+    "sample_equal_probability",
+    "sample_sorted_descending",
+    "truncated_geometric",
+]

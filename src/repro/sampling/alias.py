@@ -1,0 +1,75 @@
+"""Walker's alias method for O(1) draws from a discrete distribution [41].
+
+Used by :class:`~repro.sampling.bucket.IndexedBucketSampler` to pick the next
+visited bucket in constant time, and exported as a general utility.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class AliasTable:
+    """O(1)-per-draw sampler over ``{0, ..., len(weights) - 1}``.
+
+    Weights need not be normalised; they must be non-negative with a positive
+    sum.  Construction is O(n).
+    """
+
+    __slots__ = ("_prob", "_alias", "_n")
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0.0:
+            raise ValueError("weights must have a positive sum")
+
+        n = len(weights)
+        # Divide before scaling: n / total can overflow to inf for denormal
+        # totals, poisoning the small/large partition with NaNs.
+        scaled = (weights / total) * n
+        prob = np.ones(n, dtype=np.float64)
+        alias = np.arange(n, dtype=np.int64)
+
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = scaled[l] - (1.0 - scaled[s])
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Residual entries (floating-point leftovers) keep prob == 1.
+
+        self._prob = prob
+        self._alias = alias
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one index in O(1)."""
+        i = int(rng.integers(0, self._n))
+        if rng.random() < self._prob[i]:
+            return i
+        return int(self._alias[i])
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Vectorised batch draw of ``count`` indices."""
+        idx = rng.integers(0, self._n, size=count)
+        coins = rng.random(count)
+        take_alias = coins >= self._prob[idx]
+        out = idx.copy()
+        out[take_alias] = self._alias[idx[take_alias]]
+        return out

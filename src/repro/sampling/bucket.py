@@ -1,0 +1,158 @@
+"""Bucket-based subset sampling for general probabilities (paper Sec. 3.3).
+
+:class:`BucketSampler` implements the Bringmann–Panagiotou scheme [9]: group
+elements by probability scale — bucket ``k`` holds ``p in (2^-(k+1), 2^-k]`` —
+then, inside each bucket, run geometric skipping at the bucket ceiling
+``q_k = 2^-k`` and accept each trial hit with probability ``p / q_k``.  Each
+element is selected with probability exactly ``q_k * (p / q_k) = p``, and the
+expected work is ``O(1 + mu + log h)`` (one visit per bucket plus at most
+twice the selected mass).
+
+:class:`IndexedBucketSampler` adds the paper's bucket-jump refinement: with
+``p'_k = 1 - (1 - q_k)^{|B_k|}`` the probability bucket ``k`` receives at
+least one trial hit, an ``L x L`` table of next-visited-bucket distributions
+(one Walker alias row per bucket) lets the sampler jump directly between
+visited buckets, removing the ``log h`` term for an expected ``O(1 + mu)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sampling.alias import AliasTable
+from repro.sampling.geometric import geometric_jump, truncated_geometric
+
+
+class _Bucket:
+    """One probability-scale bucket: ceiling q and member (index, prob) pairs."""
+
+    __slots__ = ("q", "indices", "probs")
+
+    def __init__(self, q: float, indices: np.ndarray, probs: np.ndarray) -> None:
+        self.q = q
+        self.indices = indices
+        self.probs = probs
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _build_buckets(probs: np.ndarray) -> List[_Bucket]:
+    """Partition positive probabilities into power-of-two scale buckets."""
+    h = len(probs)
+    positive = probs > 0.0
+    if not positive.any():
+        return []
+    idx = np.flatnonzero(positive)
+    p = probs[idx]
+    max_level = max(int(math.ceil(math.log2(h))), 0) if h > 1 else 0
+    levels = np.floor(-np.log2(p)).astype(np.int64)
+    levels = np.clip(levels, 0, max_level)
+    buckets = []
+    for k in np.unique(levels):
+        members = levels == k
+        buckets.append(_Bucket(2.0 ** (-int(k)), idx[members], p[members]))
+    return buckets
+
+
+class BucketSampler:
+    """General-probability subset sampler with O(h) preprocessing.
+
+    ``sample`` returns the list of selected element indices (bucket order,
+    not globally sorted); each index ``i`` appears independently with
+    probability ``probs[i]``.
+    """
+
+    def __init__(self, probs: Sequence[float]) -> None:
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.ndim != 1:
+            raise ValueError("probs must be 1-D")
+        if len(probs) and (probs.min() < 0.0 or probs.max() > 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self._h = len(probs)
+        self._buckets = _build_buckets(probs)
+        self.mu = float(probs.sum())
+
+    def __len__(self) -> int:
+        return self._h
+
+    def sample(self, rng: np.random.Generator) -> List[int]:
+        """Draw one independent subset."""
+        selected: List[int] = []
+        for bucket in self._buckets:
+            self._sample_bucket(bucket, rng, selected, first_jump=None)
+        return selected
+
+    @staticmethod
+    def _sample_bucket(
+        bucket: _Bucket,
+        rng: np.random.Generator,
+        out: List[int],
+        first_jump,
+    ) -> None:
+        """Geometric-skip within one bucket, accepting hits w.p. p / q.
+
+        ``first_jump`` overrides the first geometric draw (used by the
+        indexed sampler, which conditions on at least one trial hit).
+        """
+        size = len(bucket)
+        q = bucket.q
+        position = (first_jump if first_jump is not None else geometric_jump(q, rng)) - 1
+        while position < size:
+            p = bucket.probs[position]
+            if p >= q or rng.random() < p / q:
+                out.append(int(bucket.indices[position]))
+            position += geometric_jump(q, rng)
+
+
+class IndexedBucketSampler(BucketSampler):
+    """Bucket sampler with the O(1 + mu) bucket-jump refinement.
+
+    Preprocessing builds, for every bucket position ``i`` (plus a virtual
+    start position), the distribution of the *next* bucket that receives at
+    least one trial hit — ``T[i, j] = p'_j * prod_{i<l<j}(1 - p'_l)`` — as a
+    Walker alias row, so each jump costs O(1).
+    """
+
+    def __init__(self, probs: Sequence[float]) -> None:
+        super().__init__(probs)
+        L = len(self._buckets)
+        self._visit_probs = np.array(
+            [-math.expm1(len(b) * math.log1p(-b.q)) if b.q < 1.0 else 1.0
+             for b in self._buckets],
+            dtype=np.float64,
+        )
+        # Row i (for i = -1 .. L-1) covers outcomes j = i+1 .. L-1 plus a
+        # terminal "stop" outcome; stored as alias tables.
+        self._rows: List[AliasTable] = []
+        for i in range(-1, L):
+            weights = []
+            survive = 1.0
+            for j in range(i + 1, L):
+                weights.append(survive * self._visit_probs[j])
+                survive *= 1.0 - self._visit_probs[j]
+            weights.append(survive)  # terminal outcome
+            self._rows.append(AliasTable(weights))
+
+    def sample(self, rng: np.random.Generator) -> List[int]:
+        selected: List[int] = []
+        L = len(self._buckets)
+        current = -1
+        while current < L:
+            row = self._rows[current + 1]
+            offset = row.sample(rng)
+            nxt = current + 1 + offset
+            if nxt >= L:  # terminal outcome drawn
+                break
+            bucket = self._buckets[nxt]
+            first = (
+                1
+                if bucket.q >= 1.0
+                else truncated_geometric(bucket.q, len(bucket), rng)
+            )
+            self._sample_bucket(bucket, rng, selected, first_jump=first)
+            current = nxt
+        return selected

@@ -1,0 +1,89 @@
+"""Geometric-skip sampling: the equal-probability core of SUBSIM (Alg. 3).
+
+For a Bernoulli(p) sequence, the index of the first success follows the
+geometric distribution ``G(p)``; drawing it directly via the inverse CDF —
+``ceil(log U / log(1 - p))`` for ``U ~ Uniform(0, 1)`` — lets the sampler jump
+straight over failed trials instead of flipping one coin per element.  This
+turns the cost of sampling the in-neighbors of a node from ``O(d_in)`` into
+``O(1 + d_in * p)`` expected.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import random_unit
+
+# Jump value meaning "past the end of any realistic element list".
+_INFINITE_JUMP = 1 << 62
+
+
+def geometric_jump(p: float, rng: np.random.Generator) -> int:
+    """Draw from the geometric distribution ``G(p)`` (support 1, 2, ...).
+
+    Returns the number of Bernoulli(p) trials up to and including the first
+    success.  ``p >= 1`` always succeeds on the first trial; ``p <= 0`` never
+    succeeds, encoded as a jump beyond any list length.
+    """
+    if p >= 1.0:
+        return 1
+    if p <= 0.0:
+        return _INFINITE_JUMP
+    log_one_minus_p = math.log1p(-p)
+    if log_one_minus_p == 0.0:
+        # p below ~1e-308 underflows log1p; success is unreachable anyway.
+        return _INFINITE_JUMP
+    u = random_unit(rng)
+    # U in ((1-p)^i, (1-p)^{i-1}]  <=>  jump == i; floor + 1 realises that.
+    ratio = math.log(u) / log_one_minus_p
+    if ratio >= _INFINITE_JUMP:
+        return _INFINITE_JUMP
+    jump = int(ratio) + 1
+    return jump if jump >= 1 else 1
+
+
+def truncated_geometric(p: float, bound: int, rng: np.random.Generator) -> int:
+    """Draw from ``G(p)`` conditioned on the value being at most ``bound``.
+
+    Used by the bucket samplers when a bucket is already known to contain at
+    least one success.  Requires ``p > 0`` and ``bound >= 1``.
+    """
+    if bound < 1:
+        raise ValueError(f"bound must be >= 1, got {bound}")
+    if p >= 1.0:
+        return 1
+    if p <= 0.0:
+        raise ValueError("truncated geometric undefined for p <= 0")
+    u = random_unit(rng)
+    # Inverse CDF of the truncated distribution:
+    #   F(i) = (1 - (1-p)^i) / (1 - (1-p)^bound)
+    tail = math.expm1(bound * math.log1p(-p))  # (1-p)^bound - 1  (negative)
+    value = int(math.log1p(u * tail) / math.log1p(-p)) + 1
+    return min(max(value, 1), bound)
+
+
+def sample_equal_probability(
+    h: int, p: float, rng: np.random.Generator
+) -> List[int]:
+    """Sample a subset of ``{0, ..., h-1}`` where each index enters w.p. ``p``.
+
+    Expected cost is ``O(1 + h * p)`` — one geometric draw per selected
+    element plus one terminal draw — instead of the naive ``O(h)``.
+    """
+    if h < 0:
+        raise ValueError(f"h must be non-negative, got {h}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    selected: List[int] = []
+    if h == 0 or p == 0.0:
+        return selected
+    if p >= 1.0:
+        return list(range(h))
+    position = geometric_jump(p, rng) - 1
+    while position < h:
+        selected.append(position)
+        position += geometric_jump(p, rng)
+    return selected

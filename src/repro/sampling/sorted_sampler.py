@@ -1,0 +1,62 @@
+"""Index-free subset sampling over descending-sorted probabilities.
+
+The paper's practical general-IC scheme (Section 3.3, "Index-free method"):
+when the probabilities ``p_0 >= p_1 >= ... >= p_{h-1}`` are sorted, bucket
+elements by *position* — bucket ``k`` spans positions ``[2^k - 1, 2^{k+1} - 1)``
+(0-indexed) — and run geometric skipping at rate ``q_k = p[2^k - 1]``, the
+bucket's maximum, accepting each trial hit at position ``j`` with probability
+``p[j] / q_k``.  Because ``p_x <= p_{ceil(x/2)}``, the thinning overhead per
+bucket is bounded and the expected total cost is ``O(1 + mu + log h)`` — with
+no preprocessing beyond the sort, which the CSR graph builder already
+performs on every node's in-adjacency block.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sampling.geometric import geometric_jump
+
+
+def sample_sorted_descending(
+    probs: Sequence[float],
+    rng: np.random.Generator,
+    validate: bool = False,
+) -> List[int]:
+    """Sample a subset of positions from a descending probability vector.
+
+    Each position ``i`` is selected independently with probability
+    ``probs[i]``.  Set ``validate=True`` to assert the ordering (O(h), meant
+    for tests).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    h = len(probs)
+    if validate and h > 1 and (np.diff(probs) > 1e-12).any():
+        raise ValueError("probs must be sorted in descending order")
+    selected: List[int] = []
+    if h == 0:
+        return selected
+
+    start = 0  # 0-indexed bucket start: 2^k - 1
+    while start < h:
+        end = min(2 * start + 1, h)  # next bucket starts at 2^(k+1) - 1
+        q = float(probs[start])
+        if q <= 0.0:
+            break  # descending: everything from here on has probability 0
+        if q >= 1.0:
+            # Degenerate ceiling: examine each position, accept w.p. p[j].
+            for j in range(start, end):
+                p = probs[j]
+                if p >= 1.0 or rng.random() < p:
+                    selected.append(j)
+        else:
+            position = start + geometric_jump(q, rng) - 1
+            while position < end:
+                p = probs[position]
+                if p >= q or rng.random() < p / q:
+                    selected.append(position)
+                position += geometric_jump(q, rng)
+        start = end
+    return selected

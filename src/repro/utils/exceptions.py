@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or component received invalid parameters."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list could not be parsed or validated."""
+
+
+class CalibrationError(ReproError):
+    """Calibration failed to find parameters hitting the requested target."""

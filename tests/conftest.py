@@ -1,0 +1,83 @@
+"""Shared fixtures: small graphs with known structure, seeded RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graphs.weights import (
+    exponential_weights,
+    uniform_weights,
+    wc_weights,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def pa_graph():
+    """A 300-node heavy-tailed digraph with cycles (unweighted)."""
+    return preferential_attachment(300, 3, seed=1, reciprocal=0.3)
+
+
+@pytest.fixture(scope="session")
+def wc_graph(pa_graph):
+    """The session PA graph under the weighted-cascade model."""
+    return wc_weights(pa_graph)
+
+
+@pytest.fixture(scope="session")
+def uniform_graph(pa_graph):
+    """The session PA graph with uniform IC probability 0.1."""
+    return uniform_weights(pa_graph, 0.1)
+
+
+@pytest.fixture(scope="session")
+def skewed_graph(pa_graph):
+    """The session PA graph with exponential (skewed) weights."""
+    return exponential_weights(pa_graph, seed=2)
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """A modest Erdős–Rényi digraph under WC weights."""
+    return wc_weights(erdos_renyi(200, 4.0, seed=3))
+
+
+@pytest.fixture
+def path10():
+    """Directed path 0 -> ... -> 9 with all probabilities 1."""
+    return path_graph(10)
+
+
+@pytest.fixture
+def cycle8():
+    return cycle_graph(8)
+
+
+@pytest.fixture
+def star_out():
+    """Star with edges 0 -> {1..7}, probability 1."""
+    return star_graph(8, center_out=True)
+
+
+@pytest.fixture
+def star_in():
+    """Star with edges {1..7} -> 0, probability 1."""
+    return star_graph(8, center_out=False)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)

@@ -1,0 +1,149 @@
+"""Tests for the baseline algorithms: IMM, TIM+, SSA, greedy-MC, heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.greedy_mc import GreedyMonteCarlo
+from repro.algorithms.heuristics import DegreeDiscount, DegreeTopK, RandomSeeds
+from repro.algorithms.imm import IMM
+from repro.algorithms.ssa import SSA
+from repro.algorithms.tim import TIMPlus
+from repro.estimation.montecarlo import estimate_spread
+from repro.graphs.generators import star_graph
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestIMM:
+    def test_returns_valid_seeds(self, wc_graph):
+        res = IMM(wc_graph, max_rr_sets=20_000).run(5, eps=0.4, seed=0)
+        assert len(set(res.seeds)) == 5
+        assert res.num_rr_sets > 0
+
+    def test_opt_lower_bound_recorded(self, wc_graph):
+        res = IMM(wc_graph, max_rr_sets=20_000).run(5, eps=0.4, seed=0)
+        assert res.extras["opt_lower_bound"] >= 1.0
+
+    def test_cap_respected_and_reported(self, wc_graph):
+        res = IMM(wc_graph, max_rr_sets=500).run(5, eps=0.3, seed=0)
+        assert res.num_rr_sets <= 500
+        assert res.extras["capped"]
+
+    def test_uncapped_on_tiny_graph(self):
+        g = star_graph(30, center_out=False)
+        res = IMM(g).run(1, eps=0.5, seed=0)
+        assert res.seeds  # completes without a cap
+
+    def test_invalid_cap_rejected(self, wc_graph):
+        with pytest.raises(ValueError):
+            IMM(wc_graph, max_rr_sets=0)
+
+    def test_seed_quality(self, wc_graph):
+        res = IMM(wc_graph, max_rr_sets=20_000).run(5, eps=0.3, seed=0)
+        spread = estimate_spread(wc_graph, res.seeds, num_simulations=300, seed=0)
+        random_spread = estimate_spread(
+            wc_graph, [10, 20, 30, 40, 50], num_simulations=300, seed=0
+        )
+        assert spread.mean > random_spread.mean
+
+
+class TestTIMPlus:
+    def test_returns_valid_seeds(self, wc_graph):
+        res = TIMPlus(wc_graph, max_rr_sets=20_000).run(5, eps=0.4, seed=0)
+        assert len(set(res.seeds)) == 5
+
+    def test_kpt_estimates_recorded(self, wc_graph):
+        res = TIMPlus(wc_graph, max_rr_sets=20_000).run(5, eps=0.4, seed=0)
+        assert res.extras["kpt_plus"] >= res.extras["kpt_star"] >= 1.0
+
+    def test_cap_respected(self, wc_graph):
+        res = TIMPlus(wc_graph, max_rr_sets=300).run(5, eps=0.3, seed=0)
+        assert res.extras["theta"] <= 300
+
+    def test_invalid_cap_rejected(self, wc_graph):
+        with pytest.raises(ValueError):
+            TIMPlus(wc_graph, max_rr_sets=-5)
+
+
+class TestSSA:
+    def test_returns_valid_seeds(self, wc_graph):
+        res = SSA(wc_graph).run(5, eps=0.5, seed=0)
+        assert len(set(res.seeds)) == 5
+        assert res.extras["rounds"] >= 1
+
+    def test_validation_flag_recorded(self, wc_graph):
+        res = SSA(wc_graph).run(5, eps=0.5, seed=0)
+        assert isinstance(res.extras["validated"], bool)
+
+    def test_seed_quality(self, wc_graph):
+        res = SSA(wc_graph).run(5, eps=0.4, seed=0)
+        spread = estimate_spread(wc_graph, res.seeds, num_simulations=300, seed=0)
+        random_spread = estimate_spread(
+            wc_graph, [11, 22, 33, 44, 55], num_simulations=300, seed=0
+        )
+        assert spread.mean > random_spread.mean
+
+
+class TestGreedyMonteCarlo:
+    def test_star_graph_exact(self):
+        g = star_graph(20, center_out=True)
+        res = GreedyMonteCarlo(g, num_simulations=20).run(1, seed=0)
+        assert res.seeds == [0]
+
+    def test_distinct_seeds(self):
+        g = star_graph(15, center_out=True)
+        res = GreedyMonteCarlo(g, num_simulations=10).run(3, seed=0)
+        assert len(set(res.seeds)) == 3
+
+    def test_lt_model_supported(self, path10):
+        res = GreedyMonteCarlo(path10, num_simulations=5, model="lt").run(
+            1, seed=0
+        )
+        assert res.seeds == [0]  # path head reaches everyone
+
+    def test_spread_estimate_recorded(self):
+        g = star_graph(10, center_out=True)
+        res = GreedyMonteCarlo(g, num_simulations=10).run(1, seed=0)
+        assert res.extras["spread_estimate"] == pytest.approx(10.0)
+
+    def test_validation(self, path10):
+        with pytest.raises(ConfigurationError):
+            GreedyMonteCarlo(path10, num_simulations=0)
+        with pytest.raises(ConfigurationError):
+            GreedyMonteCarlo(path10, model="nope")
+
+
+class TestHeuristics:
+    def test_degree_picks_highest_out_degree(self):
+        g = star_graph(12, center_out=True)
+        res = DegreeTopK(g).run(1, seed=0)
+        assert res.seeds == [0]
+
+    def test_degree_order(self, wc_graph):
+        res = DegreeTopK(wc_graph).run(5, seed=0)
+        out_deg = wc_graph.out_degree()
+        degs = [out_deg[s] for s in res.seeds]
+        assert degs == sorted(degs, reverse=True)
+
+    def test_degree_discount_valid(self, wc_graph):
+        res = DegreeDiscount(wc_graph).run(5, seed=0)
+        assert len(set(res.seeds)) == 5
+
+    def test_degree_discount_first_pick_is_max_degree(self, wc_graph):
+        res = DegreeDiscount(wc_graph).run(1, seed=0)
+        out_deg = wc_graph.out_degree()
+        assert out_deg[res.seeds[0]] == out_deg.max()
+
+    def test_random_seeds_distinct(self, wc_graph):
+        res = RandomSeeds(wc_graph).run(10, seed=0)
+        assert len(set(res.seeds)) == 10
+
+    def test_random_reproducible(self, wc_graph):
+        a = RandomSeeds(wc_graph).run(5, seed=3)
+        b = RandomSeeds(wc_graph).run(5, seed=3)
+        assert a.seeds == b.seeds
+
+    def test_heuristics_report_no_rr_sets(self, wc_graph):
+        for algo in (DegreeTopK(wc_graph), RandomSeeds(wc_graph)):
+            res = algo.run(3, seed=0)
+            assert res.num_rr_sets == 0
+            assert res.average_rr_size == 0.0

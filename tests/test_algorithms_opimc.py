@@ -1,0 +1,104 @@
+"""Tests for OPIM-C and its SUBSIM configuration."""
+
+import math
+
+import pytest
+
+from repro.algorithms.opimc import OPIMC
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRun:
+    def test_returns_k_distinct_seeds(self, wc_graph):
+        res = OPIMC(wc_graph).run(5, eps=0.3, seed=0)
+        assert len(res.seeds) == 5
+        assert len(set(res.seeds)) == 5
+        assert all(0 <= s < wc_graph.n for s in res.seeds)
+
+    def test_certified_ratio_meets_target(self, wc_graph):
+        eps = 0.3
+        res = OPIMC(wc_graph).run(5, eps=eps, seed=0)
+        target = 1 - 1 / math.e - eps
+        # Early-stopped runs certify the ratio; theta_max runs may not,
+        # but on this small graph stopping always happens early.
+        assert res.approx_ratio_certified > target
+
+    def test_bounds_ordered(self, wc_graph):
+        res = OPIMC(wc_graph).run(5, eps=0.3, seed=0)
+        assert 0 <= res.lower_bound <= res.upper_bound
+
+    def test_result_metadata(self, wc_graph):
+        res = OPIMC(wc_graph).run(3, eps=0.4, seed=1)
+        assert res.algorithm == "opim-c"
+        assert res.k == 3
+        assert res.num_rr_sets > 0
+        assert res.average_rr_size > 0
+        assert res.runtime_seconds > 0
+        assert res.extras["rounds"] >= 1
+
+    def test_reproducible_with_seed(self, wc_graph):
+        a = OPIMC(wc_graph).run(5, eps=0.3, seed=7)
+        b = OPIMC(wc_graph).run(5, eps=0.3, seed=7)
+        assert a.seeds == b.seeds
+        assert a.num_rr_sets == b.num_rr_sets
+
+    def test_different_seeds_may_differ_in_rr_counts(self, wc_graph):
+        a = OPIMC(wc_graph).run(5, eps=0.3, seed=1)
+        b = OPIMC(wc_graph).run(5, eps=0.3, seed=2)
+        # Not a strict requirement, but the runs must both be valid.
+        assert len(a.seeds) == len(b.seeds) == 5
+
+    def test_k_equals_n(self):
+        from repro.graphs.generators import cycle_graph
+
+        g = cycle_graph(6)
+        res = OPIMC(g).run(6, eps=0.4, seed=0)
+        assert sorted(res.seeds) == list(range(6))
+
+    def test_k_one(self, wc_graph):
+        res = OPIMC(wc_graph).run(1, eps=0.4, seed=0)
+        assert len(res.seeds) == 1
+
+
+class TestSubsimConfiguration:
+    def test_name_reflects_generator(self, wc_graph):
+        algo = OPIMC(wc_graph, SubsimICGenerator)
+        assert algo.name == "opim-c+subsim"
+
+    def test_same_quality_as_vanilla(self, wc_graph):
+        """SUBSIM only changes generation cost, not the seed distribution."""
+        from repro.estimation.montecarlo import estimate_spread
+
+        res_v = OPIMC(wc_graph).run(5, eps=0.2, seed=3)
+        res_s = OPIMC(wc_graph, SubsimICGenerator).run(5, eps=0.2, seed=3)
+        sp_v = estimate_spread(wc_graph, res_v.seeds, num_simulations=500, seed=0)
+        sp_s = estimate_spread(wc_graph, res_s.seeds, num_simulations=500, seed=0)
+        assert sp_s.mean == pytest.approx(sp_v.mean, rel=0.15)
+
+    def test_fewer_edges_examined(self, wc_graph):
+        res_v = OPIMC(wc_graph).run(5, eps=0.3, seed=3)
+        res_s = OPIMC(wc_graph, SubsimICGenerator).run(5, eps=0.3, seed=3)
+        assert res_s.edges_examined < res_v.edges_examined
+
+
+class TestValidation:
+    def test_k_out_of_range(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            OPIMC(wc_graph).run(0)
+        with pytest.raises(ConfigurationError):
+            OPIMC(wc_graph).run(wc_graph.n + 1)
+
+    def test_eps_out_of_range(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            OPIMC(wc_graph).run(5, eps=0.0)
+        with pytest.raises(ConfigurationError):
+            OPIMC(wc_graph).run(5, eps=1.0)
+
+    def test_delta_out_of_range(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            OPIMC(wc_graph).run(5, delta=0.0)
+
+    def test_delta_defaults_to_inverse_n(self, wc_graph):
+        res = OPIMC(wc_graph).run(2, eps=0.4, seed=0)
+        assert res.delta == pytest.approx(1.0 / wc_graph.n)

@@ -1,0 +1,219 @@
+"""Tests for concentration bounds, OPIM bounds, and theta thresholds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.combinatorics import log_binomial
+from repro.bounds.concentration import (
+    martingale_lower_tail,
+    martingale_upper_tail,
+    monte_carlo_sample_bound,
+)
+from repro.bounds.opim import influence_lower_bound, influence_upper_bound
+from repro.bounds.thresholds import (
+    imm_lambda_prime,
+    imm_lambda_star,
+    theta_max_im_sentinel,
+    theta_max_opimc,
+    theta_max_sentinel,
+)
+
+
+class TestLogBinomial:
+    def test_exact_small_values(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 3) == pytest.approx(math.log(120))
+
+    def test_boundaries(self):
+        assert log_binomial(7, 0) == 0.0
+        assert log_binomial(7, 7) == 0.0
+
+    def test_impossible(self):
+        assert log_binomial(3, 5) == float("-inf")
+        assert log_binomial(3, -1) == float("-inf")
+
+    def test_symmetry(self):
+        assert log_binomial(100, 30) == pytest.approx(log_binomial(100, 70))
+
+    def test_large_values_finite(self):
+        assert math.isfinite(log_binomial(10**9, 1000))
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 200), k=st.integers(0, 200))
+    def test_pascal_identity(self, n, k):
+        if not 1 <= k <= n:
+            return
+        lhs = log_binomial(n + 1, k)
+        rhs = np.logaddexp(log_binomial(n, k), log_binomial(n, k - 1))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestMartingaleTails:
+    def test_upper_tail_matches_formula(self):
+        got = martingale_upper_tail(10.0, 5.0)
+        want = math.exp(-25.0 / (20.0 + 10.0 / 3.0))
+        assert got == pytest.approx(want)
+
+    def test_lower_tail_matches_formula(self):
+        got = martingale_lower_tail(10.0, 5.0)
+        assert got == pytest.approx(math.exp(-25.0 / 20.0))
+
+    def test_trivial_for_nonpositive_lambda(self):
+        assert martingale_upper_tail(10.0, 0.0) == 1.0
+        assert martingale_lower_tail(10.0, -1.0) == 1.0
+
+    def test_decreasing_in_lambda(self):
+        values = [martingale_upper_tail(5.0, lam) for lam in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_lower_tail_zero_mean(self):
+        assert martingale_lower_tail(0.0, 1.0) == 0.0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            martingale_upper_tail(-1.0, 1.0)
+
+    def test_tails_empirically_valid(self, rng):
+        """The bound must dominate the empirical tail of a Binomial."""
+        theta, p = 2000, 0.01
+        mean = theta * p
+        lam = 10.0
+        draws = rng.binomial(theta, p, size=20_000)
+        empirical = (draws - mean >= lam).mean()
+        assert empirical <= martingale_upper_tail(mean, lam) + 0.01
+
+
+class TestMonteCarloBound:
+    def test_formula(self):
+        assert monte_carlo_sample_bound(1.0, math.exp(-1)) == 3
+
+    def test_decreasing_in_eps(self):
+        assert monte_carlo_sample_bound(0.1, 0.01) > monte_carlo_sample_bound(
+            0.5, 0.01
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            monte_carlo_sample_bound(0.0, 0.1)
+        with pytest.raises(ValueError):
+            monte_carlo_sample_bound(0.1, 1.5)
+        with pytest.raises(ValueError):
+            monte_carlo_sample_bound(0.1, 0.1, mu=0.0)
+
+
+class TestOpimBounds:
+    def test_lower_below_point_estimate(self):
+        n, theta, cov = 1000, 500, 100.0
+        lower = influence_lower_bound(cov, theta, n, 0.01)
+        assert lower <= n * cov / theta
+
+    def test_upper_above_point_estimate(self):
+        n, theta, cov = 1000, 500, 100.0
+        upper = influence_upper_bound(cov, theta, n, 0.01)
+        assert upper >= n * cov / theta
+
+    def test_lower_clamped_at_zero(self):
+        # Zero coverage carries no information: the bound is (exactly, up to
+        # fp dust) zero, never negative.
+        assert influence_lower_bound(0.0, 100, 1000, 0.01) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert influence_lower_bound(0.0, 100, 1000, 0.01) >= 0.0
+
+    def test_bounds_tighten_with_more_samples(self):
+        n = 1000
+        gaps = []
+        for theta in (100, 1000, 10_000):
+            cov = 0.2 * theta  # same coverage fraction
+            lo = influence_lower_bound(cov, theta, n, 0.01)
+            hi = influence_upper_bound(cov, theta, n, 0.01)
+            gaps.append(hi - lo)
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_bounds_loosen_with_smaller_delta(self):
+        lo_tight = influence_lower_bound(100, 500, 1000, 0.1)
+        lo_loose = influence_lower_bound(100, 500, 1000, 0.0001)
+        assert lo_loose <= lo_tight
+        hi_tight = influence_upper_bound(100, 500, 1000, 0.1)
+        hi_loose = influence_upper_bound(100, 500, 1000, 0.0001)
+        assert hi_loose >= hi_tight
+
+    def test_lower_bound_holds_empirically(self, rng):
+        """Eq. 1 must cover the true influence >= 1 - delta of the time."""
+        n, theta, true_influence, delta = 1000, 400, 50.0, 0.1
+        p = true_influence / n
+        failures = 0
+        trials = 2000
+        for _ in range(trials):
+            cov = rng.binomial(theta, p)
+            if influence_lower_bound(cov, theta, n, delta) > true_influence:
+                failures += 1
+        assert failures / trials <= delta
+
+    def test_upper_bound_holds_empirically(self, rng):
+        n, theta, true_influence, delta = 1000, 400, 50.0, 0.1
+        p = true_influence / n
+        failures = 0
+        trials = 2000
+        for _ in range(trials):
+            cov = rng.binomial(theta, p)
+            if influence_upper_bound(cov, theta, n, delta) < true_influence:
+                failures += 1
+        assert failures / trials <= delta
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            influence_lower_bound(10, 0, 100, 0.1)
+        with pytest.raises(ValueError):
+            influence_upper_bound(10, 100, 100, 1.5)
+        with pytest.raises(ValueError):
+            influence_lower_bound(-1, 100, 100, 0.1)
+
+
+class TestThetaThresholds:
+    def test_all_positive(self):
+        assert theta_max_opimc(1000, 10, 0.1, 0.001) > 0
+        assert theta_max_sentinel(1000, 10, 0.1, 0.001) > 0
+        assert theta_max_im_sentinel(1000, 10, 3, 0.1, 0.001) > 0
+
+    def test_decreasing_in_eps(self):
+        a = theta_max_opimc(1000, 10, 0.1, 0.001)
+        b = theta_max_opimc(1000, 10, 0.3, 0.001)
+        assert a > b
+
+    def test_eps_quadratic_scaling(self):
+        a = theta_max_sentinel(10_000, 10, 0.1, 0.001)
+        b = theta_max_sentinel(10_000, 10, 0.2, 0.001)
+        assert a / b == pytest.approx(4.0, rel=0.01)
+
+    def test_im_sentinel_shrinks_with_b(self):
+        # Larger sentinel set -> smaller residual problem -> fewer samples.
+        full = theta_max_im_sentinel(10_000, 50, 0, 0.1, 0.001)
+        half = theta_max_im_sentinel(10_000, 50, 25, 0.1, 0.001)
+        most = theta_max_im_sentinel(10_000, 50, 49, 0.1, 0.001)
+        assert full > half > most
+
+    def test_im_sentinel_validates_b(self):
+        with pytest.raises(ValueError):
+            theta_max_im_sentinel(100, 10, 11, 0.1, 0.01)
+        with pytest.raises(ValueError):
+            theta_max_im_sentinel(100, 10, -1, 0.1, 0.01)
+
+    def test_imm_lambdas_positive_and_ordered(self):
+        n, k, eps, delta = 10_000, 10, 0.1, 1e-4
+        lam_star = imm_lambda_star(n, k, eps, delta)
+        lam_prime = imm_lambda_prime(n, k, math.sqrt(2) * eps, delta)
+        assert lam_star > 0 and lam_prime > 0
+
+    def test_common_validation(self):
+        for fn in (theta_max_opimc, theta_max_sentinel):
+            with pytest.raises(ValueError):
+                fn(100, 0, 0.1, 0.01)
+            with pytest.raises(ValueError):
+                fn(100, 10, -0.1, 0.01)
+            with pytest.raises(ValueError):
+                fn(100, 10, 0.1, 0.0)

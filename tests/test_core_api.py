@@ -1,0 +1,142 @@
+"""Tests for the public facade, registry, and result objects."""
+
+import pytest
+
+from repro.core.api import InfluenceMaximizer, maximize_influence
+from repro.core.registry import (
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.core.results import IMResult
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_known_names_present(self):
+        names = available_algorithms()
+        for expected in (
+            "opim-c",
+            "subsim",
+            "hist",
+            "hist+subsim",
+            "imm",
+            "tim+",
+            "ssa",
+            "degree",
+            "opim-c-lt",
+        ):
+            assert expected in names
+
+    def test_get_algorithm_instantiates(self, wc_graph):
+        algo = get_algorithm("opim-c", wc_graph)
+        assert algo.name == "opim-c"
+
+    def test_unknown_name_rejected(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            get_algorithm("definitely-not-real", wc_graph)
+
+    def test_kwargs_forwarded(self, wc_graph):
+        algo = get_algorithm("imm", wc_graph, max_rr_sets=123)
+        assert algo.max_rr_sets == 123
+
+    def test_register_custom(self, wc_graph):
+        from repro.algorithms.heuristics import RandomSeeds
+
+        register_algorithm("test-custom-algo", lambda g, **kw: RandomSeeds(g))
+        algo = get_algorithm("test-custom-algo", wc_graph)
+        assert algo.run(2, seed=0).seeds
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_algorithm("opim-c", lambda g, **kw: None)
+
+
+class TestFacade:
+    def test_maximize_returns_result(self, wc_graph):
+        result = InfluenceMaximizer(wc_graph).maximize(
+            3, algorithm="subsim", eps=0.4, seed=0
+        )
+        assert isinstance(result, IMResult)
+        assert len(result.seeds) == 3
+
+    def test_functional_spelling(self, wc_graph):
+        result = maximize_influence(wc_graph, 3, algorithm="degree", seed=0)
+        assert len(result.seeds) == 3
+
+    def test_evaluate(self, wc_graph):
+        maximizer = InfluenceMaximizer(wc_graph)
+        result = maximizer.maximize(3, algorithm="degree", seed=0)
+        est = maximizer.evaluate(result, num_simulations=100, seed=0)
+        assert est.mean >= 3.0
+
+    def test_algorithm_kwargs_forwarded(self, wc_graph):
+        result = maximize_influence(
+            wc_graph, 3, algorithm="imm", eps=0.4, seed=0, max_rr_sets=1000
+        )
+        assert result.num_rr_sets <= 1000
+
+
+class TestFastVariant:
+    def test_opim_c_fast_registered(self, wc_graph):
+        result = maximize_influence(
+            wc_graph, 3, algorithm="opim-c-fast", eps=0.4, seed=0
+        )
+        assert len(result.seeds) == 3
+        assert result.algorithm == "opim-c+fast-vanilla"
+
+    def test_fast_and_slow_same_quality(self, wc_graph):
+        from repro.estimation.montecarlo import estimate_spread
+
+        slow = maximize_influence(wc_graph, 4, algorithm="opim-c", eps=0.3, seed=2)
+        fast = maximize_influence(
+            wc_graph, 4, algorithm="opim-c-fast", eps=0.3, seed=2
+        )
+        sp_slow = estimate_spread(
+            wc_graph, slow.seeds, num_simulations=300, seed=0
+        ).mean
+        sp_fast = estimate_spread(
+            wc_graph, fast.seeds, num_simulations=300, seed=0
+        ).mean
+        assert sp_fast >= 0.85 * sp_slow
+
+
+class TestEvaluateModels:
+    def test_evaluate_lt_model(self):
+        from repro.graphs.generators import star_graph
+
+        g = star_graph(6, center_out=True)
+        maximizer = InfluenceMaximizer(g)
+        result = maximizer.maximize(1, algorithm="degree", seed=0)
+        assert result.seeds == [0]  # the broadcasting center
+        est = maximizer.evaluate(result, model="lt", num_simulations=20, seed=0)
+        assert est.mean == 6.0  # full-weight LT star is deterministic
+
+
+class TestIMResult:
+    def make(self, **overrides):
+        base = dict(
+            algorithm="x",
+            seeds=[3, 1, 2],
+            k=3,
+            eps=0.1,
+            delta=0.01,
+            runtime_seconds=1.0,
+        )
+        base.update(overrides)
+        return IMResult(**base)
+
+    def test_seed_set(self):
+        assert self.make().seed_set == {1, 2, 3}
+
+    def test_certified_ratio(self):
+        r = self.make(lower_bound=4.0, upper_bound=8.0)
+        assert r.approx_ratio_certified == 0.5
+
+    def test_certified_ratio_degenerate(self):
+        assert self.make().approx_ratio_certified == 0.0
+        assert self.make(upper_bound=0.0).approx_ratio_certified == 0.0
+
+    def test_summary_row_keys(self):
+        row = self.make().summary_row()
+        assert {"algorithm", "k", "runtime_s", "num_rr_sets"} <= set(row)

@@ -1,0 +1,95 @@
+"""Tests for the CELF lazy-greedy alternative."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.celf import celf_max_coverage
+from repro.coverage.greedy import max_coverage_greedy
+from repro.rrsets.collection import RRCollection
+from repro.utils.exceptions import ConfigurationError
+
+
+def collection_from(sets, n):
+    c = RRCollection(n)
+    for s in sets:
+        c.add(s)
+    return c
+
+
+class TestAgreementWithExactGreedy:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_identical_selection_random_instances(self, data):
+        n = data.draw(st.integers(2, 8))
+        num_sets = data.draw(st.integers(0, 12))
+        sets = [
+            data.draw(
+                st.lists(
+                    st.integers(0, n - 1), min_size=1, max_size=n, unique=True
+                )
+            )
+            for _ in range(num_sets)
+        ]
+        k = data.draw(st.integers(1, n))
+        c = collection_from(sets, n)
+        exact = max_coverage_greedy(c, select=k, track_upper_bound=False)
+        lazy = celf_max_coverage(c, select=k)
+        assert lazy.seeds == exact.seeds
+        assert lazy.coverage == exact.coverage
+        assert lazy.coverage_history == exact.coverage_history
+
+    def test_agreement_on_rr_pools(self, wc_graph, rng):
+        from repro.rrsets.vanilla import VanillaICGenerator
+
+        c = RRCollection(wc_graph.n)
+        c.extend(400, VanillaICGenerator(wc_graph), rng)
+        exact = max_coverage_greedy(c, select=8, track_upper_bound=False)
+        lazy = celf_max_coverage(c, select=8)
+        assert lazy.seeds == exact.seeds
+
+    def test_agreement_with_tie_break(self, wc_graph, rng):
+        from repro.rrsets.vanilla import VanillaICGenerator
+
+        c = RRCollection(wc_graph.n)
+        c.extend(120, VanillaICGenerator(wc_graph), rng)
+        out_deg = wc_graph.out_degree()
+        exact = max_coverage_greedy(
+            c, select=6, out_degree=out_deg, track_upper_bound=False
+        )
+        lazy = celf_max_coverage(c, select=6, out_degree=out_deg)
+        assert lazy.seeds == exact.seeds
+
+    def test_agreement_with_initial_covered(self, wc_graph, rng):
+        from repro.rrsets.vanilla import VanillaICGenerator
+
+        c = RRCollection(wc_graph.n)
+        c.extend(200, VanillaICGenerator(wc_graph), rng)
+        mask = c.covered_mask([0, 1])
+        exact = max_coverage_greedy(
+            c, select=5, initial_covered=mask, track_upper_bound=False
+        )
+        lazy = celf_max_coverage(c, select=5, initial_covered=mask)
+        assert lazy.seeds == exact.seeds
+        assert lazy.coverage == exact.coverage
+
+
+class TestCelfSpecifics:
+    def test_no_upper_bound(self):
+        c = collection_from([[0]], n=2)
+        res = celf_max_coverage(c, select=1)
+        assert res.upper_bound_coverage == float("inf")
+
+    def test_validation(self):
+        c = collection_from([[0]], n=2)
+        with pytest.raises(ConfigurationError):
+            celf_max_coverage(c, select=0)
+        with pytest.raises(ConfigurationError):
+            celf_max_coverage(c, select=1, initial_covered=np.zeros(5, bool))
+
+    def test_empty_pool(self):
+        c = RRCollection(4)
+        res = celf_max_coverage(c, select=2)
+        assert res.coverage == 0
+        assert len(set(res.seeds)) == 2

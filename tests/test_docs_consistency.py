@@ -1,0 +1,88 @@
+"""Docs-code consistency: names the documentation promises must exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.registry import available_algorithms
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def read(path):
+    return (REPO_ROOT / path).read_text()
+
+
+class TestReadme:
+    def test_registry_names_in_readme_exist(self):
+        text = read("README.md")
+        names = set(available_algorithms())
+        # Every backticked token that looks like a registry name must
+        # actually be registered.
+        for token in re.findall(r"`([a-z][a-z0-9+-]*)`", text):
+            if token in ("pip", "python", "pytest", "repro", "numpy"):
+                continue
+            if "-" in token or "+" in token:
+                candidates = {t.strip() for t in token.split(",")}
+                for cand in candidates:
+                    if cand in names:
+                        continue
+            # Only enforce for tokens that *look like* algorithm ids.
+            if token in {
+                "subsim", "hist", "opim-c", "imm", "ssa", "d-ssa", "tim+",
+                "hist+subsim", "greedy-mc", "degree", "degree-discount",
+                "random", "pagerank", "borgs-ris", "opim-c-lt", "hist-lt",
+                "imm-lt",
+            }:
+                assert token in names, token
+
+    def test_quickstart_snippet_imports_exist(self):
+        text = read("README.md")
+        block = re.search(r"```python\n(.*?)```", text, re.S).group(1)
+        for name in re.findall(r"from repro import \(?([^)\n]+)", block):
+            for symbol in name.split(","):
+                symbol = symbol.strip()
+                if symbol:
+                    assert hasattr(repro, symbol), symbol
+
+    def test_documented_example_files_exist(self):
+        text = read("README.md")
+        for match in re.findall(r"examples/(\w+)\.py", text):
+            assert (REPO_ROOT / "examples" / f"{match}.py").exists(), match
+
+
+class TestDesignAndExperiments:
+    def test_design_lists_every_benchmark_file(self):
+        text = read("DESIGN.md")
+        for match in re.findall(r"benchmarks/(test_\w+)\.py", text):
+            assert (REPO_ROOT / "benchmarks" / f"{match}.py").exists(), match
+
+    def test_experiments_md_bench_names_exist(self):
+        text = read("EXPERIMENTS.md")
+        bench_dir = REPO_ROOT / "benchmarks"
+        bench_sources = "\n".join(
+            p.read_text() for p in bench_dir.glob("test_*.py")
+        )
+        for match in re.findall(r"`(test_\w+)`", text):
+            # Accept either a test function name or a benchmark file name.
+            assert match in bench_sources or (
+                bench_dir / f"{match}.py"
+            ).exists(), match
+
+    def test_api_doc_mentions_every_registry_name(self):
+        text = read("docs/API.md")
+        for name in available_algorithms():
+            if name.startswith("test-"):
+                continue  # registered by the test suite itself
+            assert name in text, name
+
+
+class TestPackageMetadata:
+    def test_version_attribute(self):
+        assert re.match(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_all_exports_resolve(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol), symbol

@@ -1,0 +1,136 @@
+"""Tests for forward Monte-Carlo simulation and RR-based estimation."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.montecarlo import (
+    SpreadEstimate,
+    estimate_spread,
+    simulate_ic,
+    simulate_lt,
+)
+from repro.estimation.rr_estimator import rr_influence_estimate
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graphs.weights import uniform_weights, wc_weights
+
+
+class TestSimulateIC:
+    def test_path_full_probability(self, path10, rng):
+        assert simulate_ic(path10, [0], rng) == 10
+        assert simulate_ic(path10, [7], rng) == 3
+
+    def test_star_center(self, star_out, rng):
+        assert simulate_ic(star_out, [0], rng) == 8
+
+    def test_star_leaf(self, star_out, rng):
+        assert simulate_ic(star_out, [3], rng) == 1
+
+    def test_zero_probability(self, rng):
+        g = uniform_weights(path_graph(5), 0.0)
+        assert simulate_ic(g, [0], rng) == 1  # only the seed
+
+    def test_multiple_seeds_union(self, path10, rng):
+        assert simulate_ic(path10, [0, 5], rng) == 10
+
+    def test_duplicate_seeds_ignored(self, path10, rng):
+        assert simulate_ic(path10, [3, 3], rng) == 7
+
+    def test_single_edge_probability(self, rng):
+        g = build_graph(2, [0], [1], [0.4])
+        hits = sum(simulate_ic(g, [0], rng) == 2 for _ in range(30_000))
+        assert abs(hits / 30_000 - 0.4) < 0.012
+
+
+class TestSimulateLT:
+    def test_path_full_weight(self, path10, rng):
+        assert simulate_lt(path10, [0], rng) == 10
+
+    def test_cycle_full_weight(self, cycle8, rng):
+        assert simulate_lt(cycle8, [2], rng) == 8
+
+    def test_threshold_semantics_two_parents(self, rng):
+        # node 2 has in-edges 0.5 + 0.5: with one parent active it
+        # activates iff threshold <= 0.5; with both, always.
+        g = build_graph(3, [0, 1], [2, 2], [0.5, 0.5])
+        both = sum(simulate_lt(g, [0, 1], rng) == 3 for _ in range(2000))
+        assert both == 2000
+        one = sum(simulate_lt(g, [0], rng) == 2 for _ in range(30_000))
+        assert abs(one / 30_000 - 0.5) < 0.012
+
+    def test_seed_only_when_no_edges(self, rng):
+        g = uniform_weights(path_graph(4), 0.0)
+        assert simulate_lt(g, [1], rng) == 1
+
+
+class TestEstimateSpread:
+    def test_deterministic_graph_zero_variance(self, path10):
+        est = estimate_spread(path10, [0], num_simulations=50, seed=0)
+        assert est.mean == 10.0
+        assert est.std == 0.0
+
+    def test_confidence_interval_contains_mean(self, wc_graph):
+        est = estimate_spread(wc_graph, [0, 1], num_simulations=200, seed=0)
+        lo, hi = est.confidence_interval()
+        assert lo <= est.mean <= hi
+
+    def test_empty_seed_set(self, wc_graph):
+        est = estimate_spread(wc_graph, [], num_simulations=10, seed=0)
+        assert est.mean == 0.0
+
+    def test_lt_model_selectable(self, path10):
+        est = estimate_spread(path10, [0], model="lt", num_simulations=20, seed=0)
+        assert est.mean == 10.0
+
+    def test_rejects_bad_args(self, path10):
+        with pytest.raises(ValueError):
+            estimate_spread(path10, [0], model="nonsense")
+        with pytest.raises(ValueError):
+            estimate_spread(path10, [0], num_simulations=0)
+        with pytest.raises(ValueError):
+            estimate_spread(path10, [99], num_simulations=5)
+
+    def test_reproducible_with_seed(self, wc_graph):
+        a = estimate_spread(wc_graph, [3], num_simulations=100, seed=9)
+        b = estimate_spread(wc_graph, [3], num_simulations=100, seed=9)
+        assert a.mean == b.mean
+
+    def test_stderr_single_simulation(self, path10):
+        est = estimate_spread(path10, [0], num_simulations=1, seed=0)
+        assert est.stderr == float("inf")
+
+
+class TestLemma1Consistency:
+    """n * Pr[S hits a random RR set] must equal the MC spread."""
+
+    def test_ic_rr_estimate_matches_simulation(self):
+        g = wc_weights(preferential_attachment(150, 3, seed=4, reciprocal=0.3))
+        seeds = [0, 1, 2]
+        mc = estimate_spread(g, seeds, num_simulations=4000, seed=0)
+        rr = rr_influence_estimate(g, seeds, num_rr=40_000, seed=1)
+        assert rr == pytest.approx(mc.mean, rel=0.08)
+
+    def test_lt_rr_estimate_matches_simulation(self):
+        from repro.graphs.weights import exponential_weights, lt_normalized_weights
+        from repro.rrsets.lt import LTGenerator
+
+        g = lt_normalized_weights(
+            exponential_weights(
+                preferential_attachment(150, 3, seed=4, reciprocal=0.3), seed=5
+            )
+        )
+        seeds = [0, 1]
+        mc = estimate_spread(g, seeds, model="lt", num_simulations=4000, seed=0)
+        rr = rr_influence_estimate(
+            g, seeds, num_rr=40_000, generator_cls=LTGenerator, seed=1
+        )
+        assert rr == pytest.approx(mc.mean, rel=0.08)
+
+    def test_rr_estimate_rejects_bad_count(self, wc_graph):
+        with pytest.raises(ValueError):
+            rr_influence_estimate(wc_graph, [0], num_rr=0)

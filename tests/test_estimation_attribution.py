@@ -1,0 +1,90 @@
+"""Tests for per-seed attribution."""
+
+import pytest
+
+from repro.estimation.attribution import (
+    attribution_table,
+    incremental_contributions,
+    marginal_contributions,
+)
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.weights import wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+def two_stars():
+    """Two disjoint out-stars: centers 0 (5 leaves) and 6 (2 leaves)."""
+    src = [0] * 5 + [6] * 2
+    dst = [1, 2, 3, 4, 5, 7, 8]
+    return build_graph(9, src, dst, [1.0] * 7)
+
+
+class TestMarginal:
+    def test_disjoint_stars_exact(self):
+        g = two_stars()
+        records = marginal_contributions(g, [0, 6], num_simulations=20, seed=0)
+        by_seed = {r.seed: r.contribution for r in records}
+        assert by_seed[0] == pytest.approx(6.0)
+        assert by_seed[6] == pytest.approx(3.0)
+        assert records[0].seed == 0  # sorted most-valuable first
+
+    def test_redundant_seed_contributes_its_node_only(self):
+        g = star_graph(8, center_out=True)
+        # leaf 3 is covered by the center anyway: marginal == 1 (itself).
+        records = marginal_contributions(g, [0, 3], num_simulations=20, seed=0)
+        by_seed = {r.seed: r.contribution for r in records}
+        assert by_seed[3] == pytest.approx(0.0)  # leaf already activated by 0
+
+    def test_share_fractions(self):
+        g = two_stars()
+        records = marginal_contributions(g, [0, 6], num_simulations=20, seed=0)
+        assert all(0.0 <= r.share <= 1.0 for r in records)
+
+    def test_single_seed(self):
+        g = path_graph(5)
+        records = marginal_contributions(g, [0], num_simulations=10, seed=0)
+        assert records[0].contribution == pytest.approx(5.0)
+
+    def test_validation(self):
+        g = path_graph(4)
+        with pytest.raises(ConfigurationError):
+            marginal_contributions(g, [])
+        with pytest.raises(ConfigurationError):
+            marginal_contributions(g, [99])
+
+
+class TestIncremental:
+    def test_telescopes_to_full_spread(self):
+        g = wc_weights(two_stars())
+        records = incremental_contributions(
+            g, [0, 6, 1], num_simulations=300, seed=0
+        )
+        total = sum(r.contribution for r in records)
+        assert total == pytest.approx(records[0].full_spread, abs=1e-9)
+
+    def test_order_matters(self):
+        g = star_graph(8, center_out=True)
+        first_center = incremental_contributions(
+            g, [0, 3], num_simulations=20, seed=0
+        )
+        first_leaf = incremental_contributions(
+            g, [3, 0], num_simulations=20, seed=0
+        )
+        # Center first: leaf adds 0.  Leaf first: leaf adds 1.
+        assert first_center[1].contribution == pytest.approx(0.0)
+        assert first_leaf[0].contribution == pytest.approx(1.0)
+
+    def test_preserves_input_order(self):
+        g = path_graph(6)
+        records = incremental_contributions(g, [3, 0], num_simulations=10, seed=0)
+        assert [r.seed for r in records] == [3, 0]
+
+
+class TestTable:
+    def test_rows_shape(self):
+        g = two_stars()
+        rows = attribution_table(
+            marginal_contributions(g, [0, 6], num_simulations=10, seed=0)
+        )
+        assert rows[0].keys() == {"seed", "contribution", "share"}

@@ -1,0 +1,117 @@
+"""Tests for the Dagum-Karp-Luby-Ross sequential estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.sequential import (
+    estimate_mean_sequential,
+    estimate_spread_sequential,
+)
+from repro.graphs.generators import path_graph, preferential_attachment, star_graph
+from repro.graphs.weights import wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestEstimateMean:
+    def test_bernoulli_within_relative_error(self, rng):
+        p = 0.3
+        result = estimate_mean_sequential(
+            lambda r: float(r.random() < p), eps=0.1, delta=0.05, rng=rng
+        )
+        assert result.converged
+        assert abs(result.mean - p) <= 0.15 * p  # eps plus slack
+
+    def test_constant_variable(self, rng):
+        result = estimate_mean_sequential(
+            lambda r: 1.0, eps=0.2, delta=0.1, rng=rng
+        )
+        assert result.converged
+        assert result.mean == pytest.approx(1.0, rel=0.2)
+
+    def test_smaller_mean_needs_more_samples(self, rng):
+        counts = []
+        for p in (0.5, 0.05):
+            result = estimate_mean_sequential(
+                lambda r: float(r.random() < p), eps=0.2, delta=0.1, rng=rng
+            )
+            counts.append(result.num_samples)
+        assert counts[1] > 3 * counts[0]
+
+    def test_zero_mean_hits_cap(self, rng):
+        result = estimate_mean_sequential(
+            lambda r: 0.0, eps=0.2, delta=0.1, rng=rng, max_samples=500
+        )
+        assert not result.converged
+        assert result.num_samples == 500
+        assert result.mean == 0.0
+
+    def test_failure_probability_bounded(self):
+        """The (eps, delta) contract must hold over repeated runs."""
+        p, eps, delta = 0.4, 0.2, 0.1
+        failures = 0
+        trials = 200
+        master = np.random.default_rng(0)
+        for _ in range(trials):
+            result = estimate_mean_sequential(
+                lambda r: float(r.random() < p), eps=eps, delta=delta, rng=master
+            )
+            if abs(result.mean - p) > eps * p:
+                failures += 1
+        assert failures / trials <= delta + 0.05
+
+    def test_out_of_range_sample_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            estimate_mean_sequential(lambda r: 2.0, eps=0.2, delta=0.1, rng=rng)
+
+    def test_parameter_validation(self, rng):
+        sampler = lambda r: 0.5
+        with pytest.raises(ConfigurationError):
+            estimate_mean_sequential(sampler, eps=0.0, delta=0.1, rng=rng)
+        with pytest.raises(ConfigurationError):
+            estimate_mean_sequential(sampler, eps=0.2, delta=0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            estimate_mean_sequential(sampler, eps=0.2, delta=0.1, rng=rng,
+                                     max_samples=0)
+
+
+class TestEstimateSpread:
+    def test_deterministic_path(self):
+        result = estimate_spread_sequential(
+            path_graph(10), [0], eps=0.2, delta=0.1, seed=0
+        )
+        assert result.converged
+        assert result.mean == pytest.approx(10.0, rel=0.2)
+
+    def test_matches_fixed_budget_estimator(self):
+        from repro.estimation.montecarlo import estimate_spread
+
+        g = wc_weights(preferential_attachment(200, 3, seed=4, reciprocal=0.3))
+        seeds = [0, 1, 2]
+        fixed = estimate_spread(g, seeds, num_simulations=4000, seed=0).mean
+        adaptive = estimate_spread_sequential(
+            g, seeds, eps=0.1, delta=0.05, seed=1
+        )
+        assert adaptive.mean == pytest.approx(fixed, rel=0.15)
+
+    def test_high_spread_converges_fast(self):
+        g = star_graph(100, center_out=True)
+        result = estimate_spread_sequential(g, [0], eps=0.2, delta=0.1, seed=0)
+        assert result.converged
+        # spread/n = 1: the sample count equals ceil(upsilon) ~ 260 at
+        # (eps, delta) = (0.2, 0.1) — the distribution-independent floor.
+        assert result.num_samples < 400
+
+    def test_lt_model(self):
+        result = estimate_spread_sequential(
+            path_graph(6), [0], model="lt", eps=0.3, delta=0.1, seed=0
+        )
+        assert result.mean == pytest.approx(6.0, rel=0.3)
+
+    def test_validation(self):
+        g = path_graph(4)
+        with pytest.raises(ConfigurationError):
+            estimate_spread_sequential(g, [], seed=0)
+        with pytest.raises(ConfigurationError):
+            estimate_spread_sequential(g, [9], seed=0)
+        with pytest.raises(ConfigurationError):
+            estimate_spread_sequential(g, [0], model="x", seed=0)

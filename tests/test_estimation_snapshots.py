@@ -1,0 +1,121 @@
+"""Tests for snapshot estimation and the exact-influence anchor.
+
+``exact_influence_ic`` enumerates every live-edge pattern, so on tiny
+graphs all four estimators in the library — forward simulation, LT-free
+snapshots, RR sets, and the analytic value — must converge to the *same*
+number.  This is the strongest correctness anchor in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimation.montecarlo import estimate_spread
+from repro.estimation.rr_estimator import rr_influence_estimate
+from repro.estimation.snapshots import (
+    estimate_spread_snapshots,
+    exact_influence_ic,
+    exact_rr_hit_probability,
+    snapshot_spread,
+)
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import path_graph, star_graph
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ConfigurationError
+
+
+def diamond():
+    """0 -> {1, 2} -> 3 with mixed probabilities; m = 4."""
+    return build_graph(
+        4,
+        [0, 0, 1, 2],
+        [1, 2, 3, 3],
+        [0.5, 0.8, 0.6, 0.3],
+    )
+
+
+class TestExactInfluence:
+    def test_single_edge(self):
+        g = build_graph(2, [0], [1], [0.4])
+        assert exact_influence_ic(g, [0]) == pytest.approx(1.4)
+
+    def test_path_probability_chain(self):
+        # 0 -(0.5)-> 1 -(0.5)-> 2: I({0}) = 1 + 0.5 + 0.25
+        g = build_graph(3, [0, 1], [1, 2], [0.5, 0.5])
+        assert exact_influence_ic(g, [0]) == pytest.approx(1.75)
+
+    def test_diamond_by_hand(self):
+        g = diamond()
+        # P(1 active) = .5, P(2 active) = .8
+        # P(3 active) = 1 - (1 - .5*.6)(1 - .8*.3) = 1 - .7*.76
+        expected = 1 + 0.5 + 0.8 + (1 - 0.7 * 0.76)
+        assert exact_influence_ic(g, [0]) == pytest.approx(expected)
+
+    def test_deterministic_graph(self):
+        assert exact_influence_ic(path_graph(5), [0]) == pytest.approx(5.0)
+
+    def test_multiple_seeds_union_semantics(self):
+        g = diamond()
+        # Seeding {1, 2} activates both plus 3 with 1 - .4*.7
+        expected = 2 + (1 - 0.4 * 0.7)
+        assert exact_influence_ic(g, [1, 2]) == pytest.approx(expected)
+
+    def test_empty_seed_set(self):
+        assert exact_influence_ic(diamond(), []) == 0.0
+
+    def test_edge_count_guard(self):
+        g = star_graph(30, center_out=True)  # m = 29 > guard
+        with pytest.raises(ConfigurationError):
+            exact_influence_ic(g, [0])
+
+    def test_seed_validation(self):
+        with pytest.raises(ConfigurationError):
+            exact_influence_ic(diamond(), [9])
+
+
+class TestEstimatorsAgreeWithExact:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return diamond()
+
+    @pytest.fixture(scope="class")
+    def truth(self, graph):
+        return exact_influence_ic(graph, [0])
+
+    def test_forward_simulation(self, graph, truth):
+        est = estimate_spread(graph, [0], num_simulations=40_000, seed=0)
+        assert est.mean == pytest.approx(truth, rel=0.03)
+
+    def test_snapshot_estimator(self, graph, truth):
+        est = estimate_spread_snapshots(graph, [0], num_snapshots=40_000, seed=1)
+        assert est.mean == pytest.approx(truth, rel=0.03)
+
+    @pytest.mark.parametrize("gen_cls", [VanillaICGenerator, SubsimICGenerator])
+    def test_rr_estimator(self, graph, truth, gen_cls):
+        est = rr_influence_estimate(
+            graph, [0], num_rr=40_000, generator_cls=gen_cls, seed=2
+        )
+        assert est == pytest.approx(truth, rel=0.05)
+
+    def test_lemma1_hit_probability(self, graph, truth):
+        assert exact_rr_hit_probability(graph, [0]) == pytest.approx(truth / 4)
+
+
+class TestSnapshotMechanics:
+    def test_snapshot_spread_deterministic_graph(self, rng):
+        assert snapshot_spread(path_graph(6), [0], rng) == 6
+
+    def test_zero_probability_graph(self, rng):
+        g = build_graph(3, [0, 1], [1, 2], [0.0, 0.0])
+        assert snapshot_spread(g, [0], rng) == 1
+
+    def test_validation(self):
+        g = path_graph(3)
+        with pytest.raises(ConfigurationError):
+            estimate_spread_snapshots(g, [0], num_snapshots=0)
+        with pytest.raises(ConfigurationError):
+            estimate_spread_snapshots(g, [99])
+
+    def test_empty_seeds(self):
+        est = estimate_spread_snapshots(path_graph(3), [], num_snapshots=10)
+        assert est.mean == 0.0

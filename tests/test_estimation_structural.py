@@ -1,0 +1,59 @@
+"""Tests for structural influence bounds."""
+
+import pytest
+
+from repro.estimation.montecarlo import estimate_spread
+from repro.estimation.rr_estimator import rr_influence_estimate
+from repro.estimation.structural import influence_envelope, reachable_set
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graphs.weights import uniform_weights, wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestReachableSet:
+    def test_path(self):
+        assert reachable_set(path_graph(5), [2]) == {2, 3, 4}
+
+    def test_union_of_seeds(self):
+        g = star_graph(6, center_out=True)
+        assert reachable_set(g, [1, 2]) == {1, 2}
+        assert reachable_set(g, [0]) == set(range(6))
+
+    def test_empty_seeds(self):
+        assert reachable_set(path_graph(3), []) == set()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reachable_set(path_graph(3), [7])
+
+
+class TestEnvelope:
+    def test_bounds_ordered(self):
+        g = wc_weights(preferential_attachment(150, 3, seed=1, reciprocal=0.3))
+        lower, upper = influence_envelope(g, [0, 1])
+        assert lower == 2.0
+        assert upper >= lower
+
+    def test_deterministic_graph_envelope_tight(self):
+        lower, upper = influence_envelope(cycle_graph(7), [3])
+        assert (lower, upper) == (1.0, 7.0)
+
+    def test_every_estimator_inside_envelope(self):
+        g = uniform_weights(
+            preferential_attachment(100, 3, seed=4, reciprocal=0.3), 0.2
+        )
+        seeds = [0, 5]
+        lower, upper = influence_envelope(g, seeds)
+        mc = estimate_spread(g, seeds, num_simulations=500, seed=0).mean
+        rr = rr_influence_estimate(g, seeds, num_rr=5000, seed=1)
+        for value in (mc, rr):
+            assert lower - 1e-9 <= value <= upper + 1e-9
+
+    def test_duplicates_collapsed(self):
+        lower, _ = influence_envelope(path_graph(4), [1, 1, 1])
+        assert lower == 1.0

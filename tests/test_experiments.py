@@ -1,0 +1,162 @@
+"""Tests for the experiment harness: calibration, workloads, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.calibration import (
+    average_rr_size,
+    calibrate_uniform_ic,
+    calibrate_wc_variant,
+)
+from repro.experiments.harness import timed_run
+from repro.experiments.reporting import format_float, render_table, rows_to_csv
+from repro.experiments.workloads import (
+    DATASET_NAMES,
+    dataset_spec,
+    make_dataset,
+    table2_rows,
+)
+from repro.graphs.generators import preferential_attachment
+from repro.utils.exceptions import CalibrationError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    return preferential_attachment(400, 4, seed=2, reciprocal=0.3)
+
+
+class TestAverageRRSize:
+    def test_positive(self, wc_graph):
+        assert average_rr_size(wc_graph, num_samples=50, seed=0) >= 1.0
+
+    def test_reproducible(self, wc_graph):
+        a = average_rr_size(wc_graph, num_samples=50, seed=0)
+        b = average_rr_size(wc_graph, num_samples=50, seed=0)
+        assert a == b
+
+    def test_rejects_zero_samples(self, wc_graph):
+        with pytest.raises(ValueError):
+            average_rr_size(wc_graph, num_samples=0)
+
+
+class TestCalibration:
+    def test_wc_variant_hits_target(self, base_graph):
+        target = 40.0
+        theta, graph, achieved = calibrate_wc_variant(
+            base_graph, target, num_samples=100, seed=0
+        )
+        assert theta >= 1.0
+        assert abs(achieved - target) <= 0.35 * target
+
+    def test_wc_variant_monotone_targets(self, base_graph):
+        t_small, _, _ = calibrate_wc_variant(base_graph, 10, num_samples=80, seed=0)
+        t_large, _, _ = calibrate_wc_variant(base_graph, 80, num_samples=80, seed=0)
+        assert t_large > t_small
+
+    def test_uniform_hits_target(self, base_graph):
+        target = 40.0
+        p, graph, achieved = calibrate_uniform_ic(
+            base_graph, target, num_samples=100, seed=0
+        )
+        assert 0.0 < p < 1.0
+        assert abs(achieved - target) <= 0.35 * target
+
+    def test_unreachable_target_rejected(self, base_graph):
+        with pytest.raises(CalibrationError):
+            calibrate_wc_variant(base_graph, 10 * base_graph.n, num_samples=30)
+
+    def test_target_below_one_rejected(self, base_graph):
+        with pytest.raises(CalibrationError):
+            calibrate_uniform_ic(base_graph, 0.5)
+
+
+class TestWorkloads:
+    def test_four_datasets(self):
+        assert len(DATASET_NAMES) == 4
+
+    def test_specs_consistent(self):
+        for name in DATASET_NAMES:
+            spec = dataset_spec(name)
+            assert spec.name == name
+            assert spec.base_n > 0
+
+    def test_make_dataset_scales(self):
+        small = make_dataset("pokec-like", scale=0.02, seed=0)
+        large = make_dataset("pokec-like", scale=0.04, seed=0)
+        assert large.n == 2 * small.n
+
+    def test_undirected_datasets_symmetric(self):
+        g = make_dataset("orkut-like", scale=0.02, seed=0)
+        src, dst, _ = g.edges()
+        pairs = set(zip(src, dst))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("livejournal-like")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("pokec-like", scale=0.0)
+
+    def test_table2_rows_structure(self):
+        rows = table2_rows(scale=0.02, seed=0)
+        assert len(rows) == 4
+        assert {"dataset", "n", "m", "paper_n", "paper_m"} <= set(rows[0])
+
+
+class TestReporting:
+    def test_format_float(self):
+        assert format_float(3.0) == "3"
+        assert format_float(0.12345) == "0.123"
+
+    def test_render_table_alignment(self):
+        text = render_table([{"a": 1, "bb": 2.5}, {"a": 100, "bb": 0.1}])
+        lines = text.strip().split("\n")
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+
+    def test_render_table_title_and_empty(self):
+        assert "(no rows)" in render_table([], title="t")
+        assert "== t ==" in render_table([], title="t")
+
+    def test_render_table_fixed_columns(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_rows_to_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([{"x": 1, "y": "z"}, {"x": 2, "y": "w"}], str(path))
+        content = path.read_text().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,z"
+
+    def test_rows_to_csv_empty(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([], str(path))
+        assert path.read_text() == ""
+
+
+class TestHarness:
+    def test_timed_run_record(self, wc_graph):
+        record = timed_run(
+            wc_graph, "test", "degree", 3, 0.3, seed=0, setting="s"
+        )
+        row = record.as_row()
+        assert row["dataset"] == "test"
+        assert row["algorithm"] == "degree"
+        assert "spread" not in row
+
+    def test_timed_run_with_spread(self, wc_graph):
+        record = timed_run(
+            wc_graph,
+            "test",
+            "degree",
+            3,
+            0.3,
+            seed=0,
+            evaluate_spread=True,
+            num_simulations=50,
+        )
+        assert record.spread is not None
+        assert "spread" in record.as_row()

@@ -1,0 +1,127 @@
+"""Smoke tests for the per-figure experiment functions at tiny scale.
+
+The benchmarks run these at full size and assert the paper's shape; here
+we only verify structure, determinism, and parameter plumbing, keeping the
+unit suite fast.
+"""
+
+import pytest
+
+from repro.experiments.extensions import lt_model_rows, seed_quality_rows
+from repro.experiments.figures import (
+    figure1_rows,
+    figure2_rows,
+    figure3_rows,
+    figure4_rows,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+)
+
+TINY = {"scale": 0.012, "seed": 1}
+
+
+class TestFigure1:
+    def test_structure(self):
+        rows = figure1_rows(
+            datasets=["pokec-like"],
+            k=5,
+            eps=0.5,
+            algorithms=("opim-c", "subsim"),
+            max_rr_sets=2000,
+            **TINY,
+        )
+        assert len(rows) == 2
+        assert {r["algorithm"] for r in rows} == {"opim-c", "subsim"}
+        for row in rows:
+            assert row["runtime_s"] > 0
+            assert row["num_rr_sets"] > 0
+
+    def test_cap_column_present(self):
+        rows = figure1_rows(
+            datasets=["pokec-like"],
+            k=5,
+            eps=0.5,
+            algorithms=("imm",),
+            max_rr_sets=100,
+            **TINY,
+        )
+        assert rows[0]["capped"] in (True, False)
+
+
+class TestFigure2:
+    def test_structure(self):
+        rows = figure2_rows(
+            datasets=["pokec-like"],
+            num_rr=200,
+            distributions=("exponential",),
+            **TINY,
+        )
+        assert {r["generator"] for r in rows} == {"vanilla", "subsim"}
+        for row in rows:
+            assert row["num_rr"] == 200
+
+
+class TestFigure3:
+    def test_structure(self):
+        rows = figure3_rows(
+            datasets=["pokec-like"], k=10, eps=0.4,
+            target_size_fraction=0.15, **TINY,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["hist_avg_rr_size"] > 0
+        assert row["size_reduction"] > 0
+
+
+class TestFigures4And5:
+    def test_figure4_covers_all_pairs(self):
+        rows = figure4_rows(
+            dataset="pokec-like", k_values=(2, 4), eps=0.4,
+            target_size_fraction=0.15,
+            algorithms=("opim-c", "hist"), **TINY,
+        )
+        assert len(rows) == 4
+
+    def test_figure5_has_spread(self):
+        rows = figure5_rows(
+            dataset="pokec-like", k_values=(2, 4), eps=0.4,
+            target_size_fraction=0.15, num_simulations=30, **TINY,
+        )
+        assert all("spread" in r and "spread_fraction_of_n" in r for r in rows)
+
+
+class TestFigures6And7:
+    def test_figure6_ladder(self):
+        rows = figure6_rows(
+            dataset="pokec-like", k=5, eps=0.4,
+            size_fractions=(0.05, 0.15),
+            algorithms=("opim-c", "hist"), **TINY,
+        )
+        targets = {r["target_avg_rr_size"] for r in rows}
+        assert len(targets) == 2
+
+    def test_figure7_records_p(self):
+        rows = figure7_rows(
+            dataset="pokec-like", k=5, eps=0.4,
+            size_fractions=(0.1,),
+            algorithms=("opim-c",), **TINY,
+        )
+        assert rows[0]["setting"].startswith("p=")
+
+
+class TestExtensions:
+    def test_lt_rows(self):
+        rows = lt_model_rows(
+            k=4, eps=0.4, algorithms=("opim-c-lt", "degree"),
+            num_simulations=30, **TINY,
+        )
+        assert all("lt_spread" in r for r in rows)
+
+    def test_seed_quality_sorted_descending(self):
+        rows = seed_quality_rows(
+            k=4, eps=0.4, algorithms=("subsim", "random"),
+            num_simulations=30, **TINY,
+        )
+        spreads = [r["spread"] for r in rows]
+        assert spreads == sorted(spreads, reverse=True)

@@ -1,0 +1,85 @@
+"""Tests for the empirical guarantee auditor."""
+
+import pytest
+
+from repro.experiments.guarantees import GuaranteeAudit, audit_guarantee
+from repro.core.certify import Certificate
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wc_weights(preferential_attachment(200, 3, seed=9, reciprocal=0.3))
+
+
+def make_cert(ratio):
+    return Certificate(
+        ratio=ratio, lower_bound=1.0, upper_bound=2.0, num_rr_sets=10, delta=0.01
+    )
+
+
+class TestAuditDataclass:
+    def test_failure_counting(self):
+        audit = GuaranteeAudit(
+            algorithm="x", k=2, eps=0.3, delta=0.1,
+            target_ratio=0.33,
+            certificates=[make_cert(0.5), make_cert(0.1), make_cert(0.25)],
+            certificate_slack=0.0,
+        )
+        assert audit.runs == 3
+        assert audit.failures == 2
+        assert audit.failure_rate == pytest.approx(2 / 3)
+        assert not audit.holds()
+
+    def test_slack_absorbs_near_misses(self):
+        audit = GuaranteeAudit(
+            algorithm="x", k=2, eps=0.3, delta=0.1,
+            target_ratio=0.33,
+            certificates=[make_cert(0.28)],
+            certificate_slack=0.1,
+        )
+        assert audit.failures == 0
+        assert audit.holds()
+
+    def test_summary_row(self):
+        audit = GuaranteeAudit(
+            algorithm="x", k=2, eps=0.3, delta=0.1,
+            target_ratio=0.33,
+            certificates=[make_cert(0.5)],
+            certificate_slack=0.0,
+        )
+        row = audit.summary_row()
+        assert row["holds"] is True
+        assert row["min_certified"] == 0.5
+
+
+class TestAuditEndToEnd:
+    def test_subsim_guarantee_holds(self, graph):
+        audit = audit_guarantee(
+            graph, "subsim", k=5, eps=0.3, delta=0.1,
+            runs=5, certificate_rr=8000, seed=1,
+        )
+        assert audit.runs == 5
+        assert audit.holds(), audit.summary_row()
+
+    def test_random_seeds_fail_the_audit(self, graph):
+        audit = audit_guarantee(
+            graph, "random", k=5, eps=0.3, delta=0.1,
+            runs=5, certificate_rr=8000, seed=1,
+        )
+        assert audit.failure_rate > 0.5
+
+    def test_reproducible(self, graph):
+        a = audit_guarantee(graph, "degree", k=3, runs=2,
+                            certificate_rr=2000, seed=4)
+        b = audit_guarantee(graph, "degree", k=3, runs=2,
+                            certificate_rr=2000, seed=4)
+        assert a.certified_ratios == b.certified_ratios
+
+    def test_validation(self, graph):
+        with pytest.raises(ConfigurationError):
+            audit_guarantee(graph, "subsim", k=3, runs=0)
+        with pytest.raises(ConfigurationError):
+            audit_guarantee(graph, "subsim", k=3, certificate_slack=1.5)

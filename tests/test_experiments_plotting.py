@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, line_chart, runtime_ladder_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"a": 1.0, "bb": 2.0}, title="t", width=10)
+        lines = text.strip().split("\n")
+        assert lines[0] == "== t =="
+        assert lines[1].startswith("a ")
+        assert lines[2].count("#") == 10  # the max fills the width
+
+    def test_proportionality_linear(self):
+        text = bar_chart({"x": 1.0, "y": 4.0}, width=40)
+        x_len = text.splitlines()[0].count("#")
+        y_len = text.splitlines()[1].count("#")
+        assert y_len == 4 * x_len
+
+    def test_log_scale_compresses(self):
+        text = bar_chart({"x": 1.0, "y": 1000.0}, width=30, log_scale=True)
+        x_len = text.splitlines()[0].count("#")
+        y_len = text.splitlines()[1].count("#")
+        assert x_len >= 1
+        assert y_len == 30
+
+    def test_zero_value_empty_bar(self):
+        text = bar_chart({"x": 0.0, "y": 5.0})
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_empty_and_invalid(self):
+        assert bar_chart({}) == "(no data)\n"
+        with pytest.raises(ValueError):
+            bar_chart({"x": -1.0})
+
+
+class TestLineChart:
+    def test_markers_present(self):
+        text = line_chart(
+            {"a": [1, 2, 3], "b": [3, 2, 1]}, x_labels=[1, 2, 3]
+        )
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [0.0, 1.0]}, [1, 2], log_scale=True)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, [1, 2, 3])
+
+    def test_height_validated(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, [1, 2], height=1)
+
+    def test_empty(self):
+        assert line_chart({}, []) == "(no data)\n"
+
+
+class TestLadderChart:
+    def test_from_harness_rows(self):
+        rows = [
+            {"target": 10, "algorithm": "opim-c", "runtime_s": 1.0},
+            {"target": 10, "algorithm": "hist", "runtime_s": 0.5},
+            {"target": 100, "algorithm": "opim-c", "runtime_s": 4.0},
+            {"target": 100, "algorithm": "hist", "runtime_s": 0.6},
+        ]
+        text = runtime_ladder_chart(rows, x_key="target", title="ladder")
+        assert "== ladder ==" in text
+        assert "opim-c" in text
+
+    def test_missing_point_rejected(self):
+        rows = [
+            {"target": 10, "algorithm": "a", "runtime_s": 1.0},
+            {"target": 100, "algorithm": "b", "runtime_s": 2.0},
+        ]
+        with pytest.raises(ValueError):
+            runtime_ladder_chart(rows, x_key="target")

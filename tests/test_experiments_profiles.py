@@ -1,0 +1,63 @@
+"""Tests for the RR-size profiler."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.profiles import profile_rr_sizes
+from repro.graphs.generators import path_graph, preferential_attachment
+from repro.graphs.weights import wc_variant_weights, wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def high_graph():
+    base = preferential_attachment(300, 4, seed=5, reciprocal=0.3)
+    return wc_variant_weights(base, 2.5)
+
+
+class TestProfile:
+    def test_basic_statistics(self, high_graph):
+        profile = profile_rr_sizes(high_graph, num_samples=300, seed=0)
+        assert profile.count == 300
+        assert 1 <= profile.mean <= high_graph.n
+        assert profile.percentile(50) <= profile.percentile(99)
+        assert profile.maximum >= profile.percentile(99) - 1
+
+    def test_deterministic_graph_sizes(self):
+        g = path_graph(6)
+        profile = profile_rr_sizes(g, num_samples=200, seed=0)
+        # RR set of root i is exactly i+1 nodes; mean ~ (1+..+6)/6 = 3.5
+        assert profile.mean == pytest.approx(3.5, abs=0.4)
+        assert profile.maximum == 6
+
+    def test_sentinel_shrinks_profile(self, high_graph):
+        free = profile_rr_sizes(high_graph, num_samples=300, seed=0)
+        # The strongest hubs as sentinels.
+        hubs = np.argsort(high_graph.out_degree())[-10:].tolist()
+        stopped = profile_rr_sizes(
+            high_graph, num_samples=300, sentinel_seeds=hubs, seed=0
+        )
+        assert stopped.mean < free.mean
+        assert stopped.percentile(90) <= free.percentile(90)
+
+    def test_tail_mass(self, high_graph):
+        profile = profile_rr_sizes(high_graph, num_samples=300, seed=0)
+        assert profile.tail_mass(0) == pytest.approx(1.0)
+        assert profile.tail_mass(high_graph.n) == 0.0
+        mid = profile.tail_mass(int(profile.percentile(50)))
+        assert 0.0 <= mid <= 1.0
+
+    def test_summary_row_keys(self, high_graph):
+        row = profile_rr_sizes(high_graph, num_samples=50, seed=0).summary_row()
+        assert {"count", "mean", "p90", "p99", "max"} <= set(row)
+
+    def test_histogram_renders(self, high_graph):
+        profile = profile_rr_sizes(high_graph, num_samples=100, seed=0)
+        chart = profile.histogram_chart(title="t")
+        assert "== t ==" in chart
+
+    def test_validation(self, high_graph):
+        with pytest.raises(ConfigurationError):
+            profile_rr_sizes(high_graph, num_samples=0)
+        with pytest.raises(ConfigurationError):
+            profile_rr_sizes(high_graph, sentinel_seeds=[99999])

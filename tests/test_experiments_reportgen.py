@@ -1,0 +1,72 @@
+"""Tests for the reproduction-report aggregator."""
+
+import pytest
+
+from repro.experiments.reportgen import available_results, generate_report
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig1_wc_running_time.txt").write_text("fig1 table body\n")
+    (d / "guarantee_audit.txt").write_text("audit body\n")
+    (d / "custom_extra.txt").write_text("extra body\n")
+    return d
+
+
+class TestAvailable:
+    def test_lists_stems(self, results_dir):
+        assert available_results(results_dir) == [
+            "custom_extra",
+            "fig1_wc_running_time",
+            "guarantee_audit",
+        ]
+
+    def test_missing_dir_empty(self, tmp_path):
+        assert available_results(tmp_path / "nope") == []
+
+
+class TestGenerate:
+    def test_composes_in_canonical_order(self, results_dir):
+        text = generate_report(results_dir)
+        fig1 = text.index("Figure 1")
+        audit = text.index("guarantee audit")
+        extra = text.index("custom_extra")
+        assert fig1 < audit < extra
+
+    def test_bodies_included(self, results_dir):
+        text = generate_report(results_dir)
+        assert "fig1 table body" in text
+        assert "extra body" in text
+
+    def test_missing_sections_listed(self, results_dir):
+        text = generate_report(results_dir)
+        assert "Missing sections" in text
+        assert "Figure 6" in text
+
+    def test_writes_output_file(self, results_dir, tmp_path):
+        out = tmp_path / "REPORT.md"
+        generate_report(results_dir, output_path=out, title="T")
+        assert out.read_text().startswith("# T")
+
+    def test_empty_dir_rejected(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(ConfigurationError):
+            generate_report(empty)
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            generate_report(tmp_path / "nope")
+
+    def test_real_results_if_present(self):
+        """Against the repo's actual results dir when benchmarks have run."""
+        from pathlib import Path
+
+        real = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        if not real.is_dir() or not any(real.glob("*.txt")):
+            pytest.skip("no benchmark results present")
+        text = generate_report(real)
+        assert "# Reproduction report" in text

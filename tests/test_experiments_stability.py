@@ -1,0 +1,89 @@
+"""Tests for seed-set stability analysis."""
+
+import pytest
+
+from repro.experiments.stability import (
+    StabilityReport,
+    pairwise_jaccard,
+    seed_set_jaccard,
+    stability_report,
+)
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert seed_set_jaccard([1, 2], [2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert seed_set_jaccard([1], [2]) == 0.0
+
+    def test_partial(self):
+        assert seed_set_jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert seed_set_jaccard([], []) == 1.0
+
+    def test_pairwise_count(self):
+        values = pairwise_jaccard([[1], [1], [2]])
+        assert len(values) == 3
+        assert sorted(values) == [0.0, 0.0, 1.0]
+
+
+class TestReport:
+    def test_core_and_mean(self):
+        report = StabilityReport(
+            algorithm="x", k=2,
+            seed_sets=[{1, 2}, {1, 3}, {1, 2}],
+            spreads=[10.0, 9.0, 10.0],
+        )
+        assert report.core_seeds == {1}
+        assert 0.0 < report.mean_jaccard < 1.0
+        assert report.spread_band == pytest.approx(0.1)
+
+    def test_summary_row(self):
+        report = StabilityReport(
+            algorithm="x", k=2, seed_sets=[{1}], spreads=[5.0]
+        )
+        row = report.summary_row()
+        assert row["core_seeds"] == 1
+        assert row["mean_jaccard"] == 1.0
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return wc_weights(
+            preferential_attachment(200, 3, seed=11, reciprocal=0.3)
+        )
+
+    def test_quality_stable_even_if_membership_churns(self, graph):
+        report = stability_report(
+            graph, "subsim", k=5, eps=0.3, runs=4,
+            num_simulations=150, seed=0,
+        )
+        assert report.runs == 4
+        # Quality must be stable...
+        assert report.spread_band < 0.25
+        # ...and the strongest hub should be a consensus pick.
+        assert len(report.core_seeds) >= 1
+
+    def test_deterministic_algorithm_fully_stable(self, graph):
+        report = stability_report(
+            graph, "degree", k=5, runs=3, num_simulations=50, seed=0
+        )
+        assert report.mean_jaccard == 1.0
+        assert len(report.core_seeds) == 5
+        assert report.spread_band == 0.0
+
+    def test_random_algorithm_unstable(self, graph):
+        report = stability_report(
+            graph, "random", k=5, runs=4, num_simulations=50, seed=0
+        )
+        assert report.mean_jaccard < 0.5
+
+    def test_validation(self, graph):
+        with pytest.raises(ConfigurationError):
+            stability_report(graph, "degree", k=2, runs=1)

@@ -1,0 +1,106 @@
+"""Tests for the parameter-sweep runner."""
+
+import pytest
+
+from repro.experiments.sweep import SweepConfig, run_sweep, summarize_sweep
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_graphs():
+    g = wc_weights(preferential_attachment(120, 3, seed=1, reciprocal=0.3))
+    return {"tiny": g}
+
+
+class TestSweepConfig:
+    def test_size(self, small_graphs):
+        config = SweepConfig(
+            graphs=small_graphs,
+            algorithms=["degree", "random"],
+            k_values=[2, 4],
+            seeds=[0, 1, 2],
+        )
+        assert config.size() == 12
+
+    def test_validation(self, small_graphs):
+        with pytest.raises(ConfigurationError):
+            SweepConfig({}, ["degree"], [1]).validate()
+        with pytest.raises(ConfigurationError):
+            SweepConfig(small_graphs, [], [1]).validate()
+        with pytest.raises(ConfigurationError):
+            SweepConfig(small_graphs, ["degree"], [0]).validate()
+        with pytest.raises(ConfigurationError):
+            SweepConfig(small_graphs, ["degree"], [1], seeds=[]).validate()
+
+
+class TestRunSweep:
+    def test_executes_full_grid(self, small_graphs):
+        config = SweepConfig(
+            graphs=small_graphs,
+            algorithms=["degree", "random"],
+            k_values=[2, 3],
+            seeds=[0, 1],
+        )
+        records = run_sweep(config)
+        assert len(records) == config.size()
+        assert {r.algorithm for r in records} == {"degree", "random"}
+        assert {r.k for r in records} == {2, 3}
+
+    def test_csv_output(self, small_graphs, tmp_path):
+        config = SweepConfig(
+            graphs=small_graphs, algorithms=["degree"], k_values=[2]
+        )
+        path = tmp_path / "sweep.csv"
+        run_sweep(config, csv_path=str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # header + one run
+
+    def test_algorithm_kwargs_forwarded(self, small_graphs):
+        config = SweepConfig(
+            graphs=small_graphs,
+            algorithms=["imm"],
+            k_values=[2],
+            eps=0.5,
+            algorithm_kwargs={"imm": {"max_rr_sets": 777}},
+        )
+        records = run_sweep(config)
+        assert records[0].result.num_rr_sets <= 777
+
+    def test_spread_evaluation(self, small_graphs):
+        config = SweepConfig(
+            graphs=small_graphs,
+            algorithms=["degree"],
+            k_values=[2],
+            evaluate_spread=True,
+            num_simulations=50,
+        )
+        records = run_sweep(config)
+        assert records[0].spread is not None
+
+
+class TestSummarize:
+    def test_aggregates_seeds(self, small_graphs):
+        config = SweepConfig(
+            graphs=small_graphs,
+            algorithms=["degree"],
+            k_values=[2],
+            seeds=[0, 1, 2],
+        )
+        rows = summarize_sweep(run_sweep(config))
+        assert len(rows) == 1
+        assert rows[0]["runs"] == 3
+        assert rows[0]["max_runtime_s"] >= rows[0]["mean_runtime_s"] - 1e-9
+
+    def test_mean_spread_when_available(self, small_graphs):
+        config = SweepConfig(
+            graphs=small_graphs,
+            algorithms=["degree"],
+            k_values=[2],
+            seeds=[0, 1],
+            evaluate_spread=True,
+            num_simulations=20,
+        )
+        rows = summarize_sweep(run_sweep(config))
+        assert "mean_spread" in rows[0]

@@ -1,0 +1,55 @@
+"""Tests for the Lemma 3 / Lemma 4 empirical validators."""
+
+import pytest
+
+from repro.experiments.theory_checks import (
+    check_lemma3,
+    check_lemma4_wc,
+    theory_check_rows,
+)
+from repro.graphs.generators import preferential_attachment, star_graph
+from repro.graphs.weights import uniform_weights, wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("h,p", [(10, 0.1), (100, 0.05), (50, 0.5)])
+    def test_cost_matches_one_plus_mu(self, h, p):
+        check = check_lemma3(h, p, trials=20_000, seed=0)
+        assert check.ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_tiny_probability_cost_is_constant(self):
+        check = check_lemma3(10_000, 1e-5, trials=5000, seed=0)
+        # mu ~ 0.1: cost ~ 1.1 regardless of h = 10^4.
+        assert check.measured_cost < 1.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            check_lemma3(10, 0.1, trials=0)
+
+
+class TestLemma4:
+    def test_bound_holds_on_pa_graph(self):
+        g = wc_weights(preferential_attachment(300, 4, seed=3, reciprocal=0.3))
+        check = check_lemma4_wc(g, num_rr=3000, num_influence_samples=6000,
+                                seed=0)
+        # Under WC the lemma is tight: both sides estimate the same
+        # quantity, so the slack must hover around 1 (heavy-tail MC noise).
+        assert 0.75 <= check.slack <= 1.33
+
+    def test_bound_holds_on_star(self):
+        g = wc_weights(star_graph(50, center_out=True))
+        check = check_lemma4_wc(g, num_rr=2000, num_influence_samples=2000,
+                                seed=1)
+        assert 0.75 <= check.slack <= 1.33
+
+    def test_rejects_non_wc_graphs(self):
+        g = uniform_weights(preferential_attachment(50, 3, seed=1), 0.1)
+        with pytest.raises(ConfigurationError):
+            check_lemma4_wc(g)
+
+    def test_summary_row(self):
+        g = wc_weights(preferential_attachment(150, 3, seed=2, reciprocal=0.3))
+        row = theory_check_rows(g, seed=0)
+        assert 0.75 <= row["lemma4_slack"] <= 1.33
+        assert {"lemma3_measured", "lemma4_bound"} <= set(row)

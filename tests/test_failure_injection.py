@@ -1,0 +1,121 @@
+"""Failure injection: corrupted inputs, misuse, and adversarial structure.
+
+A production library fails loudly and precisely; these tests feed each
+layer broken data and assert the error is the documented one (never a
+silent wrong answer or an unrelated traceback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import path_graph, preferential_attachment
+from repro.graphs.io import load_edge_list, load_npz
+from repro.graphs.weights import wc_weights
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ConfigurationError, GraphFormatError
+
+
+class TestCorruptedFiles:
+    def test_truncated_npz(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a real archive")
+        with pytest.raises(Exception):  # zipfile/numpy error, not a hang
+            load_npz(path)
+
+    def test_edge_list_with_negative_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_edge_list_with_bad_probability(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 7.5\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_edge_list_with_self_loop(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("3 3\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_edge_list_n_too_small(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path, n=5)
+
+
+class TestAdversarialStructure:
+    def test_isolated_node_graph(self, rng):
+        # Node 2 has no edges at all: everything still works.
+        g = build_graph(3, [0], [1], [0.5])
+        gen = SubsimICGenerator(g)
+        assert gen.generate(rng, root=2) == [2]
+        wc = wc_weights(g)
+        assert wc.in_prob_sums[2] == 0.0
+
+    def test_single_node_universe(self, rng):
+        g = build_graph(1, [], [], [])
+        for cls in (VanillaICGenerator, SubsimICGenerator):
+            assert cls(g).generate(rng) == [0]
+
+    def test_very_high_degree_hub(self, rng):
+        # 5000 edges into one node: SUBSIM must stay O(mu) there.
+        n = 5001
+        src = np.arange(1, n, dtype=np.int64)
+        dst = np.zeros(n - 1, dtype=np.int64)
+        g = build_graph(n, src, dst, np.full(n - 1, 1.0 / (n - 1)))
+        gen = SubsimICGenerator(g)
+        for _ in range(50):
+            gen.generate(rng, root=0)
+        # ~1 success + 1 terminal inspection per generation on average.
+        assert gen.counters.edges_examined < 50 * 10
+
+    def test_all_probability_one_dense_core(self, rng):
+        from repro.graphs.generators import complete_graph
+
+        g = complete_graph(12)
+        gen = SubsimICGenerator(g)
+        assert sorted(gen.generate(rng, root=5)) == list(range(12))
+
+    def test_deep_chain_no_recursion_issues(self, rng):
+        g = path_graph(20_000)
+        gen = VanillaICGenerator(g)
+        assert len(gen.generate(rng, root=19_999)) == 20_000
+
+
+class TestMisuse:
+    def test_generator_root_out_of_range(self, wc_graph, rng):
+        for cls in (VanillaICGenerator, SubsimICGenerator):
+            with pytest.raises(ValueError):
+                cls(wc_graph).generate(rng, root=-1)
+
+    def test_collection_with_foreign_node_ids(self):
+        c = RRCollection(3)
+        with pytest.raises(IndexError):
+            c.add([7])
+
+    def test_algorithm_on_reweighted_graph_not_stale(self):
+        """Generators bind the graph at construction: reweighting creates a
+        new graph, and the old generator keeps the old probabilities."""
+        base = preferential_attachment(50, 3, seed=1, reciprocal=0.3)
+        g1 = wc_weights(base)
+        gen = SubsimICGenerator(g1)
+        from repro.graphs.weights import uniform_weights
+
+        g2 = uniform_weights(base, 0.0)
+        rng = np.random.default_rng(0)
+        sizes = [len(gen.generate(rng)) for _ in range(200)]
+        assert max(sizes) > 1  # still samples from g1, not the zeroed g2
+
+    def test_empty_graph_algorithm_rejected(self):
+        g = build_graph(1, [], [], [])
+        from repro.algorithms.opimc import OPIMC
+
+        with pytest.raises(ConfigurationError):
+            OPIMC(g).run(2)  # k > n

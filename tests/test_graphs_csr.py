@@ -1,0 +1,161 @@
+"""Tests for the dual-CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.csr import CSRGraph, build_graph
+from repro.utils.exceptions import GraphFormatError
+
+
+def tiny():
+    # 0 -> 1 (0.5), 0 -> 2 (0.25), 2 -> 1 (1.0), 1 -> 0 (0.1)
+    return build_graph(
+        3,
+        [0, 0, 2, 1],
+        [1, 2, 1, 0],
+        [0.5, 0.25, 1.0, 0.1],
+    )
+
+
+class TestBuild:
+    def test_counts(self):
+        g = tiny()
+        assert g.n == 3
+        assert g.m == 4
+
+    def test_out_neighbors(self):
+        g = tiny()
+        nbrs, probs = g.out_neighbors(0)
+        assert list(nbrs) == [1, 2]
+        assert list(probs) == [0.5, 0.25]
+
+    def test_in_neighbors_sorted_descending_by_prob(self):
+        g = tiny()
+        nbrs, probs = g.in_neighbors(1)
+        assert list(probs) == sorted(probs, reverse=True)
+        assert set(nbrs) == {0, 2}
+        assert probs[0] == 1.0  # the 2 -> 1 edge dominates
+
+    def test_degrees(self):
+        g = tiny()
+        assert g.out_degree(0) == 2
+        assert g.in_degree(1) == 2
+        assert list(g.out_degree()) == [2, 1, 1]
+        assert list(g.in_degree()) == [1, 2, 1]
+
+    def test_in_prob_sums(self):
+        g = tiny()
+        assert g.in_prob_sums[1] == pytest.approx(1.5)
+        assert g.in_prob_sums[0] == pytest.approx(0.1)
+
+    def test_in_prob_sums_isolated_node(self):
+        g = build_graph(4, [0], [1], [0.5])
+        assert g.in_prob_sums[2] == 0.0
+        assert g.in_prob_sums[3] == 0.0
+
+    def test_uniform_in_flags(self):
+        g = tiny()
+        assert bool(g.uniform_in[0])  # single in-edge counts as uniform
+        assert not bool(g.uniform_in[1])  # 1.0 vs 0.5 differ
+
+    def test_edges_round_trip(self):
+        g = tiny()
+        src, dst, probs = g.edges()
+        rebuilt = build_graph(3, src, dst, probs)
+        assert rebuilt == g
+
+    def test_transpose_reverses_edges(self):
+        g = tiny()
+        t = g.transpose()
+        assert t.m == g.m
+        nbrs, _ = t.out_neighbors(1)
+        assert set(nbrs) == {0, 2}
+
+    def test_transpose_twice_is_identity(self):
+        g = tiny()
+        assert g.transpose().transpose() == g
+
+    def test_average_degree(self):
+        assert tiny().average_degree() == pytest.approx(4 / 3)
+
+
+class TestValidation:
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [0], [5], [0.5])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [-1], [0], [0.5])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [1], [1], [0.5])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [0, 0], [1, 1], [0.5, 0.6])
+
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [0], [1], [1.5])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [0], [1], [-0.1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphFormatError):
+            build_graph(2, [0], [1, 0], [0.5])
+
+    def test_empty_graph_allowed(self):
+        g = build_graph(3, [], [], [])
+        assert g.m == 0
+        assert list(g.in_prob_sums) == [0.0, 0.0, 0.0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    edge_data=st.data(),
+)
+def test_csr_invariants_random_graphs(n, edge_data):
+    """CSR arrays stay mutually consistent for arbitrary edge sets."""
+    max_edges = min(n * (n - 1), 60)
+    pairs = edge_data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1), st.floats(0, 1)
+            ),
+            max_size=max_edges,
+        )
+    )
+    seen = set()
+    src, dst, probs = [], [], []
+    for u, v, p in pairs:
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        src.append(u)
+        dst.append(v)
+        probs.append(p)
+    g = build_graph(n, src, dst, probs)
+    # indptr monotone, totals agree
+    assert g.out_indptr[0] == 0 and g.out_indptr[-1] == g.m
+    assert g.in_indptr[0] == 0 and g.in_indptr[-1] == g.m
+    assert (np.diff(g.out_indptr) >= 0).all()
+    assert (np.diff(g.in_indptr) >= 0).all()
+    # every edge appears once in each direction's arrays
+    fwd = set(zip(*g.edges()[:2]))
+    assert fwd == seen
+    # per-node in-blocks sorted descending
+    for v in range(n):
+        _, p = g.in_neighbors(v)
+        assert list(p) == sorted(p, reverse=True)
+    # in_prob_sums matches a direct computation
+    direct = np.zeros(n)
+    for u, v, p in zip(src, dst, probs):
+        direct[v] += p
+    assert np.allclose(direct, g.in_prob_sums)

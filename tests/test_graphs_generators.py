@@ -1,0 +1,172 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+    stochastic_block_model,
+    watts_strogatz,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def no_self_loops_or_duplicates(graph):
+    src, dst, _ = graph.edges()
+    assert (src != dst).all()
+    assert len(set(zip(src, dst))) == len(src)
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        g = erdos_renyi(500, 4.0, seed=0)
+        assert g.n == 500
+        assert abs(g.m - 2000) < 200
+
+    def test_clean_edges(self):
+        no_self_loops_or_duplicates(erdos_renyi(100, 3.0, seed=1))
+
+    def test_reproducible(self):
+        assert erdos_renyi(100, 3.0, seed=5) == erdos_renyi(100, 3.0, seed=5)
+
+    def test_undirected_is_symmetric(self):
+        g = erdos_renyi(80, 2.0, seed=2, directed=False)
+        src, dst, _ = g.edges()
+        pairs = set(zip(src, dst))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(1, 2.0)
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 0.0)
+
+
+class TestPreferentialAttachment:
+    def test_sizes(self):
+        g = preferential_attachment(200, 4, seed=0)
+        assert g.n == 200
+        # (n - epn) arrivals each adding epn edges
+        assert g.m == (200 - 4) * 4
+
+    def test_heavy_tail(self):
+        g = preferential_attachment(2000, 4, seed=0)
+        in_deg = g.in_degree()
+        # preferential attachment: max in-degree far above the mean
+        assert in_deg.max() > 10 * in_deg.mean()
+
+    def test_pure_growth_is_dag(self):
+        g = preferential_attachment(100, 3, seed=1)
+        src, dst, _ = g.edges()
+        assert (src > dst).all()  # edges always point from newer to older
+
+    def test_reciprocal_creates_back_edges(self):
+        g = preferential_attachment(100, 3, seed=1, reciprocal=0.5)
+        src, dst, _ = g.edges()
+        assert (src < dst).sum() > 0
+
+    def test_reciprocal_one_symmetric(self):
+        g = preferential_attachment(60, 3, seed=1, reciprocal=1.0)
+        src, dst, _ = g.edges()
+        pairs = set(zip(src, dst))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_undirected_symmetric(self):
+        g = preferential_attachment(60, 3, seed=1, directed=False)
+        src, dst, _ = g.edges()
+        pairs = set(zip(src, dst))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_clean_edges(self):
+        no_self_loops_or_duplicates(preferential_attachment(150, 5, seed=3))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(4, 4)
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(10, 0)
+        with pytest.raises(ConfigurationError):
+            preferential_attachment(10, 2, reciprocal=1.5)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_ring(self):
+        g = watts_strogatz(20, 2, 0.0, seed=0)
+        assert g.m == 40
+        nbrs, _ = g.out_neighbors(0)
+        assert set(nbrs) == {1, 2}
+
+    def test_rewiring_changes_targets(self):
+        ring = watts_strogatz(200, 3, 0.0, seed=0)
+        rewired = watts_strogatz(200, 3, 0.9, seed=0)
+        assert rewired != ring
+
+    def test_clean_edges(self):
+        no_self_loops_or_duplicates(watts_strogatz(100, 4, 0.3, seed=2))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 0, 0.1)
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 10, 0.1)
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(10, 2, 1.5)
+
+
+class TestSBM:
+    def test_within_denser_than_between(self):
+        g = stochastic_block_model([100, 100], 0.05, 0.005, seed=0)
+        src, dst, _ = g.edges()
+        within = ((src < 100) == (dst < 100)).sum()
+        between = len(src) - within
+        assert within > 3 * between
+
+    def test_node_count(self):
+        g = stochastic_block_model([30, 40, 50], 0.02, 0.002, seed=1)
+        assert g.n == 120
+
+    def test_clean_edges(self):
+        no_self_loops_or_duplicates(
+            stochastic_block_model([50, 50], 0.05, 0.01, seed=2)
+        )
+
+    def test_rejects_bad_probs(self):
+        with pytest.raises(ConfigurationError):
+            stochastic_block_model([10, 10], 1.5, 0.1)
+
+
+class TestDeterministicGraphs:
+    def test_star_out(self):
+        g = star_graph(5, center_out=True)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+
+    def test_star_in(self):
+        g = star_graph(5, center_out=False)
+        assert g.in_degree(0) == 4
+        assert g.out_degree(0) == 0
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert g.out_degree(4) == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert all(g.out_degree(v) == 1 for v in range(5))
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.m == 12
+        no_self_loops_or_duplicates(g)
+
+    def test_minimum_sizes_enforced(self):
+        for factory in (star_graph, path_graph, cycle_graph, complete_graph):
+            with pytest.raises(ConfigurationError):
+                factory(1)

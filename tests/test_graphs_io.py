@@ -1,0 +1,78 @@
+"""Tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.weights import exponential_weights
+from repro.utils.exceptions import GraphFormatError
+
+
+@pytest.fixture
+def graph():
+    return exponential_weights(
+        preferential_attachment(50, 3, seed=1, reciprocal=0.3), seed=2
+    )
+
+
+class TestEdgeList:
+    def test_round_trip_with_probs(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path, n=graph.n)
+        assert loaded == graph
+
+    def test_round_trip_without_probs(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path, write_probs=False)
+        loaded = load_edge_list(path, default_prob=1.0, n=graph.n)
+        assert loaded.m == graph.m
+        assert (loaded.out_probs == 1.0).all()
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1 0.5\n# mid\n1 2\n")
+        g = load_edge_list(path, default_prob=0.25)
+        assert g.n == 3
+        assert g.m == 2
+        assert set(g.out_probs) == {0.5, 0.25}
+
+    def test_n_inferred_from_max_id(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 7 0.5\n")
+        assert load_edge_list(path).n == 8
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5 extra stuff\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+
+class TestNpz:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert loaded == graph
+        assert loaded.weight_model == graph.weight_model
+
+    def test_preserves_in_adjacency_exactly(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.in_indices, graph.in_indices)
+        assert np.array_equal(loaded.in_probs, graph.in_probs)

@@ -1,0 +1,52 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.stats import degree_histogram, graph_summary
+from repro.graphs.weights import wc_weights
+
+
+class TestGraphSummary:
+    def test_star_summary(self):
+        s = graph_summary(star_graph(10, center_out=True))
+        assert s.n == 10
+        assert s.m == 9
+        assert s.max_out_degree == 9
+        assert s.max_in_degree == 1
+
+    def test_avg_degree(self):
+        s = graph_summary(path_graph(5))
+        assert s.avg_degree == 4 / 5
+
+    def test_avg_in_prob_sum_wc(self):
+        g = wc_weights(star_graph(10, center_out=True))
+        s = graph_summary(g)
+        # 9 leaves each with in-sum 1, the center with 0.
+        assert abs(s.avg_in_prob_sum - 0.9) < 1e-9
+
+    def test_as_row_keys(self):
+        row = graph_summary(path_graph(4)).as_row()
+        assert {"n", "m", "avg_degree", "weight_model"} <= set(row)
+
+
+class TestDegreeHistogram:
+    def test_out_histogram_star(self):
+        h = degree_histogram(star_graph(6, center_out=True), "out")
+        assert h[0] == 5  # leaves
+        assert h[5] == 1  # center
+
+    def test_in_histogram_star(self):
+        h = degree_histogram(star_graph(6, center_out=True), "in")
+        assert h[1] == 5
+        assert h[0] == 1
+
+    def test_counts_sum_to_n(self):
+        g = path_graph(7)
+        assert degree_histogram(g, "in").sum() == 7
+
+    def test_bad_direction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            degree_histogram(path_graph(3), "sideways")

@@ -1,0 +1,80 @@
+"""Tests for the extended graph statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graphs.stats import (
+    effective_influence_ceiling,
+    power_law_exponent,
+    reciprocity,
+)
+
+
+class TestPowerLawExponent:
+    def test_pa_in_range(self):
+        g = preferential_attachment(3000, 4, seed=0)
+        alpha = power_law_exponent(g, "in")
+        assert 1.5 < alpha < 4.0
+
+    def test_er_much_larger(self):
+        pa = preferential_attachment(3000, 4, seed=0)
+        er = erdos_renyi(3000, 4.0, seed=0)
+        # ER has no heavy tail: the Hill estimate is far above PA's.
+        assert power_law_exponent(er, "in") > power_law_exponent(pa, "in")
+
+    def test_nan_when_tail_empty(self):
+        g = path_graph(5)  # all in-degrees <= 1
+        assert math.isnan(power_law_exponent(g, "in", d_min=2))
+
+    def test_validation(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            power_law_exponent(g, "sideways")
+        with pytest.raises(ValueError):
+            power_law_exponent(g, "in", d_min=0)
+
+
+class TestReciprocity:
+    def test_undirected_is_one(self):
+        g = preferential_attachment(200, 3, seed=1, directed=False)
+        assert reciprocity(g) == 1.0
+
+    def test_dag_is_zero(self):
+        assert reciprocity(preferential_attachment(200, 3, seed=1)) == 0.0
+
+    def test_partial(self):
+        g = preferential_attachment(400, 3, seed=1, reciprocal=0.5)
+        r = reciprocity(g)
+        assert 0.3 < r < 0.9
+
+    def test_cycle_n2_equivalent(self):
+        # 2-cycle 0 <-> 1: both edges have their reverse.
+        from repro.graphs.csr import build_graph
+
+        g = build_graph(2, [0, 1], [1, 0], [1.0, 1.0])
+        assert reciprocity(g) == 1.0
+
+
+class TestInfluenceCeiling:
+    def test_cycle_full(self):
+        assert effective_influence_ceiling(cycle_graph(30), 20, seed=0) == 30.0
+
+    def test_star_leaf_heavy(self):
+        # From the center: n; from a leaf: 1.  Sampling mixes the two.
+        value = effective_influence_ceiling(
+            star_graph(50, center_out=True), 200, seed=0
+        )
+        assert 1.0 <= value <= 3.0  # leaves dominate the sample
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_influence_ceiling(cycle_graph(5), 0)

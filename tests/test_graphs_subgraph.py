@@ -1,0 +1,77 @@
+"""Tests for subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import cycle_graph, path_graph, preferential_attachment
+from repro.graphs.subgraph import induced_subgraph, largest_scc_subgraph
+from repro.graphs.traversal import largest_scc_size
+from repro.graphs.weights import wc_weights
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestInducedSubgraph:
+    def test_basic_extraction(self):
+        g = path_graph(5)
+        sub = induced_subgraph(g, [1, 2, 3])
+        assert sub.graph.n == 3
+        assert sub.graph.m == 2  # 1->2 and 2->3 survive
+
+    def test_id_mapping_round_trip(self):
+        g = path_graph(6)
+        sub = induced_subgraph(g, [4, 2, 0])
+        assert list(sub.to_parent) == [4, 2, 0]
+        assert sub.from_parent[4] == 0
+        assert sub.from_parent[2] == 1
+        assert sub.from_parent[1] == -1
+        assert sub.parent_seeds([0, 2]) == [4, 0]
+
+    def test_probabilities_preserved(self):
+        g = build_graph(3, [0, 1], [1, 2], [0.3, 0.7])
+        sub = induced_subgraph(g, [0, 1])
+        _, _, probs = sub.graph.edges()
+        assert list(probs) == [0.3]
+
+    def test_edges_crossing_boundary_dropped(self):
+        g = cycle_graph(6)
+        sub = induced_subgraph(g, [0, 3])  # non-adjacent on the cycle
+        assert sub.graph.m == 0
+
+    def test_weight_model_carried(self):
+        g = wc_weights(preferential_attachment(50, 3, seed=1, reciprocal=0.3))
+        sub = induced_subgraph(g, list(range(10)))
+        assert sub.graph.weight_model == "wc"
+
+    def test_validation(self):
+        g = path_graph(4)
+        with pytest.raises(ConfigurationError):
+            induced_subgraph(g, [])
+        with pytest.raises(ConfigurationError):
+            induced_subgraph(g, [0, 0])
+        with pytest.raises(ConfigurationError):
+            induced_subgraph(g, [9])
+
+
+class TestLargestSCC:
+    def test_cycle_keeps_everything(self):
+        g = cycle_graph(8)
+        sub = largest_scc_subgraph(g)
+        assert sub.graph.n == 8
+        assert sub.graph.m == 8
+
+    def test_path_keeps_one_node(self):
+        sub = largest_scc_subgraph(path_graph(5))
+        assert sub.graph.n == 1
+        assert sub.graph.m == 0
+
+    def test_subgraph_is_strongly_connected(self):
+        g = preferential_attachment(300, 3, seed=2, reciprocal=0.4)
+        sub = largest_scc_subgraph(g)
+        assert sub.graph.n >= 2
+        assert largest_scc_size(sub.graph) == sub.graph.n
+
+    def test_matches_scc_size(self):
+        g = preferential_attachment(200, 3, seed=3, reciprocal=0.3)
+        sub = largest_scc_subgraph(g)
+        assert sub.graph.n == largest_scc_size(g)

@@ -1,0 +1,113 @@
+"""Tests for deterministic traversals (reachability, SCC)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graphs.traversal import (
+    forward_reachable,
+    is_dag,
+    largest_scc_size,
+    reverse_reachable,
+    strongly_connected_components,
+)
+from repro.rrsets.vanilla import VanillaICGenerator
+
+
+class TestReachability:
+    def test_path_forward(self):
+        g = path_graph(6)
+        assert forward_reachable(g, 2) == {2, 3, 4, 5}
+
+    def test_path_reverse(self):
+        g = path_graph(6)
+        assert reverse_reachable(g, 2) == {0, 1, 2}
+
+    def test_cycle_everything(self):
+        g = cycle_graph(5)
+        assert forward_reachable(g, 3) == set(range(5))
+        assert reverse_reachable(g, 3) == set(range(5))
+
+    def test_star(self):
+        g = star_graph(5, center_out=True)
+        assert forward_reachable(g, 0) == set(range(5))
+        assert reverse_reachable(g, 0) == {0}
+        assert reverse_reachable(g, 3) == {0, 3}
+
+    def test_out_of_range(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            forward_reachable(g, 5)
+        with pytest.raises(ValueError):
+            reverse_reachable(g, -1)
+
+    def test_matches_rr_set_at_probability_one(self, rng):
+        """RR set with all-live edges == deterministic reverse reachability."""
+        g = preferential_attachment(80, 3, seed=3, reciprocal=0.4)
+        gen = VanillaICGenerator(g)  # generator weights are all 1.0
+        for target in (0, 10, 40, 79):
+            assert set(gen.generate(rng, root=target)) == reverse_reachable(
+                g, target
+            )
+
+
+class TestSCC:
+    def test_cycle_single_component(self):
+        comps = strongly_connected_components(cycle_graph(7))
+        assert len(comps) == 1
+        assert sorted(comps[0]) == list(range(7))
+
+    def test_path_all_singletons(self):
+        comps = strongly_connected_components(path_graph(5))
+        assert len(comps) == 5
+        assert is_dag(path_graph(5))
+
+    def test_two_cycles_bridge(self):
+        # cycle {0,1,2}, cycle {3,4}, bridge 2 -> 3
+        g = build_graph(
+            5,
+            [0, 1, 2, 3, 4, 2],
+            [1, 2, 0, 4, 3, 3],
+            [1.0] * 6,
+        )
+        comps = strongly_connected_components(g)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [2, 3]
+        assert largest_scc_size(g) == 3
+        assert not is_dag(g)
+
+    def test_components_partition_nodes(self):
+        g = preferential_attachment(200, 3, seed=5, reciprocal=0.3)
+        comps = strongly_connected_components(g)
+        all_nodes = sorted(n for c in comps for n in c)
+        assert all_nodes == list(range(200))
+
+    def test_pure_growth_pa_is_dag(self):
+        assert is_dag(preferential_attachment(100, 3, seed=1))
+
+    def test_reciprocal_pa_has_cycles(self):
+        assert not is_dag(
+            preferential_attachment(100, 3, seed=1, reciprocal=0.5)
+        )
+
+    def test_mutual_reachability_within_components(self):
+        g = preferential_attachment(60, 3, seed=7, reciprocal=0.5)
+        for comp in strongly_connected_components(g):
+            if len(comp) < 2:
+                continue
+            seed_node = comp[0]
+            fwd = forward_reachable(g, seed_node)
+            rev = reverse_reachable(g, seed_node)
+            assert set(comp) <= (fwd & rev)
+
+    def test_deep_graph_no_recursion_limit(self):
+        # Tarjan must be iterative: a 5000-node path would blow Python's
+        # recursion limit in a recursive implementation.
+        g = path_graph(5000)
+        assert largest_scc_size(g) == 1

@@ -1,0 +1,154 @@
+"""Tests for edge-weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import preferential_attachment, star_graph
+from repro.graphs.weights import (
+    exponential_weights,
+    lt_normalized_weights,
+    reweight,
+    trivalency_weights,
+    uniform_weights,
+    wc_variant_weights,
+    wc_weights,
+    weibull_weights,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def base():
+    return preferential_attachment(200, 4, seed=7, reciprocal=0.3)
+
+
+class TestWC:
+    def test_probability_is_inverse_in_degree(self, base):
+        g = wc_weights(base)
+        src, dst, probs = g.edges()
+        in_deg = g.in_degree()
+        assert np.allclose(probs, 1.0 / in_deg[dst])
+
+    def test_in_sums_are_one(self, base):
+        g = wc_weights(base)
+        nonzero = g.in_degree() > 0
+        assert np.allclose(g.in_prob_sums[nonzero], 1.0)
+
+    def test_uniform_in_everywhere(self, base):
+        g = wc_weights(base)
+        assert g.uniform_in.all()
+
+    def test_weight_model_tag(self, base):
+        assert wc_weights(base).weight_model == "wc"
+
+
+class TestWCVariant:
+    def test_theta_one_equals_wc(self, base):
+        a = wc_weights(base)
+        b = wc_variant_weights(base, 1.0)
+        assert np.allclose(a.out_probs, b.out_probs)
+
+    def test_probabilities_capped_at_one(self, base):
+        g = wc_variant_weights(base, 1000.0)
+        assert g.out_probs.max() <= 1.0
+
+    def test_monotone_in_theta(self, base):
+        lo = wc_variant_weights(base, 1.5)
+        hi = wc_variant_weights(base, 3.0)
+        assert (hi.out_probs >= lo.out_probs - 1e-12).all()
+
+    def test_rejects_theta_below_one(self, base):
+        with pytest.raises(ConfigurationError):
+            wc_variant_weights(base, 0.5)
+
+
+class TestUniform:
+    def test_all_edges_equal(self, base):
+        g = uniform_weights(base, 0.05)
+        assert (g.out_probs == 0.05).all()
+
+    def test_rejects_out_of_range(self, base):
+        with pytest.raises(ConfigurationError):
+            uniform_weights(base, 1.5)
+
+
+class TestTrivalency:
+    def test_values_from_menu(self, base):
+        g = trivalency_weights(base, seed=0)
+        assert set(np.unique(g.out_probs)) <= {0.1, 0.01, 0.001}
+
+    def test_custom_menu(self, base):
+        g = trivalency_weights(base, choices=(0.2, 0.4), seed=0)
+        assert set(np.unique(g.out_probs)) <= {0.2, 0.4}
+
+    def test_rejects_bad_menu(self, base):
+        with pytest.raises(ConfigurationError):
+            trivalency_weights(base, choices=(0.5, 2.0))
+
+
+class TestSkewedDistributions:
+    @pytest.mark.parametrize("weighter", [exponential_weights, weibull_weights])
+    def test_in_sums_normalised(self, base, weighter):
+        g = weighter(base, seed=3)
+        nonzero = g.in_degree() > 0
+        assert np.allclose(g.in_prob_sums[nonzero], 1.0)
+
+    @pytest.mark.parametrize("weighter", [exponential_weights, weibull_weights])
+    def test_probabilities_valid(self, base, weighter):
+        g = weighter(base, seed=3)
+        assert np.isfinite(g.out_probs).all()
+        assert g.out_probs.min() >= 0.0
+        assert g.out_probs.max() <= 1.0
+
+    def test_exponential_is_skewed(self, base):
+        g = exponential_weights(base, seed=3)
+        # within multi-in-degree nodes, probabilities genuinely vary
+        assert not g.uniform_in[g.in_degree() > 1].all()
+
+    def test_weibull_survives_extreme_shapes(self):
+        # Many edges -> many shape draws -> exercises the overflow guard.
+        base = preferential_attachment(500, 8, seed=11, reciprocal=0.2)
+        g = weibull_weights(base, seed=13)
+        assert np.isfinite(g.out_probs).all()
+
+    def test_exponential_rejects_bad_lambda(self, base):
+        with pytest.raises(ConfigurationError):
+            exponential_weights(base, lam=0.0)
+
+
+class TestLTNormalisation:
+    def test_sums_capped_at_one(self, base):
+        g = lt_normalized_weights(uniform_weights(base, 0.9))
+        assert g.in_prob_sums.max() <= 1.0 + 1e-9
+
+    def test_compliant_weights_unchanged(self, base):
+        g = wc_weights(base)
+        normalised = lt_normalized_weights(g)
+        assert np.allclose(g.out_probs, normalised.out_probs)
+
+
+class TestReweight:
+    def test_custom_function(self, base):
+        g = reweight(base, lambda s, d, gr: np.full(len(s), 0.3), "const")
+        assert (g.out_probs == 0.3).all()
+        assert g.weight_model == "const"
+
+    def test_structure_preserved(self, base):
+        g = wc_weights(base)
+        assert np.array_equal(g.out_indices, base.out_indices)
+        assert np.array_equal(g.out_indptr, base.out_indptr)
+
+    def test_rejects_wrong_length(self, base):
+        with pytest.raises(ConfigurationError):
+            reweight(base, lambda s, d, gr: np.ones(3), "bad")
+
+    def test_rejects_invalid_probabilities(self, base):
+        with pytest.raises(ConfigurationError):
+            reweight(base, lambda s, d, gr: np.full(len(s), 2.0), "bad")
+        with pytest.raises(ConfigurationError):
+            reweight(base, lambda s, d, gr: np.full(len(s), np.nan), "bad")
+
+    def test_original_graph_untouched(self, base):
+        before = base.out_probs.copy()
+        wc_weights(base)
+        assert np.array_equal(base.out_probs, before)

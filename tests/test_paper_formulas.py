@@ -1,0 +1,188 @@
+"""Direct numeric fidelity tests of the paper's formulas and lemmas.
+
+Where other test files check behaviour, these pin the implementation to
+the paper's printed mathematics: hand-evaluated instances of Eqs. 1-4 and
+the combinatorial inequalities of Lemmas 8 and 11 on brute-forceable
+coverage instances.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.combinatorics import log_binomial
+from repro.bounds.opim import influence_lower_bound, influence_upper_bound
+from repro.bounds.thresholds import (
+    theta_max_im_sentinel,
+    theta_max_opimc,
+    theta_max_sentinel,
+)
+from repro.coverage.greedy import max_coverage_greedy
+from repro.rrsets.collection import RRCollection
+
+
+def collection_from(sets, n):
+    c = RRCollection(n)
+    for s in sets:
+        c.add(s)
+    return c
+
+
+def best_coverage(collection, k):
+    return max(
+        collection.coverage(combo)
+        for combo in itertools.combinations(range(collection.n), k)
+    )
+
+
+class TestEquationOne:
+    """Eq. 1: ((sqrt(cov + 2 eta/9) - sqrt(eta/2))^2 - eta/18) * n / theta."""
+
+    def test_hand_computed_value(self):
+        cov, theta, n, delta = 100.0, 400, 1000, 0.05
+        eta = math.log(1 / delta)
+        expected = (
+            (math.sqrt(cov + 2 * eta / 9) - math.sqrt(eta / 2)) ** 2
+            - eta / 18
+        ) * n / theta
+        assert influence_lower_bound(cov, theta, n, delta) == pytest.approx(
+            expected
+        )
+
+    def test_converges_to_point_estimate(self):
+        # As theta grows with fixed coverage fraction, Eq. 1 -> n * cov/theta.
+        n, frac, delta = 1000, 0.25, 0.01
+        for theta in (10**3, 10**5, 10**7):
+            lower = influence_lower_bound(frac * theta, theta, n, delta)
+            gap = n * frac - lower
+            assert gap > 0
+        tight = influence_lower_bound(frac * 10**7, 10**7, n, delta)
+        assert tight == pytest.approx(n * frac, rel=0.01)
+
+
+class TestEquationTwo:
+    """Eq. 2: (sqrt(cov_u + eta/2) + sqrt(eta/2))^2 * n / theta."""
+
+    def test_hand_computed_value(self):
+        cov_u, theta, n, delta = 150.0, 400, 1000, 0.05
+        eta = math.log(1 / delta)
+        expected = (
+            math.sqrt(cov_u + eta / 2) + math.sqrt(eta / 2)
+        ) ** 2 * n / theta
+        assert influence_upper_bound(cov_u, theta, n, delta) == pytest.approx(
+            expected
+        )
+
+
+class TestEquationsThreeAndFour:
+    def test_eq3_hand_computed(self):
+        n, k, eps1, delta1 = 1000, 10, 0.1, 0.01
+        ln6d = math.log(6 / delta1)
+        expected = (
+            2 * n * (math.sqrt(ln6d) + math.sqrt(log_binomial(n, k) + ln6d)) ** 2
+            / (eps1**2 * k)
+        )
+        assert theta_max_sentinel(n, k, eps1, delta1) == math.ceil(expected)
+
+    def test_eq4_hand_computed(self):
+        n, k, b, eps2, delta2 = 1000, 10, 3, 0.1, 0.01
+        ln9d = math.log(9 / delta2)
+        one_minus_inv_e = 1 - 1 / math.e
+        expected = (
+            2 * n * (
+                math.sqrt(ln9d)
+                + math.sqrt(
+                    one_minus_inv_e * (log_binomial(n - b, k - b) + ln9d)
+                )
+            ) ** 2
+            / (eps2**2 * k)
+        )
+        assert theta_max_im_sentinel(n, k, b, eps2, delta2) == math.ceil(expected)
+
+    def test_eq4_at_b_zero_close_to_opimc(self):
+        # With b = 0 the IM-Sentinel ceiling covers the full problem; it
+        # differs from OPIM-C's only in constants (9/delta vs 6/delta and
+        # the placement of (1 - 1/e)).
+        n, k, eps, delta = 5000, 20, 0.2, 0.01
+        ratio = theta_max_im_sentinel(n, k, 0, eps, delta) / theta_max_opimc(
+            n, k, eps, delta
+        )
+        assert 0.5 < ratio < 2.0
+
+
+class TestLemma8:
+    """Greedy prefix coverage: Lambda(S_b) >= (1 - (1-1/k)^b) Lambda(S_k^o)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_prefix_guarantee_random_instances(self, data):
+        n = data.draw(st.integers(3, 7))
+        sets = [
+            data.draw(
+                st.lists(
+                    st.integers(0, n - 1), min_size=1, max_size=n, unique=True
+                )
+            )
+            for _ in range(data.draw(st.integers(1, 10)))
+        ]
+        k = data.draw(st.integers(1, n - 1))
+        c = collection_from(sets, n)
+        greedy = max_coverage_greedy(c, select=k)
+        optimal = best_coverage(c, k)
+        x = 1 - 1 / k
+        for b in range(1, k + 1):
+            guarantee = (1 - x**b) * optimal
+            assert greedy.coverage_history[b] >= guarantee - 1e-9
+
+
+class TestLemma11:
+    """Completion bound: Lambda(B u S_rest) >= (1 - x^{k-b}) Lambda(opt)
+    + x^{k-b} Lambda(B), for greedy completion of any base set B."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_completion_bound_random_instances(self, data):
+        n = data.draw(st.integers(4, 7))
+        sets = [
+            data.draw(
+                st.lists(
+                    st.integers(0, n - 1), min_size=1, max_size=n, unique=True
+                )
+            )
+            for _ in range(data.draw(st.integers(1, 10)))
+        ]
+        k = data.draw(st.integers(2, n - 1))
+        b = data.draw(st.integers(1, k - 1))
+        base = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=b, max_size=b, unique=True)
+        )
+        c = collection_from(sets, n)
+        initial = c.covered_mask(base)
+        greedy = max_coverage_greedy(
+            c, select=k - b, topk=k, initial_covered=initial
+        )
+        optimal = best_coverage(c, k)
+        base_coverage = int(initial.sum())
+        x = 1 - 1 / k
+        bound = (1 - x ** (k - b)) * optimal + x ** (k - b) * base_coverage
+        assert greedy.coverage >= bound - 1e-9
+
+
+class TestHISTBudgetSplit:
+    """Algorithm 4's eps/delta split composes to the advertised guarantee."""
+
+    def test_error_budget(self):
+        eps = 0.1
+        eps1 = eps2 = eps / 2
+        assert 1 - 1 / math.e - eps1 - eps2 == pytest.approx(
+            1 - 1 / math.e - eps
+        )
+
+    def test_failure_budget(self):
+        delta = 0.01
+        delta1 = delta2 = delta / 2
+        assert delta1 + delta2 == pytest.approx(delta)

@@ -1,0 +1,107 @@
+"""Tests for the RR-set collection and its inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.vanilla import VanillaICGenerator
+
+
+def manual_collection():
+    c = RRCollection(5)
+    c.add([0, 1])
+    c.add([2])
+    c.add([1, 2, 3])
+    return c
+
+
+class TestBasics:
+    def test_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            RRCollection(0)
+
+    def test_len_and_sizes(self):
+        c = manual_collection()
+        assert len(c) == 3
+        assert c.num_rr == 3
+        assert c.total_size == 6
+        assert c.average_size() == 2.0
+
+    def test_empty_average(self):
+        assert RRCollection(3).average_size() == 0.0
+
+    def test_add_returns_sequential_ids(self):
+        c = RRCollection(4)
+        assert c.add([0]) == 0
+        assert c.add([1]) == 1
+
+
+class TestInvertedIndex:
+    def test_coverage_counts(self):
+        c = manual_collection()
+        assert list(c.coverage_counts()) == [1, 2, 2, 1, 0]
+
+    def test_node_to_rrs(self):
+        c = manual_collection()
+        assert c.node_to_rrs[1] == [0, 2]
+        assert c.node_to_rrs[4] == []
+
+
+class TestCoverage:
+    def test_single_node(self):
+        c = manual_collection()
+        assert c.coverage([1]) == 2
+
+    def test_union_not_double_counted(self):
+        c = manual_collection()
+        assert c.coverage([1, 2]) == 3  # set 2 contains both, counted once
+
+    def test_empty_seed_set(self):
+        assert manual_collection().coverage([]) == 0
+
+    def test_covered_mask(self):
+        mask = manual_collection().covered_mask([0])
+        assert list(mask) == [True, False, False]
+
+    def test_estimate_influence(self):
+        c = manual_collection()
+        # n * coverage / theta = 5 * 2 / 3
+        assert c.estimate_influence([1]) == pytest.approx(10 / 3)
+
+    def test_estimate_on_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            RRCollection(3).estimate_influence([0])
+
+
+class TestExtend:
+    def test_extend_generates_count(self, wc_graph, rng):
+        c = RRCollection(wc_graph.n)
+        c.extend(25, VanillaICGenerator(wc_graph), rng)
+        assert c.num_rr == 25
+
+    def test_extend_to_idempotent(self, wc_graph, rng):
+        c = RRCollection(wc_graph.n)
+        gen = VanillaICGenerator(wc_graph)
+        c.extend_to(30, gen, rng)
+        c.extend_to(10, gen, rng)  # already larger: no-op
+        assert c.num_rr == 30
+
+    def test_negative_count_rejected(self, wc_graph, rng):
+        c = RRCollection(wc_graph.n)
+        with pytest.raises(ValueError):
+            c.extend(-1, VanillaICGenerator(wc_graph), rng)
+
+    def test_index_consistent_after_extend(self, wc_graph, rng):
+        c = RRCollection(wc_graph.n)
+        c.extend(50, VanillaICGenerator(wc_graph), rng)
+        # node_to_rrs must exactly invert rr_sets
+        for rr_id, rr in enumerate(c.rr_sets):
+            for node in rr:
+                assert rr_id in c.node_to_rrs[node]
+        assert sum(len(lst) for lst in c.node_to_rrs) == c.total_size
+
+    def test_extend_with_stop_mask(self, wc_graph, rng):
+        c = RRCollection(wc_graph.n)
+        stop = np.ones(wc_graph.n, dtype=bool)
+        c.extend(20, VanillaICGenerator(wc_graph), rng, stop_mask=stop)
+        assert all(len(rr) == 1 for rr in c.rr_sets)

@@ -1,0 +1,63 @@
+"""Tests for the vectorised vanilla generator (engineering extra)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.rrsets.fast_vanilla import FastVanillaICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+
+
+class TestDeterministic:
+    def test_path_prefix(self, path10, rng):
+        gen = FastVanillaICGenerator(path10)
+        assert sorted(gen.generate(rng, root=6)) == list(range(7))
+
+    def test_cycle(self, cycle8, rng):
+        gen = FastVanillaICGenerator(cycle8)
+        assert sorted(gen.generate(rng, root=0)) == list(range(8))
+
+
+class TestDistributionEquivalence:
+    def test_matches_loop_vanilla(self):
+        g = wc_weights(preferential_attachment(60, 3, seed=8, reciprocal=0.4))
+        trials = 20_000
+        root = 2
+        freqs = []
+        for gen_cls, seed in ((VanillaICGenerator, 0), (FastVanillaICGenerator, 1)):
+            rng = np.random.default_rng(seed)
+            gen = gen_cls(g)
+            counts = np.zeros(g.n)
+            for _ in range(trials):
+                for node in gen.generate(rng, root=root):
+                    counts[node] += 1
+            freqs.append(counts / trials)
+        assert np.max(np.abs(freqs[0] - freqs[1])) < 0.02
+
+    def test_single_edge_probability(self, rng):
+        g = build_graph(2, [0], [1], [0.25])
+        gen = FastVanillaICGenerator(g)
+        hits = sum(len(gen.generate(rng, root=1)) == 2 for _ in range(30_000))
+        assert abs(hits / 30_000 - 0.25) < 0.012
+
+
+class TestSentinelAndCounters:
+    def test_sentinel_stop(self, path10, rng):
+        gen = FastVanillaICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[5] = True
+        assert sorted(gen.generate(rng, root=9, stop_mask=stop)) == [5, 6, 7, 8, 9]
+
+    def test_counters_match_examined_edges(self, path10, rng):
+        gen = FastVanillaICGenerator(path10)
+        gen.generate(rng, root=9)
+        assert gen.counters.edges_examined == 9
+
+    def test_usable_in_opimc(self, wc_graph):
+        from repro.algorithms.opimc import OPIMC
+
+        res = OPIMC(wc_graph, FastVanillaICGenerator).run(4, eps=0.4, seed=0)
+        assert len(res.seeds) == 4
+        assert res.algorithm == "opim-c+fast-vanilla"

@@ -1,0 +1,98 @@
+"""Tests for linear-threshold RR-set generation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import cycle_graph, path_graph, preferential_attachment
+from repro.graphs.weights import (
+    exponential_weights,
+    lt_normalized_weights,
+    uniform_weights,
+)
+from repro.rrsets.lt import LTGenerator
+
+
+class TestPrecondition:
+    def test_rejects_in_sums_above_one(self):
+        g = uniform_weights(cycle_graph(5), 1.0)
+        # cycle: each node one in-edge of prob 1 -> sums exactly 1, allowed
+        LTGenerator(g)
+        bad = build_graph(3, [0, 1], [2, 2], [0.8, 0.8])
+        with pytest.raises(ValueError):
+            LTGenerator(bad)
+
+
+class TestWalkSemantics:
+    def test_path_full_weight_gives_prefix(self, path10, rng):
+        gen = LTGenerator(path10)
+        for root in (0, 3, 9):
+            assert sorted(gen.generate(rng, root=root)) == list(range(root + 1))
+
+    def test_cycle_walk_terminates_on_revisit(self, cycle8, rng):
+        gen = LTGenerator(cycle8)
+        rr = gen.generate(rng, root=0)
+        assert sorted(rr) == list(range(8))  # walks all the way round once
+
+    def test_walk_is_a_simple_path(self, rng):
+        g = lt_normalized_weights(
+            exponential_weights(
+                preferential_attachment(100, 3, seed=1, reciprocal=0.3), seed=2
+            )
+        )
+        gen = LTGenerator(g)
+        for _ in range(300):
+            rr = gen.generate(rng)
+            assert len(rr) == len(set(rr))
+
+    def test_stop_probability(self, rng):
+        # single edge 0 -> 1 with weight 0.3: RR(1) contains 0 w.p. 0.3
+        g = build_graph(2, [0], [1], [0.3])
+        gen = LTGenerator(g)
+        hits = sum(len(gen.generate(rng, root=1)) == 2 for _ in range(30_000))
+        assert abs(hits / 30_000 - 0.3) < 0.012
+
+    def test_live_edge_choice_proportional_to_weight(self, rng):
+        # two in-edges of node 2 with weights 0.6 / 0.2; no-edge w.p. 0.2
+        g = build_graph(3, [0, 1], [2, 2], [0.6, 0.2])
+        gen = LTGenerator(g)
+        counts = {0: 0, 1: 0, None: 0}
+        trials = 30_000
+        for _ in range(trials):
+            rr = gen.generate(rng, root=2)
+            if len(rr) == 1:
+                counts[None] += 1
+            else:
+                counts[rr[1]] += 1
+        assert abs(counts[0] / trials - 0.6) < 0.012
+        assert abs(counts[1] / trials - 0.2) < 0.012
+        assert abs(counts[None] / trials - 0.2) < 0.012
+
+
+class TestSentinel:
+    def test_stops_at_sentinel(self, path10, rng):
+        gen = LTGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[4] = True
+        assert sorted(gen.generate(rng, root=8, stop_mask=stop)) == [4, 5, 6, 7, 8]
+        assert gen.counters.sentinel_hits == 1
+
+    def test_root_sentinel(self, path10, rng):
+        gen = LTGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[8] = True
+        assert gen.generate(rng, root=8, stop_mask=stop) == [8]
+
+
+class TestCounters:
+    def test_counts_walk_steps(self, path10, rng):
+        gen = LTGenerator(path10)
+        gen.generate(rng, root=9)
+        assert gen.counters.rng_draws == 9  # one draw per walk step
+        assert gen.counters.edges_examined == 9
+
+    def test_mask_reset(self, path10, rng):
+        gen = LTGenerator(path10)
+        for root in range(10):
+            gen.generate(rng, root=root)
+        assert not gen._visited.any()

@@ -1,0 +1,192 @@
+"""Tests for SUBSIM RR-set generation (Algorithm 3 + Section 3.3).
+
+The crucial property: SUBSIM draws RR sets from *exactly the same
+distribution* as the vanilla generator — only cheaper.  These tests verify
+distributional equivalence on graphs small enough for tight statistics, the
+cost advantage on larger ones, and all three general-IC modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import preferential_attachment, star_graph
+from repro.graphs.weights import (
+    exponential_weights,
+    uniform_weights,
+    wc_weights,
+)
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+
+MODES = ("sorted", "bucket", "indexed")
+
+
+class TestDeterministicGraphs:
+    def test_path_rr_is_prefix(self, path10, rng):
+        gen = SubsimICGenerator(path10)
+        for root in (0, 4, 9):
+            assert sorted(gen.generate(rng, root=root)) == list(range(root + 1))
+
+    def test_cycle_rr_is_everything(self, cycle8, rng):
+        gen = SubsimICGenerator(cycle8)
+        assert sorted(gen.generate(rng, root=2)) == list(range(8))
+
+    def test_star_in_center(self, star_in, rng):
+        gen = SubsimICGenerator(star_in)
+        assert sorted(gen.generate(rng, root=0)) == list(range(8))
+
+    def test_zero_probability_blocks(self, rng):
+        g = uniform_weights(star_graph(6, center_out=False), 0.0)
+        gen = SubsimICGenerator(g)
+        assert gen.generate(rng, root=0) == [0]
+
+    def test_invalid_mode_rejected(self, path10):
+        with pytest.raises(ValueError):
+            SubsimICGenerator(path10, general_mode="nope")
+
+
+class TestEquivalenceWithVanilla:
+    """Per-node inclusion probabilities must match Algorithm 2's."""
+
+    @staticmethod
+    def inclusion_frequencies(generator, root, n, trials, seed):
+        rng = np.random.default_rng(seed)
+        counts = np.zeros(n)
+        for _ in range(trials):
+            for node in generator.generate(rng, root=root):
+                counts[node] += 1
+        return counts / trials
+
+    def test_wc_inclusion_matches(self):
+        g = wc_weights(preferential_attachment(40, 3, seed=2, reciprocal=0.4))
+        root = 1  # an early node: rich reverse reachability
+        trials = 20_000
+        f_vanilla = self.inclusion_frequencies(
+            VanillaICGenerator(g), root, g.n, trials, seed=10
+        )
+        f_subsim = self.inclusion_frequencies(
+            SubsimICGenerator(g), root, g.n, trials, seed=11
+        )
+        assert np.max(np.abs(f_vanilla - f_subsim)) < 0.02
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_skewed_inclusion_matches(self, mode):
+        g = exponential_weights(
+            preferential_attachment(40, 3, seed=2, reciprocal=0.4), seed=3
+        )
+        root = 1
+        trials = 20_000
+        f_vanilla = self.inclusion_frequencies(
+            VanillaICGenerator(g), root, g.n, trials, seed=10
+        )
+        f_subsim = self.inclusion_frequencies(
+            SubsimICGenerator(g, general_mode=mode), root, g.n, trials, seed=11
+        )
+        assert np.max(np.abs(f_vanilla - f_subsim)) < 0.02
+
+    def test_uniform_ic_size_distribution_matches(self):
+        g = uniform_weights(
+            preferential_attachment(60, 3, seed=4, reciprocal=0.3), 0.15
+        )
+        trials = 20_000
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(1)
+        van = VanillaICGenerator(g)
+        sub = SubsimICGenerator(g)
+        sizes_a = np.array([len(van.generate(rng_a)) for _ in range(trials)])
+        sizes_b = np.array([len(sub.generate(rng_b)) for _ in range(trials)])
+        assert abs(sizes_a.mean() - sizes_b.mean()) < 0.15
+        assert abs(np.median(sizes_a) - np.median(sizes_b)) <= 1
+
+    def test_single_edge_probability(self, rng):
+        g = build_graph(2, [0], [1], [0.3])
+        gen = SubsimICGenerator(g)
+        hits = sum(len(gen.generate(rng, root=1)) == 2 for _ in range(30_000))
+        assert abs(hits / 30_000 - 0.3) < 0.012
+
+
+class TestCostAdvantage:
+    def test_subsim_examines_fewer_edges_under_wc(self):
+        g = wc_weights(preferential_attachment(800, 8, seed=5, reciprocal=0.3))
+        rng = np.random.default_rng(0)
+        van = VanillaICGenerator(g)
+        sub = SubsimICGenerator(g)
+        for _ in range(500):
+            van.generate(rng)
+            sub.generate(rng)
+        # Under WC, vanilla examines ~d_in per activation; SUBSIM ~1.
+        assert van.counters.edges_examined > 3 * sub.counters.edges_examined
+
+    def test_examined_close_to_mu_plus_one(self):
+        # For each activated node SUBSIM examines ~ (1 + mu) positions in
+        # expectation; under WC mu = 1, so examined / activations <= ~2.
+        g = wc_weights(preferential_attachment(500, 6, seed=6, reciprocal=0.3))
+        rng = np.random.default_rng(0)
+        sub = SubsimICGenerator(g)
+        for _ in range(1000):
+            sub.generate(rng)
+        ratio = sub.counters.edges_examined / sub.counters.nodes_added
+        assert ratio < 2.5
+
+
+class TestSentinelStop:
+    def test_stops_on_path(self, path10, rng):
+        gen = SubsimICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[5] = True
+        assert sorted(gen.generate(rng, root=9, stop_mask=stop)) == [5, 6, 7, 8, 9]
+        assert gen.counters.sentinel_hits == 1
+
+    def test_root_sentinel(self, path10, rng):
+        gen = SubsimICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[2] = True
+        assert gen.generate(rng, root=2, stop_mask=stop) == [2]
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_sentinel_in_general_mode(self, mode, rng):
+        g = exponential_weights(
+            preferential_attachment(60, 3, seed=7, reciprocal=0.4), seed=8
+        )
+        gen = SubsimICGenerator(g, general_mode=mode)
+        stop = np.ones(g.n, dtype=bool)  # everything is a sentinel
+        for _ in range(100):
+            rr = gen.generate(rng, stop_mask=stop)
+            assert len(rr) == 1  # root itself stops generation
+
+    def test_mask_reset_after_generation(self, wc_graph, rng):
+        gen = SubsimICGenerator(wc_graph)
+        for _ in range(100):
+            gen.generate(rng)
+        assert not gen._visited.any()
+
+
+class TestExtremeProbabilities:
+    def test_probability_one_uniform_block(self, rng):
+        # All in-probs exactly 1: deterministic full activation.
+        g = star_graph(30, center_out=False)
+        gen = SubsimICGenerator(g)
+        assert sorted(gen.generate(rng, root=0)) == list(range(30))
+
+    def test_tiny_probabilities_no_overflow(self, rng):
+        # Regression: huge geometric jumps used to overflow int64 addition.
+        n = 50
+        src = np.repeat(np.arange(1, n, dtype=np.int64), 1)
+        g = build_graph(
+            n,
+            src,
+            np.zeros(n - 1, dtype=np.int64),
+            np.full(n - 1, 1e-200),
+        )
+        gen = SubsimICGenerator(g)
+        for _ in range(200):
+            assert gen.generate(rng, root=0) == [0]
+
+    def test_mixed_one_and_tiny_sorted_block(self, rng):
+        # in-block of node 0: probs [1.0, 1e-9] - exercises the degenerate
+        # ceiling path of the sorted sampler.
+        g = build_graph(3, [1, 2], [0, 0], [1.0, 1e-9])
+        gen = SubsimICGenerator(g)
+        rr = gen.generate(rng, root=0)
+        assert 1 in rr

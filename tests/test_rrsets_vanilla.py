@@ -1,0 +1,137 @@
+"""Tests for vanilla IC RR-set generation (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import build_graph
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.weights import uniform_weights
+from repro.rrsets.vanilla import VanillaICGenerator
+
+
+class TestDeterministicGraphs:
+    def test_path_rr_is_prefix(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        for root in range(10):
+            rr = gen.generate(rng, root=root)
+            assert sorted(rr) == list(range(root + 1))
+            assert rr[0] == root
+
+    def test_cycle_rr_is_everything(self, cycle8, rng):
+        gen = VanillaICGenerator(cycle8)
+        rr = gen.generate(rng, root=3)
+        assert sorted(rr) == list(range(8))
+
+    def test_star_out_center_unreachable_from_leaf(self, star_out, rng):
+        gen = VanillaICGenerator(star_out)
+        rr = gen.generate(rng, root=3)
+        assert sorted(rr) == [0, 3]  # leaf plus the broadcasting center
+
+    def test_star_out_rr_of_center(self, star_out, rng):
+        gen = VanillaICGenerator(star_out)
+        assert gen.generate(rng, root=0) == [0]
+
+    def test_star_in_rr_of_center_is_everything(self, star_in, rng):
+        gen = VanillaICGenerator(star_in)
+        assert sorted(gen.generate(rng, root=0)) == list(range(8))
+
+    def test_zero_probability_blocks(self, rng):
+        g = uniform_weights(path_graph(6), 0.0)
+        gen = VanillaICGenerator(g)
+        assert gen.generate(rng, root=5) == [5]
+
+
+class TestRandomBehaviour:
+    def test_root_always_first(self, wc_graph, rng):
+        gen = VanillaICGenerator(wc_graph)
+        for _ in range(100):
+            rr = gen.generate(rng)
+            assert 0 <= rr[0] < wc_graph.n
+
+    def test_rr_nodes_unique(self, wc_graph, rng):
+        gen = VanillaICGenerator(wc_graph)
+        for _ in range(200):
+            rr = gen.generate(rng)
+            assert len(rr) == len(set(rr))
+
+    def test_visited_mask_reset_between_calls(self, wc_graph, rng):
+        gen = VanillaICGenerator(wc_graph)
+        for _ in range(50):
+            gen.generate(rng)
+        assert not gen._visited.any()
+
+    def test_single_edge_inclusion_probability(self, rng):
+        g = build_graph(2, [0], [1], [0.3])
+        gen = VanillaICGenerator(g)
+        hits = sum(
+            len(gen.generate(rng, root=1)) == 2 for _ in range(30_000)
+        )
+        assert abs(hits / 30_000 - 0.3) < 0.012
+
+    def test_two_hop_inclusion_probability(self, rng):
+        # 0 -> 1 (0.5), 1 -> 2 (0.4): Pr[0 in RR(2)] = 0.2
+        g = build_graph(3, [0, 1], [1, 2], [0.5, 0.4])
+        gen = VanillaICGenerator(g)
+        hits = sum(0 in gen.generate(rng, root=2) for _ in range(30_000))
+        assert abs(hits / 30_000 - 0.2) < 0.012
+
+    def test_root_out_of_range_rejected(self, wc_graph, rng):
+        gen = VanillaICGenerator(wc_graph)
+        with pytest.raises(ValueError):
+            gen.generate(rng, root=wc_graph.n)
+
+
+class TestCounters:
+    def test_edges_examined_counts_all_in_edges(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        gen.generate(rng, root=9)
+        # Activating nodes 9..0 examines each node's single in-edge: 9 edges.
+        assert gen.counters.edges_examined == 9
+        assert gen.counters.rng_draws == 9
+
+    def test_sets_and_sizes_accumulate(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        gen.generate(rng, root=4)
+        gen.generate(rng, root=0)
+        assert gen.counters.sets_generated == 2
+        assert gen.counters.nodes_added == 6
+        assert gen.counters.average_size() == 3.0
+
+    def test_reset(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        gen.generate(rng, root=4)
+        gen.counters.reset()
+        assert gen.counters.sets_generated == 0
+        assert gen.counters.edges_examined == 0
+
+
+class TestSentinelStop:
+    def test_stops_at_sentinel(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[5] = True
+        rr = gen.generate(rng, root=9, stop_mask=stop)
+        # walks 9, 8, 7, 6 then hits 5 and stops
+        assert sorted(rr) == [5, 6, 7, 8, 9]
+        assert gen.counters.sentinel_hits == 1
+
+    def test_root_is_sentinel(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[9] = True
+        assert gen.generate(rng, root=9, stop_mask=stop) == [9]
+
+    def test_no_sentinel_encountered(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[9] = True  # downstream of root 3, never reached backwards
+        rr = gen.generate(rng, root=3, stop_mask=stop)
+        assert sorted(rr) == [0, 1, 2, 3]
+        assert gen.counters.sentinel_hits == 0
+
+    def test_mask_reset_after_sentinel_stop(self, path10, rng):
+        gen = VanillaICGenerator(path10)
+        stop = np.zeros(10, dtype=bool)
+        stop[5] = True
+        gen.generate(rng, root=9, stop_mask=stop)
+        assert not gen._visited.any()

@@ -1,0 +1,84 @@
+"""Tests for Walker's alias method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.alias import AliasTable
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.5, -0.1])
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_len(self):
+        assert len(AliasTable([1, 2, 3])) == 3
+
+
+class TestDistribution:
+    def test_single_outcome(self, rng):
+        table = AliasTable([3.0])
+        assert all(table.sample(rng) == 0 for _ in range(50))
+
+    def test_uniform_weights(self, rng):
+        table = AliasTable([1.0] * 4)
+        draws = table.sample_many(40_000, rng)
+        freqs = np.bincount(draws, minlength=4) / 40_000
+        assert np.all(np.abs(freqs - 0.25) < 0.01)
+
+    def test_skewed_weights(self, rng):
+        weights = np.array([8.0, 1.0, 1.0])
+        table = AliasTable(weights)
+        draws = np.array([table.sample(rng) for _ in range(30_000)])
+        freqs = np.bincount(draws, minlength=3) / 30_000
+        assert np.all(np.abs(freqs - weights / 10.0) < 0.012)
+
+    def test_zero_weight_never_drawn(self, rng):
+        table = AliasTable([1.0, 0.0, 1.0])
+        draws = table.sample_many(20_000, rng)
+        assert not (draws == 1).any()
+
+    def test_unnormalised_weights_ok(self, rng):
+        a = AliasTable([2, 6])
+        draws = a.sample_many(30_000, rng)
+        assert abs((draws == 1).mean() - 0.75) < 0.01
+
+    def test_sample_many_matches_sample(self, rng):
+        table = AliasTable([1, 2, 3, 4])
+        single = np.array([table.sample(rng) for _ in range(20_000)])
+        batch = table.sample_many(20_000, rng)
+        f1 = np.bincount(single, minlength=4) / len(single)
+        f2 = np.bincount(batch, minlength=4) / len(batch)
+        assert np.all(np.abs(f1 - f2) < 0.015)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30).filter(
+        lambda w: sum(w) > 0
+    ),
+    seed=st.integers(0, 2**31),
+)
+def test_samples_always_in_range_and_positive_weight(weights, seed):
+    rng = np.random.default_rng(seed)
+    table = AliasTable(weights)
+    for _ in range(20):
+        i = table.sample(rng)
+        assert 0 <= i < len(weights)
+        # Zero-weight outcomes are impossible (up to fp dust in the builder).
+        if weights[i] == 0.0:
+            pytest.fail("sampled an outcome with zero weight")

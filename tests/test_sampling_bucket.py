@@ -1,0 +1,119 @@
+"""Tests for the general-probability bucket samplers (paper Sec. 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.bucket import BucketSampler, IndexedBucketSampler
+
+SAMPLERS = [BucketSampler, IndexedBucketSampler]
+
+
+@pytest.mark.parametrize("cls", SAMPLERS)
+class TestStructure:
+    def test_empty_probs(self, cls, rng):
+        sampler = cls([])
+        assert sampler.sample(rng) == []
+
+    def test_all_zero(self, cls, rng):
+        sampler = cls([0.0, 0.0, 0.0])
+        assert all(sampler.sample(rng) == [] for _ in range(50))
+
+    def test_all_one(self, cls, rng):
+        sampler = cls([1.0] * 5)
+        for _ in range(20):
+            assert sorted(sampler.sample(rng)) == [0, 1, 2, 3, 4]
+
+    def test_indices_unique_in_range(self, cls, rng):
+        probs = np.linspace(0.9, 0.01, 17)
+        rng2 = np.random.default_rng(5)
+        rng2.shuffle(probs)
+        sampler = cls(probs)
+        for _ in range(300):
+            out = sampler.sample(rng)
+            assert len(out) == len(set(out))
+            assert all(0 <= i < 17 for i in out)
+
+    def test_mu_attribute(self, cls, rng):
+        sampler = cls([0.5, 0.25])
+        assert sampler.mu == pytest.approx(0.75)
+
+    def test_rejects_invalid_probs(self, cls, rng):
+        with pytest.raises(ValueError):
+            cls([0.5, 1.5])
+        with pytest.raises(ValueError):
+            cls([-0.1])
+        with pytest.raises(ValueError):
+            cls(np.ones((2, 2)))
+
+
+@pytest.mark.parametrize("cls", SAMPLERS)
+class TestDistribution:
+    def test_marginal_inclusion(self, cls, rng):
+        probs = np.array([0.9, 0.5, 0.3, 0.12, 0.04, 0.007, 0.65, 0.2])
+        sampler = cls(probs)
+        trials = 30_000
+        counts = np.zeros(len(probs))
+        for _ in range(trials):
+            for i in sampler.sample(rng):
+                counts[i] += 1
+        freqs = counts / trials
+        assert np.all(np.abs(freqs - probs) < 0.012)
+
+    def test_independence_of_pairs(self, cls, rng):
+        probs = np.array([0.6, 0.4, 0.25, 0.1])
+        sampler = cls(probs)
+        trials = 30_000
+        both = 0
+        for _ in range(trials):
+            out = set(sampler.sample(rng))
+            if 0 in out and 2 in out:
+                both += 1
+        assert abs(both / trials - 0.6 * 0.25) < 0.012
+
+    def test_expected_size_is_mu(self, cls, rng):
+        probs = np.full(40, 0.05)
+        sampler = cls(probs)
+        sizes = [len(sampler.sample(rng)) for _ in range(20_000)]
+        assert abs(np.mean(sizes) - 2.0) < 0.06
+
+    def test_single_element(self, cls, rng):
+        sampler = cls([0.35])
+        hits = sum(bool(sampler.sample(rng)) for _ in range(30_000))
+        assert abs(hits / 30_000 - 0.35) < 0.012
+
+
+def test_indexed_and_plain_agree(rng):
+    """Both samplers realise the same subset distribution."""
+    probs = np.array([0.8, 0.45, 0.2, 0.1, 0.03, 0.6])
+    plain = BucketSampler(probs)
+    indexed = IndexedBucketSampler(probs)
+    trials = 30_000
+    freq = {}
+    for sampler, key in ((plain, 0), (indexed, 1)):
+        counts = np.zeros(len(probs))
+        for _ in range(trials):
+            for i in sampler.sample(rng):
+                counts[i] += 1
+        freq[key] = counts / trials
+    assert np.all(np.abs(freq[0] - freq[1]) < 0.015)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    probs=st.lists(st.floats(0.0, 1.0), min_size=0, max_size=40),
+    seed=st.integers(0, 2**31),
+    indexed=st.booleans(),
+)
+def test_bucket_structural_invariants(probs, seed, indexed):
+    rng = np.random.default_rng(seed)
+    cls = IndexedBucketSampler if indexed else BucketSampler
+    sampler = cls(probs)
+    out = sampler.sample(rng)
+    assert len(out) == len(set(out))
+    for i in out:
+        assert 0 <= i < len(probs)
+        assert probs[i] > 0.0  # zero-probability elements never sampled
+    must_have = {i for i, p in enumerate(probs) if p == 1.0}
+    assert must_have <= set(out)

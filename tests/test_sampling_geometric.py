@@ -1,0 +1,135 @@
+"""Tests for geometric-skip sampling (SUBSIM's core primitive)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.geometric import (
+    geometric_jump,
+    sample_equal_probability,
+    truncated_geometric,
+)
+
+
+class TestGeometricJump:
+    def test_p_one_always_first(self, rng):
+        assert all(geometric_jump(1.0, rng) == 1 for _ in range(100))
+
+    def test_p_zero_never_succeeds(self, rng):
+        assert geometric_jump(0.0, rng) > 10**15
+
+    def test_support_starts_at_one(self, rng):
+        draws = [geometric_jump(0.9, rng) for _ in range(1000)]
+        assert min(draws) == 1
+
+    def test_mean_matches_distribution(self, rng):
+        p = 0.25
+        draws = [geometric_jump(p, rng) for _ in range(40_000)]
+        # E[G(p)] = 1/p = 4; sd of the mean ~ sqrt(12)/200 ~ 0.017
+        assert abs(np.mean(draws) - 1.0 / p) < 0.1
+
+    def test_distribution_pmf(self, rng):
+        p = 0.5
+        draws = np.array([geometric_jump(p, rng) for _ in range(40_000)])
+        for i in (1, 2, 3):
+            expected = (1 - p) ** (i - 1) * p
+            observed = (draws == i).mean()
+            assert abs(observed - expected) < 0.01
+
+
+class TestTruncatedGeometric:
+    def test_within_bound(self, rng):
+        draws = [truncated_geometric(0.1, 5, rng) for _ in range(2000)]
+        assert min(draws) >= 1
+        assert max(draws) <= 5
+
+    def test_bound_one_degenerate(self, rng):
+        assert all(truncated_geometric(0.3, 1, rng) == 1 for _ in range(50))
+
+    def test_p_one(self, rng):
+        assert truncated_geometric(1.0, 10, rng) == 1
+
+    def test_matches_conditioned_distribution(self, rng):
+        p, bound = 0.3, 4
+        draws = np.array(
+            [truncated_geometric(p, bound, rng) for _ in range(40_000)]
+        )
+        norm = 1.0 - (1.0 - p) ** bound
+        for i in range(1, bound + 1):
+            expected = (1 - p) ** (i - 1) * p / norm
+            observed = (draws == i).mean()
+            assert abs(observed - expected) < 0.012
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            truncated_geometric(0.5, 0, rng)
+        with pytest.raises(ValueError):
+            truncated_geometric(0.0, 3, rng)
+
+
+class TestSampleEqualProbability:
+    def test_empty_set(self, rng):
+        assert sample_equal_probability(0, 0.5, rng) == []
+
+    def test_p_zero(self, rng):
+        assert sample_equal_probability(100, 0.0, rng) == []
+
+    def test_p_one(self, rng):
+        assert sample_equal_probability(7, 1.0, rng) == list(range(7))
+
+    def test_indices_sorted_unique_in_range(self, rng):
+        for _ in range(200):
+            out = sample_equal_probability(20, 0.4, rng)
+            assert out == sorted(set(out))
+            assert all(0 <= i < 20 for i in out)
+
+    def test_marginal_inclusion_probability(self, rng):
+        h, p, trials = 12, 0.3, 30_000
+        counts = np.zeros(h)
+        for _ in range(trials):
+            for i in sample_equal_probability(h, p, rng):
+                counts[i] += 1
+        freqs = counts / trials
+        assert np.all(np.abs(freqs - p) < 0.012)
+
+    def test_pairwise_independence(self, rng):
+        h, p, trials = 6, 0.4, 30_000
+        both = 0
+        for _ in range(trials):
+            out = set(sample_equal_probability(h, p, rng))
+            if 1 in out and 4 in out:
+                both += 1
+        assert abs(both / trials - p * p) < 0.012
+
+    def test_expected_size(self, rng):
+        h, p = 50, 0.1
+        sizes = [
+            len(sample_equal_probability(h, p, rng)) for _ in range(20_000)
+        ]
+        assert abs(np.mean(sizes) - h * p) < 0.12
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_equal_probability(-1, 0.5, rng)
+        with pytest.raises(ValueError):
+            sample_equal_probability(5, 1.5, rng)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    h=st.integers(0, 200),
+    p=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_equal_probability_structural_invariants(h, p, seed):
+    rng = np.random.default_rng(seed)
+    out = sample_equal_probability(h, p, rng)
+    assert out == sorted(set(out))
+    assert all(0 <= i < h for i in out)
+    if p == 1.0:
+        assert out == list(range(h))
+    if p == 0.0 or h == 0:
+        assert out == []

@@ -1,0 +1,95 @@
+"""Tests for the index-free sorted-descending subset sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.sorted_sampler import sample_sorted_descending
+
+
+class TestStructure:
+    def test_empty(self, rng):
+        assert sample_sorted_descending([], rng) == []
+
+    def test_all_zero(self, rng):
+        assert sample_sorted_descending([0.0, 0.0], rng) == []
+
+    def test_all_one(self, rng):
+        assert sorted(sample_sorted_descending([1.0] * 6, rng)) == list(range(6))
+
+    def test_validate_rejects_unsorted(self, rng):
+        with pytest.raises(ValueError):
+            sample_sorted_descending([0.1, 0.9], rng, validate=True)
+
+    def test_validate_accepts_sorted(self, rng):
+        sample_sorted_descending([0.9, 0.1], rng, validate=True)
+
+    def test_no_validation_by_default(self, rng):
+        # Without validate the function trusts the caller (hot path).
+        sample_sorted_descending([0.1, 0.9], rng)
+
+    def test_unique_in_range(self, rng):
+        probs = np.sort(np.linspace(0.01, 0.95, 23))[::-1]
+        for _ in range(300):
+            out = sample_sorted_descending(probs, rng)
+            assert len(out) == len(set(out))
+            assert all(0 <= i < 23 for i in out)
+
+
+class TestDistribution:
+    def test_marginal_inclusion(self, rng):
+        probs = np.array([0.9, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05, 0.01])
+        trials = 30_000
+        counts = np.zeros(len(probs))
+        for _ in range(trials):
+            for i in sample_sorted_descending(probs, rng):
+                counts[i] += 1
+        freqs = counts / trials
+        assert np.all(np.abs(freqs - probs) < 0.012)
+
+    def test_marginals_with_ones_prefix(self, rng):
+        probs = np.array([1.0, 1.0, 0.4, 0.1])
+        trials = 30_000
+        counts = np.zeros(4)
+        for _ in range(trials):
+            for i in sample_sorted_descending(probs, rng):
+                counts[i] += 1
+        freqs = counts / trials
+        assert freqs[0] == 1.0 and freqs[1] == 1.0
+        assert abs(freqs[2] - 0.4) < 0.012
+        assert abs(freqs[3] - 0.1) < 0.012
+
+    def test_independence(self, rng):
+        probs = np.array([0.6, 0.5, 0.25, 0.1])
+        trials = 30_000
+        both = 0
+        for _ in range(trials):
+            out = set(sample_sorted_descending(probs, rng))
+            if 1 in out and 3 in out:
+                both += 1
+        assert abs(both / trials - 0.5 * 0.1) < 0.012
+
+    def test_long_tail_expected_size(self, rng):
+        probs = np.sort(np.full(64, 0.02))[::-1]
+        sizes = [
+            len(sample_sorted_descending(probs, rng)) for _ in range(20_000)
+        ]
+        assert abs(np.mean(sizes) - 64 * 0.02) < 0.05
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    probs=st.lists(st.floats(0.0, 1.0), min_size=0, max_size=40),
+    seed=st.integers(0, 2**31),
+)
+def test_sorted_structural_invariants(probs, seed):
+    probs = sorted(probs, reverse=True)
+    rng = np.random.default_rng(seed)
+    out = sample_sorted_descending(probs, rng)
+    assert len(out) == len(set(out))
+    for i in out:
+        assert 0 <= i < len(probs)
+        assert probs[i] > 0.0
+    must_have = {i for i, p in enumerate(probs) if p == 1.0}
+    assert must_have <= set(out)

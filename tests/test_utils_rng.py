@@ -1,0 +1,73 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, random_unit, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(as_generator(np.int64(5)), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            as_generator(1.5)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(7, 3)
+        draws = [g.integers(0, 10**9) for g in children]
+        assert len(set(draws)) == 3
+
+    def test_reproducible_from_same_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(9, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_accepts_generator_parent(self):
+        parent = np.random.default_rng(3)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2
+
+
+class TestRandomUnit:
+    def test_in_open_interval(self, rng):
+        values = [random_unit(rng) for _ in range(1000)]
+        assert all(0.0 < v < 1.0 for v in values)

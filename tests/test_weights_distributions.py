@@ -1,0 +1,115 @@
+"""Statistical tests of the weight schemes' distributions.
+
+`test_graphs_weights.py` checks structure (ranges, sums, tags); these
+check *distributional* claims: the skewed schemes must actually be skewed
+in the way the paper's Section 7 describes, with fixed seeds and
+generous-but-meaningful tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import (
+    exponential_weights,
+    trivalency_weights,
+    uniform_weights,
+    wc_variant_weights,
+    weibull_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    # Enough multi-in-degree nodes for distribution statistics.
+    return preferential_attachment(800, 6, seed=31, reciprocal=0.3)
+
+
+class TestExponentialShape:
+    def test_within_node_skew_matches_exponential(self, base):
+        """Normalised exponentials are Dirichlet(1,..,1): for a node of
+        in-degree d, the max weight's expectation is H_d / d."""
+        g = exponential_weights(base, seed=5)
+        in_deg = g.in_degree()
+        # Normalise each node's max share by its degree-specific
+        # expectation E[max of Dirichlet(1^d)] = H_d / d, then pool.
+        normalised = []
+        for degree in (5, 6, 7, 8):
+            h_d = sum(1.0 / i for i in range(1, degree + 1))
+            expected = h_d / degree
+            for v in np.flatnonzero(in_deg == degree):
+                _, probs = g.in_neighbors(int(v))
+                normalised.append(probs.max() / expected)
+        assert len(normalised) > 50
+        assert np.mean(normalised) == pytest.approx(1.0, abs=0.08)
+
+    def test_more_skewed_than_wc(self, base):
+        g = exponential_weights(base, seed=5)
+        in_deg = g.in_degree()
+        nodes = np.flatnonzero(in_deg >= 4)[:200]
+        ratios = []
+        for v in nodes:
+            _, probs = g.in_neighbors(int(v))
+            ratios.append(probs.max() / probs.min())
+        # Under WC every ratio is 1; exponential weights are far apart.
+        assert np.median(ratios) > 3.0
+
+
+class TestWeibullShape:
+    def test_extreme_dominance_occurs(self, base):
+        """Tiny Weibull shapes make one edge dominate its node; over many
+        nodes this must actually happen (share > 0.99 somewhere)."""
+        g = weibull_weights(base, seed=5)
+        in_deg = g.in_degree()
+        dominated = 0
+        for v in np.flatnonzero(in_deg >= 3):
+            _, probs = g.in_neighbors(int(v))
+            if probs.max() > 0.99:
+                dominated += 1
+        assert dominated > 0
+
+    def test_different_seeds_different_weights(self, base):
+        a = weibull_weights(base, seed=1)
+        b = weibull_weights(base, seed=2)
+        assert not np.allclose(a.out_probs, b.out_probs)
+
+
+class TestTrivalencyFrequencies:
+    def test_menu_choices_roughly_uniform(self, base):
+        g = trivalency_weights(base, choices=(0.1, 0.01, 0.001), seed=3)
+        values, counts = np.unique(g.out_probs, return_counts=True)
+        assert len(values) == 3
+        freqs = counts / counts.sum()
+        assert np.all(np.abs(freqs - 1 / 3) < 0.03)
+
+
+class TestWCVariantCap:
+    def test_cap_engages_only_below_theta(self, base):
+        theta = 3.0
+        g = wc_variant_weights(base, theta)
+        in_deg = g.in_degree()
+        src, dst, probs = g.edges()
+        capped = in_deg[dst] <= theta
+        assert np.allclose(probs[capped], 1.0)
+        assert np.allclose(probs[~capped], theta / in_deg[dst[~capped]])
+
+    def test_influence_monotone_in_theta(self, base):
+        """Higher theta -> strictly stronger cascades (mean RR size grows)."""
+        from repro.experiments.calibration import average_rr_size
+
+        sizes = [
+            average_rr_size(wc_variant_weights(base, t), 150, seed=0)
+            for t in (1.0, 2.0, 4.0)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestUniformIC:
+    def test_influence_monotone_in_p(self, base):
+        from repro.experiments.calibration import average_rr_size
+
+        sizes = [
+            average_rr_size(uniform_weights(base, p), 150, seed=0)
+            for p in (0.02, 0.08, 0.2)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
