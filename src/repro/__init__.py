@@ -29,7 +29,14 @@ from repro.graphs.generators import (
     stochastic_block_model,
     watts_strogatz,
 )
-from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.io import (
+    load_edge_list,
+    load_edge_list_with_retry,
+    load_npz,
+    load_npz_with_retry,
+    save_edge_list,
+    save_npz,
+)
 from repro.graphs.weights import (
     exponential_weights,
     lt_normalized_weights,
@@ -43,11 +50,21 @@ from repro.rrsets.collection import RRCollection
 from repro.rrsets.lt import LTGenerator
 from repro.rrsets.subsim import SubsimICGenerator
 from repro.rrsets.vanilla import VanillaICGenerator
+from repro.runtime import (
+    Budget,
+    CancellationToken,
+    CheckpointStore,
+    FaultInjector,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "CancellationToken",
+    "CheckpointStore",
     "CSRGraph",
+    "FaultInjector",
     "IMResult",
     "InfluenceMaximizer",
     "LTGenerator",
@@ -62,7 +79,9 @@ __all__ = [
     "exponential_weights",
     "get_algorithm",
     "load_edge_list",
+    "load_edge_list_with_retry",
     "load_npz",
+    "load_npz_with_retry",
     "lt_normalized_weights",
     "maximize_influence",
     "preferential_attachment",

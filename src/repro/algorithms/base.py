@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional, Type
+from typing import Optional, Type, Union
 
 import numpy as np
 
@@ -12,7 +12,20 @@ from repro.core.results import IMResult
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.vanilla import VanillaICGenerator
-from repro.utils.exceptions import ConfigurationError
+from repro.runtime.budget import Budget
+from repro.runtime.cancellation import CancellationToken
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    coerce_store,
+    counters_from_dict,
+)
+from repro.runtime.control import RunControl
+from repro.runtime.faults import FaultInjector
+from repro.utils.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    ExecutionInterrupted,
+)
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -23,6 +36,15 @@ class IMAlgorithm:
     :meth:`run` validates parameters (``delta`` defaults to the customary
     ``1/n``), seeds the RNG, times the run, and folds the generator counters
     into the returned :class:`~repro.core.results.IMResult`.
+
+    Every algorithm is an *interruptible* computation: ``run`` accepts a
+    :class:`~repro.runtime.budget.Budget` and a
+    :class:`~repro.runtime.cancellation.CancellationToken`, and when either
+    fires mid-sampling the algorithm degrades to a ``status="partial"``
+    result (best-so-far seeds, honest counters and bounds) instead of
+    raising or hanging.  Algorithms with checkpoint support (HIST, OPIM-C
+    and their generator variants) additionally persist round-boundary state
+    to ``checkpoint`` and can ``resume`` a killed run bit-identically.
     """
 
     name = "base"
@@ -38,6 +60,8 @@ class IMAlgorithm:
             raise ConfigurationError("graph must contain at least one node")
         self.graph = graph
         self.generator_cls = generator_cls
+        self._control: Optional[RunControl] = None
+        self._resume_state = None
 
     # ------------------------------------------------------------------
     def run(
@@ -46,11 +70,31 @@ class IMAlgorithm:
         eps: float = 0.1,
         delta: Optional[float] = None,
         seed: SeedLike = None,
+        *,
+        budget: Optional[Budget] = None,
+        cancel: Optional[CancellationToken] = None,
+        checkpoint: Union[None, str, CheckpointStore] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> IMResult:
         """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
 
         ``delta`` defaults to ``1/n``; ``seed`` accepts anything
         :func:`repro.utils.rng.as_generator` does.
+
+        Runtime parameters (all keyword-only):
+
+        * ``budget`` — resource caps; expiry yields a ``status="partial"``
+          result instead of an exception.
+        * ``cancel`` — cooperative cancellation token, same degradation.
+        * ``checkpoint`` — path (or ready store) where round-boundary state
+          is persisted every ``checkpoint_every`` rounds; cleared when the
+          run completes.
+        * ``resume`` — continue from the checkpoint if one exists (requires
+          ``checkpoint``); the resumed run replays to a bit-identical final
+          answer.
+        * ``fault_injector`` — deterministic fault hooks for tests.
         """
         n = self.graph.n
         if not 1 <= k <= n:
@@ -61,10 +105,45 @@ class IMAlgorithm:
             delta = 1.0 / n if n > 1 else 0.5
         if not 0 < delta < 1:
             raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+
+        store = coerce_store(checkpoint, every=checkpoint_every)
+        if resume and store is None:
+            raise ConfigurationError("resume=True requires a checkpoint path")
+        control = RunControl(
+            budget=budget, token=cancel, faults=fault_injector, checkpoint=store
+        )
+        self._control = control
+        self._resume_state = None
+        if resume and store.exists():
+            meta, pools = store.load()
+            self._validate_resume(meta, k, eps, delta)
+            self._resume_state = (meta, pools)
+
         rng = as_generator(seed)
+        control.start()
         begin = time.perf_counter()
-        result = self._select(k, eps, delta, rng)
+        try:
+            result = self._select(k, eps, delta, rng)
+        except ExecutionInterrupted as exc:
+            # Safety net: even an algorithm without bespoke degradation
+            # honors the contract — no exception, no hang, an honest
+            # (possibly empty) partial result.
+            result = self._result_from(
+                [],
+                k,
+                eps,
+                delta,
+                status="partial",
+                stop_reason=getattr(exc, "reason", None) or str(exc),
+            )
+        finally:
+            self._resume_state = None
+            self._control = None
         result.runtime_seconds = time.perf_counter() - begin
+        if control.active or control.checkpoint is not None:
+            result.extras.setdefault("runtime", control.snapshot())
+        if store is not None and result.status == "complete":
+            store.clear()
         return result
 
     # ------------------------------------------------------------------
@@ -74,8 +153,84 @@ class IMAlgorithm:
         raise NotImplementedError
 
     def _new_generator(self) -> RRGenerator:
-        return self.generator_cls(self.graph)
+        gen = self.generator_cls(self.graph)
+        if self._control is not None:
+            gen.control = self._control
+        return gen
 
+    def _check(self) -> None:
+        """Poll cancellation/deadline from a non-RR sampling loop."""
+        if self._control is not None:
+            self._control.check()
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume plumbing
+    # ------------------------------------------------------------------
+    def _validate_resume(self, meta: dict, k: int, eps: float, delta: float) -> None:
+        """Refuse to resume a checkpoint taken by a different query."""
+        expected = {
+            "algorithm": self.name,
+            "n": self.graph.n,
+            "k": k,
+        }
+        for key, want in expected.items():
+            got = meta.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"checkpoint {key}={got!r} does not match this run's {want!r}"
+                )
+        for key, want in (("eps", eps), ("delta", delta)):
+            got = meta.get(key)
+            if got is None or abs(float(got) - want) > 1e-12:
+                raise CheckpointError(
+                    f"checkpoint {key}={got!r} does not match this run's {want}"
+                )
+
+    def _take_resume_state(self):
+        """Consume the pending resume state (one-shot)."""
+        state, self._resume_state = self._resume_state, None
+        return state
+
+    def _query_meta(self, k: int, eps: float, delta: float) -> dict:
+        return {
+            "algorithm": self.name,
+            "n": self.graph.n,
+            "k": k,
+            "eps": eps,
+            "delta": delta,
+        }
+
+    def _round_checkpoint(
+        self, rng: np.random.Generator, meta: dict, pools: dict
+    ) -> bool:
+        """Persist round-boundary state (RNG snapshot taken at call time)."""
+        control = self._control
+        if control is None or control.checkpoint is None:
+            return False
+
+        def builder():
+            payload = dict(meta)
+            payload["rng_state"] = rng.bit_generator.state
+            return payload, pools
+
+        return control.maybe_checkpoint(builder)
+
+    @staticmethod
+    def _restore_generator(gen: RRGenerator, counters_payload: dict) -> None:
+        """Load checkpointed counters into a fresh generator."""
+        gen.counters = counters_from_dict(counters_payload)
+        gen._reported_edges = gen.counters.edges_examined
+
+    @staticmethod
+    def _restore_rng(rng: np.random.Generator, state) -> None:
+        try:
+            rng.bit_generator.state = state
+        except (TypeError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"cannot restore RNG state from checkpoint: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
     def _result_from(
         self,
         seeds,
@@ -83,6 +238,8 @@ class IMAlgorithm:
         eps: float,
         delta: float,
         generators=(),
+        status: str = "complete",
+        stop_reason: Optional[str] = None,
         **extras,
     ) -> IMResult:
         """Assemble an IMResult, merging counters from ``generators``."""
@@ -99,7 +256,33 @@ class IMAlgorithm:
             average_rr_size=(total_nodes / num_sets) if num_sets else 0.0,
             edges_examined=sum(g.counters.edges_examined for g in generators),
             rng_draws=sum(g.counters.rng_draws for g in generators),
+            status=status,
+            stop_reason=stop_reason,
             extras=extras,
+        )
+
+    def _partial_result(
+        self,
+        seeds,
+        k: int,
+        eps: float,
+        delta: float,
+        generators=(),
+        reason: Optional[str] = None,
+        **extras,
+    ) -> IMResult:
+        """Best-so-far result after a budget expiry or cancellation."""
+        if reason is None and self._control is not None:
+            reason = self._control.stop_reason
+        return self._result_from(
+            list(seeds)[:k],
+            k,
+            eps,
+            delta,
+            generators=generators,
+            status="partial",
+            stop_reason=reason or "interrupted",
+            **extras,
         )
 
     @staticmethod

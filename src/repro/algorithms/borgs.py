@@ -28,7 +28,7 @@ from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, ExecutionInterrupted
 
 
 class BorgsRIS(IMAlgorithm):
@@ -66,15 +66,28 @@ class BorgsRIS(IMAlgorithm):
         # Generate until the edge budget is exhausted.  Every RR set costs
         # at least one unit (the root draw) so the loop terminates even on
         # edgeless graphs.
-        while generator.counters.edges_examined < budget:
-            pool.add(generator.generate(rng))
-            if generator.counters.edges_examined == 0:
-                # Edgeless graph: RR sets are singletons; a handful gives
-                # the (trivial) coverage signal greedy needs.
-                if pool.num_rr >= 3 * k:
+        try:
+            while generator.counters.edges_examined < budget:
+                pool.add(generator.generate(rng))
+                if generator.counters.edges_examined == 0:
+                    # Edgeless graph: RR sets are singletons; a handful gives
+                    # the (trivial) coverage signal greedy needs.
+                    if pool.num_rr >= 3 * k:
+                        break
+                if self.max_rr_sets is not None and pool.num_rr >= self.max_rr_sets:
                     break
-            if self.max_rr_sets is not None and pool.num_rr >= self.max_rr_sets:
-                break
+        except ExecutionInterrupted as exc:
+            seeds = []
+            if pool.num_rr:
+                seeds = max_coverage_greedy(
+                    pool, select=k, track_upper_bound=False
+                ).seeds
+            return self._partial_result(
+                seeds, k, eps, delta,
+                generators=(generator,),
+                reason=exc.reason,
+                edge_budget=budget,
+            )
 
         greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
         return self._result_from(

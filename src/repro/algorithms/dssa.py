@@ -29,6 +29,7 @@ from repro.bounds.thresholds import theta_max_opimc
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
 from repro.rrsets.collection import RRCollection
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class DSSA(IMAlgorithm):
@@ -61,21 +62,34 @@ class DSSA(IMAlgorithm):
         seeds = []
         rounds = 0
         agreed = False
-        while True:
-            rounds += 1
-            pool1.extend_to(theta, gen1, rng)
-            pool2.extend_to(theta, gen2, rng)
-            greedy = max_coverage_greedy(pool1, select=k, track_upper_bound=False)
-            seeds = greedy.seeds
-            cov1 = greedy.coverage
-            cov2 = pool2.coverage(seeds)
-            if cov2 >= lambda_min and cov2 > 0:
-                if cov1 / cov2 <= 1.0 + eps_agree:
-                    agreed = True
+        try:
+            while True:
+                rounds += 1
+                pool1.extend_to(theta, gen1, rng)
+                pool2.extend_to(theta, gen2, rng)
+                greedy = max_coverage_greedy(pool1, select=k, track_upper_bound=False)
+                seeds = greedy.seeds
+                cov1 = greedy.coverage
+                cov2 = pool2.coverage(seeds)
+                if cov2 >= lambda_min and cov2 > 0:
+                    if cov1 / cov2 <= 1.0 + eps_agree:
+                        agreed = True
+                        break
+                if theta >= theta_cap:
                     break
-            if theta >= theta_cap:
-                break
-            theta = min(2 * theta, theta_cap)
+                theta = min(2 * theta, theta_cap)
+        except ExecutionInterrupted as exc:
+            if not seeds and pool1.num_rr:
+                seeds = max_coverage_greedy(
+                    pool1, select=k, track_upper_bound=False
+                ).seeds
+            return self._partial_result(
+                seeds, k, eps, delta,
+                generators=(gen1, gen2),
+                reason=exc.reason,
+                rounds=rounds,
+                agreed=agreed,
+            )
 
         return self._result_from(
             seeds,

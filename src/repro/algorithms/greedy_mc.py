@@ -19,7 +19,7 @@ from repro.algorithms.base import IMAlgorithm
 from repro.core.results import IMResult
 from repro.estimation.montecarlo import simulate_ic, simulate_lt
 from repro.graphs.csr import CSRGraph
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, ExecutionInterrupted
 
 
 class GreedyMonteCarlo(IMAlgorithm):
@@ -46,6 +46,7 @@ class GreedyMonteCarlo(IMAlgorithm):
     def _spread(self, seeds: List[int], rng: np.random.Generator) -> float:
         total = 0
         for _ in range(self.num_simulations):
+            self._check()
             total += self._simulate(self.graph, seeds, rng)
         return total / self.num_simulations
 
@@ -57,23 +58,31 @@ class GreedyMonteCarlo(IMAlgorithm):
         current_spread = 0.0
         evaluations = 0
 
-        # CELF heap of (-stale_gain, node, round_evaluated).
-        heap = []
-        for v in range(n):
-            gain = self._spread([v], rng)
-            evaluations += 1
-            heapq.heappush(heap, (-gain, v, 0))
-
-        for round_idx in range(1, k + 1):
-            while True:
-                neg_gain, v, evaluated_at = heapq.heappop(heap)
-                if evaluated_at == round_idx:
-                    seeds.append(v)
-                    current_spread += -neg_gain
-                    break
-                fresh = self._spread(seeds + [v], rng) - current_spread
+        try:
+            # CELF heap of (-stale_gain, node, round_evaluated).
+            heap = []
+            for v in range(n):
+                gain = self._spread([v], rng)
                 evaluations += 1
-                heapq.heappush(heap, (-fresh, v, round_idx))
+                heapq.heappush(heap, (-gain, v, 0))
+
+            for round_idx in range(1, k + 1):
+                while True:
+                    neg_gain, v, evaluated_at = heapq.heappop(heap)
+                    if evaluated_at == round_idx:
+                        seeds.append(v)
+                        current_spread += -neg_gain
+                        break
+                    fresh = self._spread(seeds + [v], rng) - current_spread
+                    evaluations += 1
+                    heapq.heappush(heap, (-fresh, v, round_idx))
+        except ExecutionInterrupted as exc:
+            return self._partial_result(
+                seeds, k, eps, delta,
+                reason=exc.reason,
+                spread_estimate=current_spread,
+                evaluations=evaluations,
+            )
 
         result = self._result_from(
             seeds,

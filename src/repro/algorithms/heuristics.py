@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.algorithms.base import IMAlgorithm
 from repro.core.results import IMResult
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class DegreeTopK(IMAlgorithm):
@@ -24,6 +25,9 @@ class DegreeTopK(IMAlgorithm):
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator
     ) -> IMResult:
+        # Single-shot: one poll suffices — a fired budget/cancellation is
+        # turned into an empty partial by the run() safety net.
+        self._check()
         out_deg = self.graph.out_degree()
         # argsort is ascending; take the tail, then reverse for rank order.
         seeds = np.argsort(out_deg, kind="stable")[-k:][::-1].tolist()
@@ -58,21 +62,27 @@ class DegreeDiscount(IMAlgorithm):
         t = np.zeros(graph.n, dtype=np.float64)
         selected = np.zeros(graph.n, dtype=bool)
         seeds: List[int] = []
-        for _ in range(k):
-            dd_masked = np.where(selected, -np.inf, dd)
-            s = int(np.argmax(dd_masked))
-            selected[s] = True
-            seeds.append(s)
-            neighbors, _ = graph.out_neighbors(s)
-            for v in neighbors:
-                if selected[v]:
-                    continue
-                t[v] += 1.0
-                dd[v] = (
-                    degree[v]
-                    - 2.0 * t[v]
-                    - (degree[v] - t[v]) * t[v] * self.p
-                )
+        try:
+            for _ in range(k):
+                self._check()
+                dd_masked = np.where(selected, -np.inf, dd)
+                s = int(np.argmax(dd_masked))
+                selected[s] = True
+                seeds.append(s)
+                neighbors, _ = graph.out_neighbors(s)
+                for v in neighbors:
+                    if selected[v]:
+                        continue
+                    t[v] += 1.0
+                    dd[v] = (
+                        degree[v]
+                        - 2.0 * t[v]
+                        - (degree[v] - t[v]) * t[v] * self.p
+                    )
+        except ExecutionInterrupted as exc:
+            return self._partial_result(
+                seeds, k, eps, delta, reason=exc.reason, p=self.p
+            )
         return self._result_from(seeds, k, eps, delta, p=self.p)
 
 
@@ -85,5 +95,6 @@ class RandomSeeds(IMAlgorithm):
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator
     ) -> IMResult:
+        self._check()
         seeds = rng.choice(self.graph.n, size=k, replace=False).tolist()
         return self._result_from(seeds, k, eps, delta)

@@ -19,13 +19,21 @@ the *size* of each RR set, not their number.  HIST splits the budget:
 
 Budget split (Algorithm 4): ``eps1 = eps2 = eps/2`` and ``delta1 = delta2 =
 delta/2``, giving ``(1 - 1/e - eps)`` with probability ``1 - delta`` overall.
+
+Both phases are interruptible: a budget expiry or cancellation surfaces as
+an *interrupted* phase result carrying best-so-far seeds, which
+:class:`HIST` turns into a ``status="partial"`` IMResult.  HIST also
+checkpoints at two granularities — once at the sentinel/IM phase boundary
+and once per IM-Sentinel doubling round — and resumes a killed run to a
+bit-identical final answer (round-boundary RNG snapshots plus pool and
+counter state make the replay an exact prefix extension).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Type
+from typing import Callable, List, Optional, Type
 
 import numpy as np
 
@@ -38,8 +46,25 @@ from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
-from repro.utils.exceptions import ConfigurationError
+from repro.runtime.checkpoint import (
+    RestoredCounters,
+    counters_from_dict,
+    counters_to_dict,
+)
+from repro.runtime.control import RunControl
+from repro.utils.exceptions import ConfigurationError, ExecutionInterrupted
 from repro.utils.timing import Timer
+
+
+def _attach_control(control: Optional[RunControl], *generators: RRGenerator) -> None:
+    if control is not None:
+        for gen in generators:
+            gen.control = control
+
+
+def _restore_counters(gen: RRGenerator, payload: dict) -> None:
+    gen.counters = counters_from_dict(payload)
+    gen._reported_edges = gen.counters.edges_examined
 
 
 @dataclass
@@ -53,6 +78,35 @@ class SentinelResult:
     verified: bool                # True if the Eq.-1 check passed in-loop
     iterations: int
     generators: tuple = field(repr=False, default=())
+    #: the phase stopped early (budget / cancellation) — ``fallback_seeds``
+    #: then holds the best-so-far greedy prefix for partial degradation
+    interrupted: bool = False
+    stop_reason: Optional[str] = None
+    fallback_seeds: List[int] = field(default_factory=list)
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot for the phase-boundary checkpoint."""
+        return {
+            "seeds": [int(s) for s in self.seeds],
+            "b": int(self.b),
+            "selection_rr_sets": int(self.selection_rr_sets),
+            "total_rr_sets": int(self.total_rr_sets),
+            "verified": bool(self.verified),
+            "iterations": int(self.iterations),
+            "counters": [counters_to_dict(g.counters) for g in self.generators],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "SentinelResult":
+        return cls(
+            seeds=[int(s) for s in payload["seeds"]],
+            b=int(payload["b"]),
+            selection_rr_sets=int(payload["selection_rr_sets"]),
+            total_rr_sets=int(payload["total_rr_sets"]),
+            verified=bool(payload["verified"]),
+            iterations=int(payload["iterations"]),
+            generators=tuple(RestoredCounters(c) for c in payload["counters"]),
+        )
 
 
 class SentinelSetPhase:
@@ -75,6 +129,7 @@ class SentinelSetPhase:
         delta1: float,
         rng: np.random.Generator,
         max_b: Optional[int] = None,
+        control: Optional[RunControl] = None,
     ) -> SentinelResult:
         """Execute the phase.  ``max_b`` optionally caps the sentinel size
         (used by the fixed-``b`` ablation); the automatic choice of line 8
@@ -97,8 +152,8 @@ class SentinelSetPhase:
 
         gen1 = self.generator_cls(graph)
         gen2 = self.generator_cls(graph)
+        _attach_control(control, gen1, gen2)
         pool1 = RRCollection(n)
-        pool1.extend(theta0, gen1, rng)
 
         candidate_b = 0
         candidate_seeds: List[int] = []
@@ -107,53 +162,77 @@ class SentinelSetPhase:
         verified = False
         greedy = None
 
-        for i in range(1, i_max + 1):
-            iterations = i
-            greedy = max_coverage_greedy(
-                pool1, select=k, topk=k, out_degree=out_deg
-            )
-            upper = influence_upper_bound(
-                greedy.upper_bound_coverage, pool1.num_rr, n, delta_u
-            )
-            # Line 8: the largest prefix whose *estimated* lower bound
-            # (Eq. 1 applied to R1 as if it were independent) clears the
-            # prefix threshold 1 - x^a - eps1.
-            b = 0
-            for a in range(1, max_b + 1):
-                est_lower = influence_lower_bound(
-                    greedy.coverage_history[a], pool1.num_rr, n, delta_l
+        try:
+            pool1.extend(theta0, gen1, rng)
+            for i in range(1, i_max + 1):
+                iterations = i
+                greedy = max_coverage_greedy(
+                    pool1, select=k, topk=k, out_degree=out_deg
                 )
-                if upper > 0 and est_lower / upper > 1.0 - x ** a - eps1:
-                    b = a
-            if b >= 1:
-                seeds_b = greedy.seeds[:b]
-                candidate_b, candidate_seeds = b, seeds_b
-                stop_mask = np.zeros(n, dtype=bool)
-                stop_mask[seeds_b] = True
-                threshold = 1.0 - x ** b - eps1
-                # Lines 9-15: verify on an independent sentinel-stopped pool,
-                # growing it once to 4 |R1| before giving up on the candidate.
-                pool2 = RRCollection(n)
-                pool2.extend(pool1.num_rr, gen2, rng, stop_mask=stop_mask)
-                for _ in range(2):
-                    lower = influence_lower_bound(
-                        pool2.coverage(seeds_b), pool2.num_rr, n, delta_l
+                upper = influence_upper_bound(
+                    greedy.upper_bound_coverage, pool1.num_rr, n, delta_u
+                )
+                # Line 8: the largest prefix whose *estimated* lower bound
+                # (Eq. 1 applied to R1 as if it were independent) clears the
+                # prefix threshold 1 - x^a - eps1.
+                b = 0
+                for a in range(1, max_b + 1):
+                    est_lower = influence_lower_bound(
+                        greedy.coverage_history[a], pool1.num_rr, n, delta_l
                     )
-                    if upper > 0 and lower / upper > threshold:
-                        verified = True
-                        break
-                    if pool2.num_rr < 4 * pool1.num_rr:
-                        pool2.extend(
-                            4 * pool1.num_rr - pool2.num_rr,
-                            gen2,
-                            rng,
-                            stop_mask=stop_mask,
+                    if upper > 0 and est_lower / upper > 1.0 - x ** a - eps1:
+                        b = a
+                if b >= 1:
+                    seeds_b = greedy.seeds[:b]
+                    candidate_b, candidate_seeds = b, seeds_b
+                    stop_mask = np.zeros(n, dtype=bool)
+                    stop_mask[seeds_b] = True
+                    threshold = 1.0 - x ** b - eps1
+                    # Lines 9-15: verify on an independent sentinel-stopped
+                    # pool, growing it once to 4 |R1| before giving up on
+                    # the candidate.
+                    pool2 = RRCollection(n)
+                    pool2.extend(pool1.num_rr, gen2, rng, stop_mask=stop_mask)
+                    for _ in range(2):
+                        lower = influence_lower_bound(
+                            pool2.coverage(seeds_b), pool2.num_rr, n, delta_l
                         )
-                validation_sets += pool2.num_rr
-                if verified:
-                    break
-            if i < i_max:
-                pool1.extend(pool1.num_rr, gen1, rng)
+                        if upper > 0 and lower / upper > threshold:
+                            verified = True
+                            break
+                        if pool2.num_rr < 4 * pool1.num_rr:
+                            pool2.extend(
+                                4 * pool1.num_rr - pool2.num_rr,
+                                gen2,
+                                rng,
+                                stop_mask=stop_mask,
+                            )
+                    validation_sets += pool2.num_rr
+                    if verified:
+                        break
+                if i < i_max:
+                    pool1.extend(pool1.num_rr, gen1, rng)
+        except ExecutionInterrupted as exc:
+            if greedy is not None:
+                fallback = greedy.seeds[:k]
+            elif pool1.num_rr:
+                fallback = max_coverage_greedy(
+                    pool1, select=k, topk=k, out_degree=out_deg
+                ).seeds
+            else:
+                fallback = []
+            return SentinelResult(
+                seeds=candidate_seeds,
+                b=candidate_b,
+                selection_rr_sets=pool1.num_rr,
+                total_rr_sets=pool1.num_rr + validation_sets,
+                verified=verified,
+                iterations=iterations,
+                generators=(gen1, gen2),
+                interrupted=True,
+                stop_reason=exc.reason,
+                fallback_seeds=fallback,
+            )
 
         if candidate_b == 0:
             # Degenerate fallback: even the loosest prefix never cleared the
@@ -184,6 +263,8 @@ class IMSentinelResult:
     average_rr_size: float
     iterations: int
     generators: tuple = field(repr=False, default=())
+    interrupted: bool = False
+    stop_reason: Optional[str] = None
 
 
 class IMSentinelPhase:
@@ -207,7 +288,16 @@ class IMSentinelPhase:
         eps2: float,
         delta2: float,
         rng: np.random.Generator,
+        control: Optional[RunControl] = None,
+        resume=None,
+        checkpoint: Optional[Callable[[dict, dict], None]] = None,
     ) -> IMSentinelResult:
+        """Execute the phase.
+
+        ``resume`` is a ``(meta, pools)`` pair from a round checkpoint taken
+        by ``checkpoint`` (a callback receiving round state + pools); both
+        are wired by :class:`HIST`.
+        """
         graph = self.graph
         n = graph.n
         b = len(sentinel_seeds)
@@ -227,43 +317,85 @@ class IMSentinelPhase:
 
         gen1 = self.generator_cls(graph)
         gen2 = self.generator_cls(graph)
+        _attach_control(control, gen1, gen2)
         pool1 = RRCollection(n)
         pool2 = RRCollection(n)
-        pool1.extend(theta0, gen1, rng, stop_mask=stop_mask)
-        pool2.extend(theta0, gen2, rng, stop_mask=stop_mask)
 
         seeds: List[int] = list(sentinel_seeds)
         lower = 0.0
         upper = float("inf")
         iterations = 0
-        for i in range(1, i_max + 1):
-            iterations = i
-            # Line 5: RR sets already hit by a sentinel carry no marginal
-            # coverage; mark them covered before greedy runs.
-            initial_covered = pool1.covered_mask(sentinel_seeds)
-            greedy = max_coverage_greedy(
-                pool1,
-                select=k - b,
-                topk=k,
-                out_degree=out_deg,
-                initial_covered=initial_covered,
-                excluded=sentinel_seeds,
-            )
-            seeds = list(sentinel_seeds) + greedy.seeds
-            upper = influence_upper_bound(
-                greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
-            )
-            lower = influence_lower_bound(
-                pool2.coverage(seeds), pool2.num_rr, n, delta_iter
-            )
-            if upper > 0 and lower / upper > target:
-                break
-            if i < i_max:
-                pool1.extend(pool1.num_rr, gen1, rng, stop_mask=stop_mask)
-                pool2.extend(pool2.num_rr, gen2, rng, stop_mask=stop_mask)
+        start_round = 1
 
-        sets = gen1.counters.sets_generated + gen2.counters.sets_generated
-        nodes = gen1.counters.nodes_added + gen2.counters.nodes_added
+        if resume is not None:
+            meta, pools = resume
+            pool1, pool2 = pools["pool1"], pools["pool2"]
+            _restore_counters(gen1, meta["counters"][0])
+            _restore_counters(gen2, meta["counters"][1])
+            IMAlgorithm._restore_rng(rng, meta["rng_state"])
+            iterations = int(meta["round"])
+            start_round = iterations + 1
+            seeds = [int(s) for s in meta["seeds"]]
+            lower = float(meta["lower"])
+            upper = float(meta["upper"])
+        else:
+            try:
+                pool1.extend(theta0, gen1, rng, stop_mask=stop_mask)
+                pool2.extend(theta0, gen2, rng, stop_mask=stop_mask)
+            except ExecutionInterrupted as exc:
+                return self._interrupted(
+                    sentinel_seeds, pool1, out_deg, k, b,
+                    seeds, lower, upper, iterations, (gen1, gen2), exc.reason,
+                )
+
+        try:
+            for i in range(start_round, i_max + 1):
+                iterations = i
+                # Line 5: RR sets already hit by a sentinel carry no marginal
+                # coverage; mark them covered before greedy runs.
+                initial_covered = pool1.covered_mask(sentinel_seeds)
+                greedy = max_coverage_greedy(
+                    pool1,
+                    select=k - b,
+                    topk=k,
+                    out_degree=out_deg,
+                    initial_covered=initial_covered,
+                    excluded=sentinel_seeds,
+                )
+                seeds = list(sentinel_seeds) + greedy.seeds
+                upper = influence_upper_bound(
+                    greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
+                )
+                lower = influence_lower_bound(
+                    pool2.coverage(seeds), pool2.num_rr, n, delta_iter
+                )
+                if upper > 0 and lower / upper > target:
+                    break
+                if i < i_max:
+                    pool1.extend(pool1.num_rr, gen1, rng, stop_mask=stop_mask)
+                    pool2.extend(pool2.num_rr, gen2, rng, stop_mask=stop_mask)
+                    if checkpoint is not None:
+                        checkpoint(
+                            {
+                                "round": i,
+                                "seeds": [int(s) for s in seeds],
+                                "lower": lower,
+                                "upper": upper,
+                                "counters": [
+                                    counters_to_dict(gen1.counters),
+                                    counters_to_dict(gen2.counters),
+                                ],
+                            },
+                            {"pool1": pool1, "pool2": pool2},
+                        )
+        except ExecutionInterrupted as exc:
+            return self._interrupted(
+                sentinel_seeds, pool1, out_deg, k, b,
+                seeds, lower, upper, iterations, (gen1, gen2), exc.reason,
+            )
+
+        sets = sum(g.counters.sets_generated for g in (gen1, gen2))
+        nodes = sum(g.counters.nodes_added for g in (gen1, gen2))
         return IMSentinelResult(
             seeds=seeds,
             lower_bound=lower,
@@ -272,6 +404,36 @@ class IMSentinelPhase:
             average_rr_size=(nodes / sets) if sets else 0.0,
             iterations=iterations,
             generators=(gen1, gen2),
+        )
+
+    def _interrupted(
+        self, sentinel_seeds, pool1, out_deg, k, b,
+        seeds, lower, upper, iterations, generators, reason,
+    ) -> IMSentinelResult:
+        """Best-so-far seeds after an interrupt inside the phase."""
+        if len(seeds) <= b and pool1.num_rr:
+            greedy = max_coverage_greedy(
+                pool1,
+                select=k - b,
+                topk=k,
+                out_degree=out_deg,
+                initial_covered=pool1.covered_mask(sentinel_seeds),
+                excluded=sentinel_seeds,
+            )
+            seeds = list(sentinel_seeds) + greedy.seeds
+        gens = tuple(generators)
+        sets = sum(g.counters.sets_generated for g in gens)
+        nodes = sum(g.counters.nodes_added for g in gens)
+        return IMSentinelResult(
+            seeds=seeds,
+            lower_bound=lower,
+            upper_bound=upper,
+            num_rr_sets=sets,
+            average_rr_size=(nodes / sets) if sets else 0.0,
+            iterations=iterations,
+            generators=gens,
+            interrupted=True,
+            stop_reason=reason,
         )
 
 
@@ -309,12 +471,46 @@ class HIST(IMAlgorithm):
                 f"fixed_b must lie in [1, k={k}], got {self.fixed_b}"
             )
 
-        with Timer() as t_sentinel:
-            sentinel = SentinelSetPhase(
-                self.graph, self.generator_cls, self.use_out_degree_tie_break
-            ).run(k, eps1, delta1, rng, max_b=self.fixed_b)
+        phases = {}
+        im_resume = None
+        resumed = self._take_resume_state()
+        if resumed is not None:
+            meta, pools = resumed
+            sentinel_state = meta["sentinel"]
+            sentinel = SentinelResult.from_state_dict(sentinel_state)
+            # The killed run's sentinel wall-clock is part of its record,
+            # not of this process; keep the phase key with the saved value.
+            phases["sentinel"] = float(sentinel_state.get("elapsed", 0.0))
+            if meta["phase"] == "sentinel":
+                self._restore_rng(rng, meta["rng_state"])
+            else:
+                im_resume = (meta, pools)
+        else:
+            with Timer() as t_sentinel:
+                sentinel = SentinelSetPhase(
+                    self.graph, self.generator_cls, self.use_out_degree_tie_break
+                ).run(k, eps1, delta1, rng, max_b=self.fixed_b,
+                      control=self._control)
+            phases["sentinel"] = t_sentinel.elapsed
+            if sentinel.interrupted:
+                result = self._partial_result(
+                    sentinel.fallback_seeds, k, eps, delta,
+                    generators=sentinel.generators,
+                    reason=sentinel.stop_reason,
+                    b=sentinel.b,
+                    sentinel_rr_sets=sentinel.total_rr_sets,
+                    sentinel_selection_rr_sets=sentinel.selection_rr_sets,
+                    sentinel_verified=sentinel.verified,
+                )
+                result.phases = phases
+                return result
+            sentinel_state = sentinel.state_dict()
+            sentinel_state["elapsed"] = phases["sentinel"]
+            boundary_meta = self._query_meta(k, eps, delta)
+            boundary_meta.update(phase="sentinel", sentinel=sentinel_state)
+            self._round_checkpoint(rng, boundary_meta, {})
+
         generators = list(sentinel.generators)
-        phases = {"sentinel": t_sentinel.elapsed}
         extras = {
             "b": sentinel.b,
             "sentinel_rr_sets": sentinel.total_rr_sets,
@@ -329,18 +525,37 @@ class HIST(IMAlgorithm):
             result.phases = phases
             return result
 
+        def im_checkpoint(round_state: dict, pools: dict) -> None:
+            meta = self._query_meta(k, eps, delta)
+            meta.update(phase="im_sentinel", sentinel=sentinel_state)
+            meta.update(round_state)
+            self._round_checkpoint(rng, meta, pools)
+
         with Timer() as t_im:
             im = IMSentinelPhase(
                 self.graph, self.generator_cls, self.use_out_degree_tie_break
-            ).run(k, eps, sentinel.seeds, eps2, delta2, rng)
+            ).run(
+                k, eps, sentinel.seeds, eps2, delta2, rng,
+                control=self._control,
+                resume=im_resume,
+                checkpoint=im_checkpoint,
+            )
         generators.extend(im.generators)
         phases["im_sentinel"] = t_im.elapsed
         extras["im_sentinel_rr_sets"] = im.num_rr_sets
         extras["im_sentinel_avg_rr_size"] = im.average_rr_size
 
-        result = self._result_from(
-            im.seeds, k, eps, delta, generators=generators, **extras
-        )
+        if im.interrupted:
+            result = self._partial_result(
+                im.seeds, k, eps, delta,
+                generators=generators,
+                reason=im.stop_reason,
+                **extras,
+            )
+        else:
+            result = self._result_from(
+                im.seeds, k, eps, delta, generators=generators, **extras
+            )
         result.phases = phases
         result.lower_bound = im.lower_bound
         result.upper_bound = im.upper_bound

@@ -30,6 +30,7 @@ from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class IMM(IMAlgorithm):
@@ -65,26 +66,40 @@ class IMM(IMAlgorithm):
         # Phase 1: estimate LB <= OPT_k by doubling guesses downward.
         lower_bound = 1.0
         capped = False
-        max_i = max(1, int(math.ceil(math.log2(n))) - 1)
-        for i in range(1, max_i + 1):
-            x = n / (2.0 ** i)
-            theta_i = self._cap(int(math.ceil(lam_prime / x)))
-            capped = capped or theta_i == self.max_rr_sets
-            pool.extend_to(theta_i, gen, rng)
-            greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
-            estimate = n * greedy.coverage / pool.num_rr
-            if estimate >= (1.0 + eps_prime) * x:
-                lower_bound = estimate / (1.0 + eps_prime)
-                break
-            if capped:
-                lower_bound = max(lower_bound, estimate / (1.0 + eps_prime))
-                break
+        try:
+            max_i = max(1, int(math.ceil(math.log2(n))) - 1)
+            for i in range(1, max_i + 1):
+                x = n / (2.0 ** i)
+                theta_i = self._cap(int(math.ceil(lam_prime / x)))
+                capped = capped or theta_i == self.max_rr_sets
+                pool.extend_to(theta_i, gen, rng)
+                greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+                estimate = n * greedy.coverage / pool.num_rr
+                if estimate >= (1.0 + eps_prime) * x:
+                    lower_bound = estimate / (1.0 + eps_prime)
+                    break
+                if capped:
+                    lower_bound = max(lower_bound, estimate / (1.0 + eps_prime))
+                    break
 
-        # Phase 2: final pool size and selection.
-        theta = self._cap(int(math.ceil(lam_star / lower_bound)))
-        capped = capped or theta == self.max_rr_sets
-        pool.extend_to(theta, gen, rng)
-        greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+            # Phase 2: final pool size and selection.
+            theta = self._cap(int(math.ceil(lam_star / lower_bound)))
+            capped = capped or theta == self.max_rr_sets
+            pool.extend_to(theta, gen, rng)
+            greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+        except ExecutionInterrupted as exc:
+            seeds = []
+            if pool.num_rr:
+                seeds = max_coverage_greedy(
+                    pool, select=k, track_upper_bound=False
+                ).seeds
+            return self._partial_result(
+                seeds, k, eps, delta,
+                generators=(gen,),
+                reason=exc.reason,
+                opt_lower_bound=lower_bound,
+                capped=capped,
+            )
 
         return self._result_from(
             greedy.seeds,

@@ -30,6 +30,8 @@ from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
+from repro.runtime.checkpoint import counters_to_dict
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class OPIMC(IMAlgorithm):
@@ -60,28 +62,70 @@ class OPIMC(IMAlgorithm):
         gen2 = self._new_generator()
         pool1 = RRCollection(n)
         pool2 = RRCollection(n)
-        pool1.extend(theta0, gen1, rng)
-        pool2.extend(theta0, gen2, rng)
 
         seeds = []
         lower = 0.0
         upper = float("inf")
         rounds = 0
-        for i in range(1, i_max + 1):
-            rounds = i
-            greedy = max_coverage_greedy(pool1, select=k, topk=k)
-            seeds = greedy.seeds
-            upper = influence_upper_bound(
-                greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
+        start_round = 1
+
+        resumed = self._take_resume_state()
+        if resumed is not None:
+            meta, pools = resumed
+            pool1, pool2 = pools["pool1"], pools["pool2"]
+            self._restore_generator(gen1, meta["counters"][0])
+            self._restore_generator(gen2, meta["counters"][1])
+            self._restore_rng(rng, meta["rng_state"])
+            rounds = int(meta["round"])
+            start_round = rounds + 1
+            seeds = [int(s) for s in meta["seeds"]]
+            lower = float(meta["lower"])
+            upper = float(meta["upper"])
+        else:
+            try:
+                pool1.extend(theta0, gen1, rng)
+                pool2.extend(theta0, gen2, rng)
+            except ExecutionInterrupted as exc:
+                return self._finalize_partial(
+                    pool1, k, eps, delta, (gen1, gen2), exc.reason,
+                    rounds, theta_max, lower, upper,
+                )
+
+        try:
+            for i in range(start_round, i_max + 1):
+                rounds = i
+                greedy = max_coverage_greedy(pool1, select=k, topk=k)
+                seeds = greedy.seeds
+                upper = influence_upper_bound(
+                    greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
+                )
+                lower = influence_lower_bound(
+                    pool2.coverage(seeds), pool2.num_rr, n, delta_iter
+                )
+                if upper > 0 and lower / upper > target:
+                    break
+                if i < i_max:
+                    pool1.extend(pool1.num_rr, gen1, rng)
+                    pool2.extend(pool2.num_rr, gen2, rng)
+                    meta = self._query_meta(k, eps, delta)
+                    meta.update(
+                        round=i,
+                        seeds=[int(s) for s in seeds],
+                        lower=lower,
+                        upper=upper,
+                        counters=[
+                            counters_to_dict(gen1.counters),
+                            counters_to_dict(gen2.counters),
+                        ],
+                    )
+                    self._round_checkpoint(
+                        rng, meta, {"pool1": pool1, "pool2": pool2}
+                    )
+        except ExecutionInterrupted as exc:
+            return self._finalize_partial(
+                pool1, k, eps, delta, (gen1, gen2), exc.reason,
+                rounds, theta_max, lower, upper, seeds=seeds,
             )
-            lower = influence_lower_bound(
-                pool2.coverage(seeds), pool2.num_rr, n, delta_iter
-            )
-            if upper > 0 and lower / upper > target:
-                break
-            if i < i_max:
-                pool1.extend(pool1.num_rr, gen1, rng)
-                pool2.extend(pool2.num_rr, gen2, rng)
 
         result = self._result_from(
             seeds,
@@ -89,6 +133,24 @@ class OPIMC(IMAlgorithm):
             eps,
             delta,
             generators=(gen1, gen2),
+            rounds=rounds,
+            theta_max=theta_max,
+        )
+        result.lower_bound = lower
+        result.upper_bound = upper
+        return result
+
+    def _finalize_partial(
+        self, pool1, k, eps, delta, generators, reason,
+        rounds, theta_max, lower, upper, seeds=None,
+    ) -> IMResult:
+        """Best-so-far degradation: greedy over whatever pool1 holds."""
+        if not seeds and pool1.num_rr:
+            seeds = max_coverage_greedy(pool1, select=k, topk=k).seeds
+        result = self._partial_result(
+            seeds or [], k, eps, delta,
+            generators=generators,
+            reason=reason,
             rounds=rounds,
             theta_max=theta_max,
         )

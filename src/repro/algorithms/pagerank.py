@@ -13,7 +13,7 @@ import numpy as np
 from repro.algorithms.base import IMAlgorithm
 from repro.core.results import IMResult
 from repro.graphs.csr import CSRGraph
-from repro.utils.exceptions import ConfigurationError
+from repro.utils.exceptions import ConfigurationError, ExecutionInterrupted
 
 
 def pagerank_scores(
@@ -22,6 +22,7 @@ def pagerank_scores(
     tol: float = 1e-10,
     max_iters: int = 200,
     reverse: bool = False,
+    check=None,
 ) -> np.ndarray:
     """Power-iteration PageRank over the graph's edge *structure*.
 
@@ -47,6 +48,8 @@ def pagerank_scores(
     dangling = degree == 0.0
     safe_degree = np.where(dangling, 1.0, degree)
     for _ in range(max_iters):
+        if check is not None:
+            check()  # cooperative cancellation between power iterations
         contrib = rank / safe_degree
         new_rank = np.zeros(n)
         np.add.at(new_rank, indices, contrib[src])
@@ -74,6 +77,13 @@ class PageRankSeeds(IMAlgorithm):
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator
     ) -> IMResult:
-        scores = pagerank_scores(self.graph, damping=self.damping, reverse=True)
+        try:
+            scores = pagerank_scores(
+                self.graph, damping=self.damping, reverse=True, check=self._check
+            )
+        except ExecutionInterrupted as exc:
+            return self._partial_result(
+                [], k, eps, delta, reason=exc.reason, damping=self.damping
+            )
         seeds = np.argsort(scores, kind="stable")[-k:][::-1].tolist()
         return self._result_from(seeds, k, eps, delta, damping=self.damping)

@@ -26,6 +26,7 @@ from repro.bounds.thresholds import theta_max_opimc
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
 from repro.rrsets.collection import RRCollection
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class SSA(IMAlgorithm):
@@ -57,21 +58,36 @@ class SSA(IMAlgorithm):
         seeds = []
         rounds = 0
         validated = False
-        while True:
-            rounds += 1
-            pool.extend_to(theta, gen_select, rng)
-            greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
-            seeds = greedy.seeds
-            if greedy.coverage >= lambda1:
-                estimate = self._stare(seeds, lambda2, theta_cap, gen_validate, rng)
-                if estimate is not None:
-                    selection_estimate = n * greedy.coverage / pool.num_rr
-                    if selection_estimate <= (1.0 + e1) * estimate:
-                        validated = True
-                        break
-            if theta >= theta_cap:
-                break  # worst-case sample size reached: guarantee holds anyway
-            theta = min(2 * theta, theta_cap)
+        try:
+            while True:
+                rounds += 1
+                pool.extend_to(theta, gen_select, rng)
+                greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+                seeds = greedy.seeds
+                if greedy.coverage >= lambda1:
+                    estimate = self._stare(
+                        seeds, lambda2, theta_cap, gen_validate, rng
+                    )
+                    if estimate is not None:
+                        selection_estimate = n * greedy.coverage / pool.num_rr
+                        if selection_estimate <= (1.0 + e1) * estimate:
+                            validated = True
+                            break
+                if theta >= theta_cap:
+                    break  # worst-case sample size reached: guarantee holds anyway
+                theta = min(2 * theta, theta_cap)
+        except ExecutionInterrupted as exc:
+            if not seeds and pool.num_rr:
+                seeds = max_coverage_greedy(
+                    pool, select=k, track_upper_bound=False
+                ).seeds
+            return self._partial_result(
+                seeds, k, eps, delta,
+                generators=(gen_select, gen_validate),
+                reason=exc.reason,
+                rounds=rounds,
+                validated=validated,
+            )
 
         return self._result_from(
             seeds,

@@ -30,6 +30,7 @@ from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class TIMPlus(IMAlgorithm):
@@ -60,58 +61,85 @@ class TIMPlus(IMAlgorithm):
         gen = self._new_generator()
         log_inv_delta = math.log(1.0 / delta)
 
-        # ---- Phase 1: KPT* estimation ------------------------------------
+        # ``last_pool`` tracks the most recent selection-worthy pool so an
+        # interrupt anywhere still yields best-so-far seeds.
         kpt_star = 1.0
-        log2n = max(2, int(math.ceil(math.log2(max(n, 2)))))
+        kpt_plus = 1.0
+        theta = 0
         estimation_pool = RRCollection(n)
-        for i in range(1, log2n):
-            c_i = self._cap(
-                int(math.ceil((6.0 * log_inv_delta + 6.0 * math.log(log2n)) * 2**i))
+        last_pool = estimation_pool
+        try:
+            # ---- Phase 1: KPT* estimation --------------------------------
+            log2n = max(2, int(math.ceil(math.log2(max(n, 2)))))
+            for i in range(1, log2n):
+                c_i = self._cap(
+                    int(math.ceil((6.0 * log_inv_delta + 6.0 * math.log(log2n)) * 2**i))
+                )
+                batch_start = estimation_pool.num_rr
+                estimation_pool.extend_to(c_i, gen, rng)
+                batch = estimation_pool.rr_sets[batch_start:]
+                if m == 0 or not batch:
+                    break
+                kappa = 0.0
+                for rr in estimation_pool.rr_sets[:c_i]:
+                    width = float(in_deg[rr].sum())
+                    kappa += 1.0 - (1.0 - width / m) ** k
+                if kappa / c_i > 1.0 / (2.0 ** i):
+                    kpt_star = n * kappa / (2.0 * c_i)
+                    break
+                if c_i == self.max_rr_sets:
+                    break
+            kpt_star = max(kpt_star, 1.0)
+
+            # ---- Phase 2: refinement (KPT+) ------------------------------
+            eps_prime = min(0.5, 5.0 * (eps ** 2 / (k + 1.0)) ** (1.0 / 3.0))
+            lam_prime = (
+                (2.0 + eps_prime)
+                * n
+                * (log_inv_delta + math.log(log2n))
+                / (eps_prime ** 2)
             )
-            batch_start = estimation_pool.num_rr
-            estimation_pool.extend_to(c_i, gen, rng)
-            batch = estimation_pool.rr_sets[batch_start:]
-            if m == 0 or not batch:
-                break
-            kappa = 0.0
-            for rr in estimation_pool.rr_sets[:c_i]:
-                width = float(in_deg[rr].sum())
-                kappa += 1.0 - (1.0 - width / m) ** k
-            if kappa / c_i > 1.0 / (2.0 ** i):
-                kpt_star = n * kappa / (2.0 * c_i)
-                break
-            if c_i == self.max_rr_sets:
-                break
-        kpt_star = max(kpt_star, 1.0)
+            theta_refine = self._cap(max(1, int(math.ceil(lam_prime / kpt_star))))
+            refine_pool = RRCollection(n)
+            last_pool = refine_pool
+            refine_pool.extend(theta_refine, gen, rng)
+            greedy = max_coverage_greedy(
+                refine_pool, select=k, track_upper_bound=False
+            )
+            check_pool = RRCollection(n)
+            check_pool.extend(theta_refine, gen, rng)
+            fraction = check_pool.coverage(greedy.seeds) / check_pool.num_rr
+            kpt_plus = max(kpt_star, fraction * n / (1.0 + eps_prime))
 
-        # ---- Phase 2: refinement (KPT+) ----------------------------------
-        eps_prime = min(0.5, 5.0 * (eps ** 2 / (k + 1.0)) ** (1.0 / 3.0))
-        lam_prime = (
-            (2.0 + eps_prime)
-            * n
-            * (log_inv_delta + math.log(log2n))
-            / (eps_prime ** 2)
-        )
-        theta_refine = self._cap(max(1, int(math.ceil(lam_prime / kpt_star))))
-        refine_pool = RRCollection(n)
-        refine_pool.extend(theta_refine, gen, rng)
-        greedy = max_coverage_greedy(refine_pool, select=k, track_upper_bound=False)
-        check_pool = RRCollection(n)
-        check_pool.extend(theta_refine, gen, rng)
-        fraction = check_pool.coverage(greedy.seeds) / check_pool.num_rr
-        kpt_plus = max(kpt_star, fraction * n / (1.0 + eps_prime))
-
-        # ---- Phase 3: final selection ------------------------------------
-        lam = (
-            (8.0 + 2.0 * eps)
-            * n
-            * (log_inv_delta + log_binomial(n, k) + math.log(2.0))
-            / (eps ** 2)
-        )
-        theta = self._cap(max(1, int(math.ceil(lam / kpt_plus))))
-        final_pool = RRCollection(n)
-        final_pool.extend(theta, gen, rng)
-        greedy = max_coverage_greedy(final_pool, select=k, track_upper_bound=False)
+            # ---- Phase 3: final selection --------------------------------
+            lam = (
+                (8.0 + 2.0 * eps)
+                * n
+                * (log_inv_delta + log_binomial(n, k) + math.log(2.0))
+                / (eps ** 2)
+            )
+            theta = self._cap(max(1, int(math.ceil(lam / kpt_plus))))
+            final_pool = RRCollection(n)
+            last_pool = final_pool
+            final_pool.extend(theta, gen, rng)
+            greedy = max_coverage_greedy(
+                final_pool, select=k, track_upper_bound=False
+            )
+        except ExecutionInterrupted as exc:
+            if not last_pool.num_rr and estimation_pool.num_rr:
+                last_pool = estimation_pool
+            seeds = []
+            if last_pool.num_rr:
+                seeds = max_coverage_greedy(
+                    last_pool, select=k, track_upper_bound=False
+                ).seeds
+            return self._partial_result(
+                seeds, k, eps, delta,
+                generators=(gen,),
+                reason=exc.reason,
+                kpt_star=kpt_star,
+                kpt_plus=kpt_plus,
+            )
 
         return self._result_from(
             greedy.seeds,

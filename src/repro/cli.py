@@ -33,6 +33,7 @@ from repro.rrsets.fast_vanilla import FastVanillaICGenerator
 from repro.rrsets.lt import LTGenerator
 from repro.rrsets.subsim import SubsimICGenerator
 from repro.rrsets.vanilla import VanillaICGenerator
+from repro.runtime.budget import Budget
 from repro.utils.exceptions import ReproError
 
 _GENERATOR_CLASSES = {
@@ -54,9 +55,14 @@ _FIGURES = {
 }
 
 
-def _load(path: str) -> CSRGraph:
+def _load(path: str, retries: int = 0) -> CSRGraph:
+    """Load a graph file; transient I/O failures retry when ``retries`` > 0."""
     if path.endswith(".npz"):
+        if retries:
+            return io.load_npz_with_retry(path, retries=retries)
         return io.load_npz(path)
+    if retries:
+        return io.load_edge_list_with_retry(path, retries=retries)
     return io.load_edge_list(path)
 
 
@@ -125,22 +131,41 @@ def cmd_summarize(args) -> int:
 
 
 def cmd_run(args) -> int:
-    graph = _load(args.graph)
+    graph = _load(args.graph, retries=args.load_retries)
     if args.weights:
         graph = _apply_weights(graph, args.weights, args.seed)
     kwargs = {}
     if args.max_rr_sets and args.algorithm in ("imm", "tim+", "imm-lt"):
         kwargs["max_rr_sets"] = args.max_rr_sets
+    budget = None
+    if args.timeout is not None or args.max_edges is not None:
+        budget = Budget(
+            wall_clock_seconds=args.timeout,
+            max_edges_examined=args.max_edges,
+        )
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint")
     algo = get_algorithm(args.algorithm, graph, **kwargs)
-    result = algo.run(args.k, eps=args.eps, seed=args.seed)
+    result = algo.run(
+        args.k,
+        eps=args.eps,
+        seed=args.seed,
+        budget=budget,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
     payload = {
         "algorithm": result.algorithm,
+        "status": result.status,
         "seeds": result.seeds,
         "runtime_seconds": round(result.runtime_seconds, 4),
         "num_rr_sets": result.num_rr_sets,
         "average_rr_size": round(result.average_rr_size, 2),
         "certified_ratio": round(result.approx_ratio_certified, 4),
     }
+    if result.is_partial:
+        payload["stop_reason"] = result.stop_reason
     if args.evaluate:
         spread = estimate_spread(
             graph, result.seeds,
@@ -344,6 +369,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--weights", default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-rr-sets", type=int, default=None)
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; expiry returns a partial result")
+    p.add_argument("--max-edges", type=int, default=None,
+                   help="edge-examination budget (machine-independent)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="persist round-boundary state to this .npz file")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="save every N-th round boundary (default 1)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from --checkpoint if it exists")
+    p.add_argument("--load-retries", type=int, default=0, metavar="N",
+                   help="retry transient graph-load failures up to N times")
     p.add_argument("--evaluate", action="store_true")
     p.add_argument("--simulations", type=int, default=500)
     p.set_defaults(func=cmd_run)

@@ -15,6 +15,8 @@ from repro.core.registry import get_algorithm
 from repro.core.results import IMResult
 from repro.estimation.montecarlo import SpreadEstimate, estimate_spread
 from repro.graphs.csr import CSRGraph
+from repro.runtime.budget import Budget
+from repro.runtime.cancellation import CancellationToken
 from repro.utils.rng import SeedLike
 
 
@@ -31,6 +33,12 @@ class InfluenceMaximizer:
         eps: float = 0.1,
         delta: Optional[float] = None,
         seed: SeedLike = None,
+        budget: Optional[Budget] = None,
+        cancel: Optional[CancellationToken] = None,
+        checkpoint=None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        fault_injector=None,
         **algorithm_kwargs,
     ) -> IMResult:
         """Select ``k`` seeds with the named algorithm.
@@ -40,9 +48,25 @@ class InfluenceMaximizer:
         control the ``(1 - 1/e - eps)``-approximation with probability
         ``1 - delta`` (``delta`` defaults to ``1/n``); heuristic algorithms
         ignore them.
+
+        ``budget``, ``cancel``, ``checkpoint``, ``checkpoint_every``,
+        ``resume`` and ``fault_injector`` are forwarded verbatim to
+        :meth:`~repro.algorithms.base.IMAlgorithm.run` — see its docstring
+        for the partial-result and resume semantics.
         """
         algo = get_algorithm(algorithm, self.graph, **algorithm_kwargs)
-        return algo.run(k, eps=eps, delta=delta, seed=seed)
+        return algo.run(
+            k,
+            eps=eps,
+            delta=delta,
+            seed=seed,
+            budget=budget,
+            cancel=cancel,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            fault_injector=fault_injector,
+        )
 
     def evaluate(
         self,
@@ -68,6 +92,12 @@ def maximize_influence(
     eps: float = 0.1,
     delta: Optional[float] = None,
     seed: SeedLike = None,
+    budget: Optional[Budget] = None,
+    cancel: Optional[CancellationToken] = None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+    fault_injector=None,
     **algorithm_kwargs,
 ) -> IMResult:
     """Functional one-shot spelling of :meth:`InfluenceMaximizer.maximize`."""
@@ -77,5 +107,11 @@ def maximize_influence(
         eps=eps,
         delta=delta,
         seed=seed,
+        budget=budget,
+        cancel=cancel,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        fault_injector=fault_injector,
         **algorithm_kwargs,
     )

@@ -39,6 +39,12 @@ class Certificate:
     upper_bound: float      # certified upper bound on OPT_k
     num_rr_sets: int        # fresh samples spent (per pool)
     delta: float            # total failure probability of the certificate
+    #: False when the certificate was salvaged from an interrupted run's
+    #: in-run bounds instead of a completed schedule.  The bounds are still
+    #: statistically valid (each round's test carried its own union-bound
+    #: share), but the ratio is whatever the run managed before stopping —
+    #: not the (1 - 1/e - eps) target the full schedule would certify.
+    complete: bool = True
 
     def meets(self, target_ratio: float) -> bool:
         """Does the certificate establish at least ``target_ratio``?"""
@@ -94,4 +100,31 @@ def certify_result(
         upper_bound=upper,
         num_rr_sets=num_rr,
         delta=delta,
+    )
+
+
+def partial_certificate(result) -> Certificate:
+    """Weakened, flagged certificate salvaged from a partial run.
+
+    When a budget expires mid-run, the last completed round's Eq. 1 / Eq. 2
+    bounds still hold with their per-round failure probability, so the
+    result's ``lower_bound / upper_bound`` ratio is an honest — merely
+    weaker — guarantee.  The returned certificate carries it with
+    ``complete=False`` so downstream consumers cannot mistake it for a full
+    ``(1 - 1/e - eps)`` certification.  A run interrupted before its first
+    bound computation yields the vacuous ``ratio = 0`` certificate.
+    """
+    upper = result.upper_bound
+    ratio = (
+        result.lower_bound / upper
+        if upper not in (0.0, float("inf"))
+        else 0.0
+    )
+    return Certificate(
+        ratio=ratio,
+        lower_bound=result.lower_bound,
+        upper_bound=upper,
+        num_rr_sets=result.num_rr_sets,
+        delta=result.delta,
+        complete=result.status == "complete",
     )

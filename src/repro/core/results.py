@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Optional, Set
 
 
 @dataclass
@@ -29,6 +29,17 @@ class IMResult:
     lower_bound, upper_bound:
         The final influence bounds of adaptive algorithms (0 / inf
         otherwise); ``approx_ratio_certified = lower_bound / upper_bound``.
+    status:
+        ``"complete"`` for a run that finished its schedule; ``"partial"``
+        when a budget expired or a cancellation token fired mid-run and the
+        algorithm degraded to best-so-far seeds.  A partial result's bounds
+        (and hence ``approx_ratio_certified``) reflect only what was
+        certified before the interruption — typically weaker than the
+        ``(1 - 1/e - eps)`` target, never invalid.
+    stop_reason:
+        Why a partial run stopped (``"deadline"``, ``"edges_examined"``,
+        ``"num_rr_sets"``, ``"rr_memory"``, ``"cancelled"``); None when
+        complete.
     phases:
         Per-phase wall-clock seconds (e.g. HIST's "sentinel" and
         "im_sentinel").
@@ -48,6 +59,8 @@ class IMResult:
     rng_draws: int = 0
     lower_bound: float = 0.0
     upper_bound: float = float("inf")
+    status: str = "complete"
+    stop_reason: Optional[str] = None
     phases: Dict[str, float] = field(default_factory=dict)
     extras: Dict[str, Any] = field(default_factory=dict)
 
@@ -55,6 +68,11 @@ class IMResult:
     def seed_set(self) -> Set[int]:
         """The seeds as a set (order-insensitive comparisons)."""
         return set(self.seeds)
+
+    @property
+    def is_partial(self) -> bool:
+        """True when the run degraded instead of completing its schedule."""
+        return self.status == "partial"
 
     @property
     def approx_ratio_certified(self) -> float:
@@ -68,6 +86,7 @@ class IMResult:
         return {
             "algorithm": self.algorithm,
             "k": self.k,
+            "status": self.status,
             "runtime_s": round(self.runtime_seconds, 4),
             "num_rr_sets": self.num_rr_sets,
             "avg_rr_size": round(self.average_rr_size, 2),

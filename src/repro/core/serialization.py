@@ -37,6 +37,8 @@ def result_to_dict(result: IMResult) -> dict:
         "rng_draws": result.rng_draws,
         "lower_bound": clean(result.lower_bound),
         "upper_bound": clean(result.upper_bound),
+        "status": result.status,
+        "stop_reason": result.stop_reason,
         "phases": dict(result.phases),
         "extras": {k: clean(v) for k, v in result.extras.items()},
     }
@@ -62,6 +64,8 @@ def result_from_dict(payload: dict) -> IMResult:
         rng_draws=payload.get("rng_draws", 0),
         lower_bound=revive(payload.get("lower_bound", 0.0)),
         upper_bound=revive(payload.get("upper_bound", float("inf"))),
+        status=payload.get("status", "complete"),
+        stop_reason=payload.get("stop_reason"),
         phases=dict(payload.get("phases", {})),
         extras={k: revive(v) for k, v in payload.get("extras", {}).items()},
     )

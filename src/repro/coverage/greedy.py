@@ -122,7 +122,10 @@ def max_coverage_greedy(
     base_coverage = int(covered.sum())
     coverage = base_coverage
     coverage_history = [coverage]
-    upper_bound = float("inf")
+    # No seed set can cover more than the pool itself; the per-step sums
+    # below may double-count RR sets shared by the top-k candidates, so
+    # the pool size is a valid (and sometimes binding) cap on Eq. 2.
+    upper_bound = float(num_rr) if track_upper_bound else float("inf")
     seeds: List[int] = []
 
     barred = np.zeros(n, dtype=bool)

@@ -3,17 +3,30 @@
 The text format is one edge per line — ``src dst [prob]`` — with ``#``
 comments, matching SNAP/KONECT-style downloads so real datasets can be
 plugged in when available.
+
+Error contract: every loader failure — missing file, permission problem,
+truncated archive, malformed line — surfaces as
+:class:`~repro.utils.exceptions.GraphFormatError` with the underlying
+exception chained as ``__cause__``, so callers catch one type and can still
+distinguish transient I/O faults (``isinstance(exc.__cause__, OSError)``)
+from permanent format errors.  The ``*_with_retry`` variants exploit
+exactly that distinction: transient failures are retried with bounded,
+jittered exponential backoff (sleep and jitter RNG are injectable for
+tests); format errors are never retried.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional, Union
+import time
+import zipfile
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.graphs.csr import CSRGraph, build_graph
 from repro.utils.exceptions import GraphFormatError
+from repro.utils.rng import SeedLike, as_generator
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -28,10 +41,15 @@ def load_edge_list(
 
     Lines are ``src dst`` or ``src dst prob``; blank lines and lines starting
     with ``#`` are skipped.  Node ids must be non-negative integers; ``n``
-    defaults to ``max(id) + 1``.
+    defaults to ``max(id) + 1``.  Raises :class:`GraphFormatError` (cause
+    chained) on unreadable files and malformed content alike.
     """
     src_list, dst_list, prob_list = [], [], []
-    with open(path) as handle:
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: cannot open edge list: {exc}") from exc
+    with handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith("#"):
@@ -88,15 +106,100 @@ def save_npz(graph: CSRGraph, path: PathLike) -> None:
 
 
 def load_npz(path: PathLike) -> CSRGraph:
-    """Load a graph previously written by :func:`save_npz`."""
-    with np.load(path, allow_pickle=False) as data:
-        return CSRGraph(
-            int(data["n"]),
-            data["out_indptr"],
-            data["out_indices"],
-            data["out_probs"],
-            data["in_indptr"],
-            data["in_indices"],
-            data["in_probs"],
-            weight_model=str(data["weight_model"]),
-        )
+    """Load a graph previously written by :func:`save_npz`.
+
+    Truncated or corrupt archives, missing arrays, and unreadable files all
+    raise :class:`GraphFormatError` with the original error chained.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return CSRGraph(
+                int(data["n"]),
+                data["out_indptr"],
+                data["out_indices"],
+                data["out_probs"],
+                data["in_indptr"],
+                data["in_indices"],
+                data["in_probs"],
+                weight_model=str(data["weight_model"]),
+            )
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: cannot read archive: {exc}") from exc
+    except (ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+        # np.load raises BadZipFile on a broken archive, ValueError on
+        # corrupt zip members, KeyError on missing arrays, EOFError on
+        # short reads — all format problems.
+        raise GraphFormatError(
+            f"{path}: invalid graph archive: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# retry wrappers
+# ----------------------------------------------------------------------
+
+def _retry_load(
+    loader: Callable[..., CSRGraph],
+    path: PathLike,
+    retries: int,
+    backoff: float,
+    jitter: float,
+    sleep: Callable[[float], None],
+    seed: SeedLike,
+    kwargs: dict,
+) -> CSRGraph:
+    if retries < 0:
+        raise GraphFormatError(f"retries must be >= 0, got {retries}")
+    rng = as_generator(seed)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return loader(path, **kwargs)
+        except GraphFormatError as exc:
+            transient = isinstance(exc.__cause__, OSError)
+            if not transient or attempt > retries:
+                raise
+            delay = backoff * (2.0 ** (attempt - 1))
+            if jitter > 0:
+                delay *= 1.0 + jitter * float(rng.random())
+            sleep(delay)
+
+
+def load_edge_list_with_retry(
+    path: PathLike,
+    retries: int = 3,
+    backoff: float = 0.1,
+    jitter: float = 0.5,
+    sleep: Callable[[float], None] = time.sleep,
+    seed: SeedLike = None,
+    **kwargs,
+) -> CSRGraph:
+    """:func:`load_edge_list` with bounded retry on *transient* failures.
+
+    Only errors whose chained cause is :class:`OSError` (vanished file,
+    permission flap, network filesystem hiccup) are retried — up to
+    ``retries`` extra attempts with exponential backoff ``backoff * 2^i``
+    scaled by a seeded jitter factor in ``[1, 1 + jitter]``.  Malformed
+    content fails immediately.  ``sleep`` is injectable so tests run
+    instantly.
+    """
+    return _retry_load(
+        load_edge_list, path, retries, backoff, jitter, sleep, seed, kwargs
+    )
+
+
+def load_npz_with_retry(
+    path: PathLike,
+    retries: int = 3,
+    backoff: float = 0.1,
+    jitter: float = 0.5,
+    sleep: Callable[[float], None] = time.sleep,
+    seed: SeedLike = None,
+    **kwargs,
+) -> CSRGraph:
+    """:func:`load_npz` with the same retry policy as
+    :func:`load_edge_list_with_retry`."""
+    return _retry_load(
+        load_npz, path, retries, backoff, jitter, sleep, seed, kwargs
+    )

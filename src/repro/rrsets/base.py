@@ -48,6 +48,13 @@ class RRGenerator:
     node ids (the uniformly drawn root always comes first).  Passing a
     boolean ``stop_mask`` makes generation terminate as soon as any flagged
     node is activated — Algorithm 5's sentinel early stop.
+
+    ``control`` optionally points at a :class:`~repro.runtime.control
+    .RunControl`; when set, the generation loop reports progress and polls
+    for budget expiry / cancellation cooperatively (see :meth:`_begin`,
+    :meth:`_tick`, :meth:`_finish`).  Subclass loops must clear the scratch
+    visited-mask before re-raising ``ExecutionInterrupted`` so an aborted
+    generation never corrupts the next one — use :meth:`_abandon`.
     """
 
     #: human-readable name used by benchmark tables
@@ -56,6 +63,8 @@ class RRGenerator:
     def __init__(self, graph: CSRGraph) -> None:
         self.graph = graph
         self.counters = GenerationCounters()
+        self.control = None
+        self._reported_edges = 0
         self._visited = np.zeros(graph.n, dtype=bool)
 
     def generate(
@@ -74,6 +83,30 @@ class RRGenerator:
             raise ValueError(f"root {root} out of range [0, {self.graph.n})")
         return int(root)
 
+    def _begin(self) -> None:
+        """Gate the next generation on the run control (budget, cancel)."""
+        if self.control is not None:
+            self.control.on_rr_start()
+
+    def _tick(self) -> None:
+        """Report the examined-edge delta since the last tick and poll.
+
+        Called once per activated node inside the generation loops, so a
+        deadline or edge cap stops even a single enormous RR set promptly.
+        """
+        control = self.control
+        if control is None:
+            return
+        delta = self.counters.edges_examined - self._reported_edges
+        self._reported_edges = self.counters.edges_examined
+        control.on_edges(delta if delta > 0 else 0)
+
+    def _abandon(self, rr: List[int]) -> None:
+        """Clear the scratch mask after an interrupted generation."""
+        visited = self._visited
+        for node in rr:
+            visited[node] = False
+
     def _finish(self, rr: List[int], hit_sentinel: bool = False) -> List[int]:
         """Clear the scratch mask and update counters; returns ``rr``."""
         visited = self._visited
@@ -83,4 +116,7 @@ class RRGenerator:
         self.counters.sets_generated += 1
         if hit_sentinel:
             self.counters.sentinel_hits += 1
+        if self.control is not None:
+            self._tick()
+            self.control.on_rr_complete(len(rr))
         return rr

@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.rrsets.base import RRGenerator
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class FastVanillaICGenerator(RRGenerator):
@@ -43,6 +44,7 @@ class FastVanillaICGenerator(RRGenerator):
         visited = self._visited
         counters = self.counters
 
+        self._begin()
         v = self._pick_root(rng, root)
         rr = [v]
         visited[v] = True
@@ -50,21 +52,26 @@ class FastVanillaICGenerator(RRGenerator):
             return self._finish(rr, hit_sentinel=True)
 
         queue = deque(rr)
-        while queue:
-            u = queue.popleft()
-            lo, hi = indptr[u], indptr[u + 1]
-            d = hi - lo
-            if d == 0:
-                continue
-            counters.edges_examined += int(d)
-            counters.rng_draws += int(d)
-            hits = np.flatnonzero(rng.random(d) < probs[lo:hi])
-            for j in hits:
-                w = int(indices[lo + j])
-                if not visited[w]:
-                    visited[w] = True
-                    rr.append(w)
-                    if stop_mask is not None and stop_mask[w]:
-                        return self._finish(rr, hit_sentinel=True)
-                    queue.append(w)
+        try:
+            while queue:
+                u = queue.popleft()
+                lo, hi = indptr[u], indptr[u + 1]
+                d = hi - lo
+                if d == 0:
+                    continue
+                counters.edges_examined += int(d)
+                counters.rng_draws += int(d)
+                self._tick()
+                hits = np.flatnonzero(rng.random(d) < probs[lo:hi])
+                for j in hits:
+                    w = int(indices[lo + j])
+                    if not visited[w]:
+                        visited[w] = True
+                        rr.append(w)
+                        if stop_mask is not None and stop_mask[w]:
+                            return self._finish(rr, hit_sentinel=True)
+                        queue.append(w)
+        except ExecutionInterrupted:
+            self._abandon(rr)
+            raise
         return self._finish(rr)

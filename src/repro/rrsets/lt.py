@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.rrsets.base import RRGenerator
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class LTGenerator(RRGenerator):
@@ -53,6 +54,7 @@ class LTGenerator(RRGenerator):
         counters = self.counters
         random = rng.random
 
+        self._begin()
         v = self._pick_root(rng, root)
         rr = [v]
         visited[v] = True
@@ -60,28 +62,33 @@ class LTGenerator(RRGenerator):
             return self._finish(rr, hit_sentinel=True)
 
         current = v
-        while True:
-            lo = indptr[current]
-            hi = indptr[current + 1]
-            if lo == hi:
-                break
-            counters.rng_draws += 1
-            draw = random()
-            acc = 0.0
-            nxt = -1
-            for j in range(lo, hi):
-                counters.edges_examined += 1
-                acc += probs[j]
-                if draw < acc:
-                    nxt = indices[j]
+        try:
+            while True:
+                self._tick()
+                lo = indptr[current]
+                hi = indptr[current + 1]
+                if lo == hi:
                     break
-            if nxt < 0:  # the "no live in-edge" outcome
-                break
-            if visited[nxt]:  # walked into a cycle; everything ahead is known
-                break
-            visited[nxt] = True
-            rr.append(nxt)
-            if stop_mask is not None and stop_mask[nxt]:
-                return self._finish(rr, hit_sentinel=True)
-            current = nxt
+                counters.rng_draws += 1
+                draw = random()
+                acc = 0.0
+                nxt = -1
+                for j in range(lo, hi):
+                    counters.edges_examined += 1
+                    acc += probs[j]
+                    if draw < acc:
+                        nxt = indices[j]
+                        break
+                if nxt < 0:  # the "no live in-edge" outcome
+                    break
+                if visited[nxt]:  # walked into a cycle; everything ahead is known
+                    break
+                visited[nxt] = True
+                rr.append(nxt)
+                if stop_mask is not None and stop_mask[nxt]:
+                    return self._finish(rr, hit_sentinel=True)
+                current = nxt
+        except ExecutionInterrupted:
+            self._abandon(rr)
+            raise
         return self._finish(rr)

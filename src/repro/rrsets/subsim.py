@@ -37,6 +37,7 @@ import numpy as np
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.sampling.bucket import BucketSampler, IndexedBucketSampler
+from repro.utils.exceptions import ExecutionInterrupted
 
 _TINY = 2.2250738585072014e-308  # smallest positive normal double
 
@@ -91,6 +92,7 @@ class SubsimICGenerator(RRGenerator):
         log1mp = self._log_one_minus_p
         sorted_mode = self.general_mode == "sorted"
 
+        self._begin()
         v = self._pick_root(rng, root)
         rr = [v]
         visited[v] = True
@@ -98,8 +100,23 @@ class SubsimICGenerator(RRGenerator):
             return self._finish(rr, hit_sentinel=True)
 
         queue = deque(rr)
+        try:
+            return self._traverse(
+                rr, queue, indptr, indices, probs, visited, counters,
+                random, is_uniform, uniform_p, log1mp, sorted_mode,
+                stop_mask, rng,
+            )
+        except ExecutionInterrupted:
+            self._abandon(rr)
+            raise
+
+    def _traverse(
+        self, rr, queue, indptr, indices, probs, visited, counters,
+        random, is_uniform, uniform_p, log1mp, sorted_mode, stop_mask, rng,
+    ) -> List[int]:
         while queue:
             u = queue.popleft()
+            self._tick()
             lo = int(indptr[u])
             hi = int(indptr[u + 1])
             if lo == hi:

@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.rrsets.base import RRGenerator
+from repro.utils.exceptions import ExecutionInterrupted
 
 
 class VanillaICGenerator(RRGenerator):
@@ -41,6 +42,7 @@ class VanillaICGenerator(RRGenerator):
         counters = self.counters
         random = rng.random
 
+        self._begin()
         v = self._pick_root(rng, root)
         rr = [v]
         visited[v] = True
@@ -48,19 +50,24 @@ class VanillaICGenerator(RRGenerator):
             return self._finish(rr, hit_sentinel=True)
 
         queue = deque(rr)
-        while queue:
-            u = queue.popleft()
-            lo = indptr[u]
-            hi = indptr[u + 1]
-            counters.edges_examined += hi - lo
-            counters.rng_draws += hi - lo
-            for j in range(lo, hi):
-                if random() < probs[j]:
-                    w = indices[j]
-                    if not visited[w]:
-                        visited[w] = True
-                        rr.append(w)
-                        if stop_mask is not None and stop_mask[w]:
-                            return self._finish(rr, hit_sentinel=True)
-                        queue.append(w)
+        try:
+            while queue:
+                u = queue.popleft()
+                lo = indptr[u]
+                hi = indptr[u + 1]
+                counters.edges_examined += hi - lo
+                counters.rng_draws += hi - lo
+                self._tick()
+                for j in range(lo, hi):
+                    if random() < probs[j]:
+                        w = indices[j]
+                        if not visited[w]:
+                            visited[w] = True
+                            rr.append(w)
+                            if stop_mask is not None and stop_mask[w]:
+                                return self._finish(rr, hit_sentinel=True)
+                            queue.append(w)
+        except ExecutionInterrupted:
+            self._abandon(rr)
+            raise
         return self._finish(rr)

@@ -1,0 +1,55 @@
+"""Resilient execution runtime: budgets, cancellation, checkpoints, faults.
+
+Every algorithm in this library runs as an interruptible, resumable,
+budget-aware computation:
+
+* :class:`Budget` caps wall-clock time, edges examined, RR sets, and RR
+  collection memory; expiry degrades the run to an honest
+  ``status="partial"`` result instead of raising.
+* :class:`CancellationToken` requests cooperative shutdown from outside.
+* :class:`CheckpointStore` persists round-boundary state so a killed run
+  resumes bit-identically (see ``docs/ROBUSTNESS.md`` for the format).
+* :class:`FaultInjector` deterministically raises or delays at the Nth RR
+  set / edge / I/O call, which is how the resilience test suite proves the
+  other three work.
+"""
+
+from repro.runtime.budget import Budget
+from repro.runtime.cancellation import CancellationToken
+from repro.runtime.checkpoint import (
+    CheckpointStore,
+    RestoredCounters,
+    coerce_store,
+    collection_from_arrays,
+    collection_to_arrays,
+    counters_from_dict,
+    counters_to_dict,
+)
+from repro.runtime.control import RunControl
+from repro.runtime.faults import FaultInjector
+from repro.utils.exceptions import (
+    BudgetExceededError,
+    CancelledError,
+    CheckpointError,
+    ExecutionInterrupted,
+    InjectedFault,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceededError",
+    "CancellationToken",
+    "CancelledError",
+    "CheckpointError",
+    "CheckpointStore",
+    "ExecutionInterrupted",
+    "FaultInjector",
+    "InjectedFault",
+    "RestoredCounters",
+    "RunControl",
+    "coerce_store",
+    "collection_from_arrays",
+    "collection_to_arrays",
+    "counters_from_dict",
+    "counters_to_dict",
+]

@@ -1,0 +1,76 @@
+"""Resource budgets for influence-maximization runs.
+
+A :class:`Budget` declares how much a run is allowed to spend along four
+independent axes; :class:`~repro.runtime.control.RunControl` enforces it
+cooperatively inside the RR-generation loops and algorithm sampling phases.
+Caps are *soft by one step*: generation stops at the first check after a cap
+is crossed, so ``edges_examined`` may overshoot by at most one RR set's
+worth of work and ``num_rr_sets`` by at most one set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative resource limits for a single ``run()``.
+
+    Attributes
+    ----------
+    wall_clock_seconds:
+        Deadline relative to the start of the run.  Checked inside the
+        RR-generation loops (per activated node) and between Monte-Carlo
+        simulations, so even a single enormous RR set cannot overrun it by
+        much.
+    max_edges_examined:
+        Cap on the machine-independent edge-inspection counter summed over
+        every generator of the run — the quantity the paper's complexity
+        analysis bounds.
+    max_rr_sets:
+        Cap on the total number of RR sets generated across all pools.
+    max_rr_nodes:
+        Cap on the total node mass stored across all RR collections — a
+        machine-independent proxy for RR-collection memory.
+    """
+
+    wall_clock_seconds: Optional[float] = None
+    max_edges_examined: Optional[int] = None
+    max_rr_sets: Optional[int] = None
+    max_rr_nodes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wall_clock_seconds",
+            "max_edges_examined",
+            "max_rr_sets",
+            "max_rr_nodes",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative when given, got {value}"
+                )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no axis is capped (the default open-loop behavior)."""
+        return (
+            self.wall_clock_seconds is None
+            and self.max_edges_examined is None
+            and self.max_rr_sets is None
+            and self.max_rr_nodes is None
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary recorded in partial results."""
+        return {
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "max_edges_examined": self.max_edges_examined,
+            "max_rr_sets": self.max_rr_sets,
+            "max_rr_nodes": self.max_rr_nodes,
+        }

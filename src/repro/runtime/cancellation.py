@@ -1,0 +1,46 @@
+"""Cooperative cancellation.
+
+A :class:`CancellationToken` is handed to ``run(..., cancel=token)`` and
+polled inside every RR-generation loop and sampling phase.  Cancelling is
+idempotent, cheap (one attribute write), and safe to do from another thread
+— the flag is a plain attribute guarded by the GIL, and the worker observes
+it at its next check point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.exceptions import CancelledError
+
+
+class CancellationToken:
+    """A latch that flips a running algorithm into graceful shutdown."""
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation; later calls keep the first reason."""
+        if not self._cancelled:
+            self._reason = reason
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the token fired (None while it has not)."""
+        return self._reason
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`CancelledError` when the token has fired."""
+        if self._cancelled:
+            raise CancelledError("cancelled", self._reason or "cancelled")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"cancelled ({self._reason})" if self._cancelled else "armed"
+        return f"CancellationToken<{state}>"

@@ -1,0 +1,106 @@
+"""Deterministic fault injection for resilience tests.
+
+A :class:`FaultInjector` fires exactly once per event axis, at the Nth RR
+set completed, the Nth edge examined, or the Nth I/O call (checkpoint reads
+and writes, retry-wrapped graph loads).  ``mode="raise"`` simulates a crash
+by raising :class:`~repro.utils.exceptions.InjectedFault`; ``mode="delay"``
+simulates a stall by sleeping a seeded-jittered duration through an
+injectable ``sleep`` so tests stay instant.
+
+Counting is purely event-driven, so a run with a given RNG seed hits the
+fault at the identical point every time — which is what lets the resilience
+suite assert bit-identical checkpoint/resume behavior.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError, InjectedFault
+
+_MODES = ("raise", "delay")
+
+
+class FaultInjector:
+    """Fire a deterministic fault at the Nth event of each configured kind."""
+
+    def __init__(
+        self,
+        at_rr_set: Optional[int] = None,
+        at_edge: Optional[int] = None,
+        at_io: Optional[int] = None,
+        mode: str = "raise",
+        delay_seconds: float = 0.01,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        for name, value in (
+            ("at_rr_set", at_rr_set),
+            ("at_edge", at_edge),
+            ("at_io", at_io),
+        ):
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1 when given, got {value}"
+                )
+        if delay_seconds < 0 or jitter < 0:
+            raise ConfigurationError("delay_seconds and jitter must be >= 0")
+        self.targets: Dict[str, Optional[int]] = {
+            "rr_set": at_rr_set,
+            "edge": at_edge,
+            "io": at_io,
+        }
+        self.counts: Dict[str, int] = {"rr_set": 0, "edge": 0, "io": 0}
+        self.fired: Dict[str, bool] = {"rr_set": False, "edge": False, "io": False}
+        self.mode = mode
+        self._sleep = sleep
+        # The jitter factors are drawn once at construction from a seeded
+        # stream, so a given (seed, event order) reproduces identical delays.
+        rng = np.random.default_rng(seed)
+        self._delays = {
+            kind: delay_seconds * (1.0 + jitter * float(rng.random()))
+            for kind in ("rr_set", "edge", "io")
+        }
+
+    # ------------------------------------------------------------------
+    def on_rr_set(self) -> None:
+        """Record one completed RR set."""
+        self._event("rr_set", 1)
+
+    def on_edges(self, count: int) -> None:
+        """Record ``count`` examined edges."""
+        if count:
+            self._event("edge", count)
+
+    def on_io(self) -> None:
+        """Record one I/O call (checkpoint write/read, retried load)."""
+        self._event("io", 1)
+
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, count: int) -> None:
+        before = self.counts[kind]
+        self.counts[kind] = before + count
+        target = self.targets[kind]
+        if target is None or self.fired[kind]:
+            return
+        if before < target <= self.counts[kind]:
+            self.fired[kind] = True
+            if self.mode == "raise":
+                raise InjectedFault(
+                    f"injected fault at {kind} #{target} "
+                    f"(counter now {self.counts[kind]})"
+                )
+            self._sleep(self._delays[kind])
+
+    def pending(self) -> bool:
+        """True while at least one configured fault has not fired yet."""
+        return any(
+            target is not None and not self.fired[kind]
+            for kind, target in self.targets.items()
+        )

@@ -19,3 +19,40 @@ class GraphFormatError(ReproError):
 
 class CalibrationError(ReproError):
     """Calibration failed to find parameters hitting the requested target."""
+
+
+class ExecutionInterrupted(ReproError):
+    """A run was stopped cooperatively before its natural termination.
+
+    Raised inside RR-generation loops and algorithm sampling phases; the
+    algorithms catch it and degrade to a ``status="partial"`` result, so it
+    should never escape :meth:`IMAlgorithm.run`.  ``reason`` is a short
+    machine-readable token (e.g. ``"deadline"``, ``"edges_examined"``,
+    ``"cancelled"``) recorded as the result's ``stop_reason``.
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
+
+
+class BudgetExceededError(ExecutionInterrupted):
+    """A :class:`~repro.runtime.budget.Budget` cap was reached mid-run."""
+
+
+class CancelledError(ExecutionInterrupted):
+    """A :class:`~repro.runtime.cancellation.CancellationToken` fired."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or from an incompatible run."""
+
+
+class InjectedFault(ReproError):
+    """Deliberate failure raised by the deterministic fault injector.
+
+    Deliberately *not* an :class:`ExecutionInterrupted`: it simulates a
+    crash (process kill, disk error), so algorithms must not absorb it into
+    a graceful partial result — it propagates out of ``run()`` and the
+    checkpoint/resume machinery is what recovers from it.
+    """

@@ -22,8 +22,24 @@ class TestCorruptedFiles:
     def test_truncated_npz(self, tmp_path):
         path = tmp_path / "broken.npz"
         path.write_bytes(b"PK\x03\x04 definitely not a real archive")
-        with pytest.raises(Exception):  # zipfile/numpy error, not a hang
+        # The documented contract: precisely GraphFormatError, with the
+        # underlying zipfile/numpy failure chained as the cause.
+        with pytest.raises(GraphFormatError) as excinfo:
             load_npz(path)
+        assert excinfo.value.__cause__ is not None
+
+    def test_npz_missing_arrays(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(path, n=np.int64(3))  # everything else absent
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_npz(path)
+        assert isinstance(excinfo.value.__cause__, KeyError)
+
+    def test_missing_file_wrapped_with_cause(self, tmp_path):
+        for loader in (load_npz, load_edge_list):
+            with pytest.raises(GraphFormatError) as excinfo:
+                loader(tmp_path / "nope.any")
+            assert isinstance(excinfo.value.__cause__, OSError)
 
     def test_edge_list_with_negative_ids(self, tmp_path):
         path = tmp_path / "g.txt"

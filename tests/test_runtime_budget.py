@@ -1,0 +1,211 @@
+"""Budgets: validation, enforcement, and graceful degradation everywhere.
+
+The contract under test: *every* registered algorithm, given an exhausted
+budget, returns an ``IMResult`` with ``status="partial"`` — never raises,
+never hangs, never returns more than ``k`` seeds — and RR-based algorithms
+overshoot the edge cap by at most one in-flight RR set.
+"""
+
+import pytest
+
+from repro.core.certify import partial_certificate
+from repro.core.registry import available_algorithms, get_algorithm
+from repro.core.serialization import result_from_dict, result_to_dict
+from repro.runtime import Budget, RunControl
+from repro.utils.exceptions import BudgetExceededError, ConfigurationError
+
+K = 5
+EPS = 0.3
+SEED = 3
+
+
+class TestBudgetObject:
+    def test_defaults_unlimited(self):
+        b = Budget()
+        assert b.unlimited
+        assert Budget(max_rr_sets=10).unlimited is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wall_clock_seconds": -1.0},
+            {"max_edges_examined": -1},
+            {"max_rr_sets": -5},
+            {"max_rr_nodes": -2},
+        ],
+    )
+    def test_negative_caps_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Budget(**kwargs)
+
+    def test_as_dict_round_trips_fields(self):
+        b = Budget(wall_clock_seconds=2.5, max_edges_examined=100)
+        d = b.as_dict()
+        assert d["wall_clock_seconds"] == 2.5
+        assert d["max_edges_examined"] == 100
+        assert d["max_rr_sets"] is None
+
+
+class TestRunControl:
+    def test_deadline_uses_injected_clock(self):
+        now = [0.0]
+        control = RunControl(
+            budget=Budget(wall_clock_seconds=5.0), clock=lambda: now[0]
+        )
+        control.start()
+        control.check()  # still inside the budget
+        now[0] = 5.0
+        with pytest.raises(BudgetExceededError):
+            control.check()
+        assert control.stop_reason == "deadline"
+
+    def test_rr_set_cap_enforced_between_sets(self):
+        control = RunControl(budget=Budget(max_rr_sets=2))
+        control.start()
+        for _ in range(2):
+            control.on_rr_start()
+            control.on_rr_complete(size=3)
+        with pytest.raises(BudgetExceededError):
+            control.on_rr_start()
+        assert control.stop_reason == "num_rr_sets"
+
+    def test_edge_cap_soft_by_one_step(self):
+        control = RunControl(budget=Budget(max_edges_examined=10))
+        control.start()
+        control.on_rr_start()
+        control.on_edges(10)  # == cap: allowed (strictly-greater trips)
+        with pytest.raises(BudgetExceededError):
+            control.on_edges(1)
+        assert control.stop_reason == "edges_examined"
+        assert control.edges_examined == 11
+
+    def test_rr_memory_cap(self):
+        control = RunControl(budget=Budget(max_rr_nodes=4))
+        control.start()
+        control.on_rr_start()
+        control.on_rr_complete(size=4)
+        with pytest.raises(BudgetExceededError):
+            control.on_rr_start()
+        assert control.stop_reason == "rr_memory"
+
+    def test_snapshot_reports_spend(self):
+        control = RunControl(budget=Budget(max_edges_examined=100))
+        control.start()
+        control.on_rr_start()
+        control.on_edges(7)
+        control.on_rr_complete(size=2)
+        snap = control.snapshot()
+        assert snap["edges_examined"] == 7
+        assert snap["rr_sets"] == 1
+        assert snap["rr_nodes"] == 2
+
+
+class TestEveryAlgorithmDegrades:
+    """The parametrized exhaustion sweep of the robustness contract."""
+
+    @pytest.mark.parametrize("name", available_algorithms())
+    def test_zero_deadline_yields_partial(self, wc_graph, name):
+        algo = get_algorithm(name, wc_graph)
+        result = algo.run(
+            K, eps=EPS, seed=SEED, budget=Budget(wall_clock_seconds=0.0)
+        )
+        assert result.status == "partial"
+        assert result.is_partial
+        assert result.stop_reason == "deadline"
+        assert len(result.seeds) <= K
+        assert len(set(result.seeds)) == len(result.seeds)
+
+    @pytest.mark.parametrize("name", available_algorithms())
+    def test_edge_cap_yields_partial_with_bounded_overshoot(
+        self, wc_graph, name
+    ):
+        cap = 400
+        algo = get_algorithm(name, wc_graph)
+        if not algo.uses_rr_sets:
+            pytest.skip("no RR generation: edge budget cannot bind")
+        result = algo.run(
+            K, eps=EPS, seed=SEED, budget=Budget(max_edges_examined=cap)
+        )
+        if name == "borgs-ris" and result.status == "complete":
+            # Its own edge-budget rule may legitimately finish first.
+            return
+        assert result.status == "partial"
+        assert result.stop_reason == "edges_examined"
+        assert len(result.seeds) <= K
+        # Overshoot is bounded by the single RR set in flight when the cap
+        # tripped — at most one pass over the edge set.
+        assert result.edges_examined <= cap + wc_graph.m
+
+    def test_rr_set_cap(self, wc_graph):
+        result = get_algorithm("opim-c", wc_graph).run(
+            K, eps=EPS, seed=SEED, budget=Budget(max_rr_sets=100)
+        )
+        assert result.status == "partial"
+        assert result.stop_reason == "num_rr_sets"
+        assert result.num_rr_sets == 100
+
+    def test_rr_memory_cap(self, wc_graph):
+        result = get_algorithm("hist", wc_graph).run(
+            K, eps=EPS, seed=SEED, budget=Budget(max_rr_nodes=200)
+        )
+        assert result.status == "partial"
+        assert result.stop_reason == "rr_memory"
+
+    @pytest.mark.parametrize("name", ["opim-c", "hist", "subsim", "imm"])
+    def test_spend_monotone_in_cap(self, wc_graph, name):
+        """Same seed + larger cap => identical execution prefix, so the
+        recorded spend counters can only grow with the cap."""
+        caps = [200, 800, 3200]
+        runs = [
+            get_algorithm(name, wc_graph).run(
+                K, eps=EPS, seed=SEED, budget=Budget(max_edges_examined=cap)
+            )
+            for cap in caps
+        ]
+        for smaller, larger in zip(runs, runs[1:]):
+            assert smaller.num_rr_sets <= larger.num_rr_sets
+            assert smaller.edges_examined <= larger.edges_examined
+
+    def test_unlimited_budget_is_a_no_op(self, wc_graph):
+        plain = get_algorithm("opim-c", wc_graph).run(K, eps=EPS, seed=SEED)
+        budgeted = get_algorithm("opim-c", wc_graph).run(
+            K, eps=EPS, seed=SEED, budget=Budget()
+        )
+        assert budgeted.status == "complete"
+        assert budgeted.seeds == plain.seeds
+        assert budgeted.num_rr_sets == plain.num_rr_sets
+        assert budgeted.edges_examined == plain.edges_examined
+
+
+class TestPartialResultPlumbing:
+    def test_partial_certificate_flagged_incomplete(self, wc_graph):
+        result = get_algorithm("opim-c", wc_graph).run(
+            K, eps=EPS, seed=SEED, budget=Budget(max_rr_sets=64)
+        )
+        cert = partial_certificate(result)
+        assert cert.complete is False
+        assert cert.ratio == pytest.approx(result.approx_ratio_certified)
+
+    def test_complete_certificate_flagged_complete(self, wc_graph):
+        result = get_algorithm("opim-c", wc_graph).run(K, eps=EPS, seed=SEED)
+        assert partial_certificate(result).complete is True
+
+    def test_status_survives_serialization(self, wc_graph):
+        result = get_algorithm("opim-c", wc_graph).run(
+            K, eps=EPS, seed=SEED, budget=Budget(max_rr_sets=64)
+        )
+        revived = result_from_dict(result_to_dict(result))
+        assert revived.status == "partial"
+        assert revived.stop_reason == result.stop_reason
+
+    def test_runtime_snapshot_recorded_in_extras(self, wc_graph):
+        result = get_algorithm("opim-c", wc_graph).run(
+            K, eps=EPS, seed=SEED, budget=Budget(max_rr_sets=64)
+        )
+        snap = result.extras["runtime"]
+        assert snap["stop_reason"] == "num_rr_sets"
+        assert snap["rr_sets"] >= 64
+
+    def test_summary_row_carries_status(self, wc_graph):
+        result = get_algorithm("degree", wc_graph).run(K, seed=SEED)
+        assert result.summary_row()["status"] == "complete"

@@ -1,0 +1,156 @@
+"""Deterministic fault injection: exact firing points, modes, and axes."""
+
+import pytest
+
+from repro.core.registry import get_algorithm
+from repro.runtime import CheckpointStore, FaultInjector
+from repro.utils.exceptions import (
+    ConfigurationError,
+    ExecutionInterrupted,
+    InjectedFault,
+)
+
+K = 5
+EPS = 0.3
+SEED = 3
+
+
+class TestInjectorUnits:
+    def test_fires_at_exact_nth_rr_set(self):
+        inj = FaultInjector(at_rr_set=3)
+        inj.on_rr_set()
+        inj.on_rr_set()
+        with pytest.raises(InjectedFault):
+            inj.on_rr_set()
+        assert inj.counts["rr_set"] == 3
+
+    def test_edge_axis_counts_cumulatively(self):
+        # Edge events arrive in batches; the fault fires on the batch whose
+        # cumulative count first crosses the target.
+        inj = FaultInjector(at_edge=10)
+        inj.on_edges(4)
+        inj.on_edges(5)  # cumulative 9: still short of 10
+        with pytest.raises(InjectedFault):
+            inj.on_edges(4)  # crosses 10 inside this batch
+        assert inj.counts["edge"] == 13
+
+    def test_fires_exactly_once(self):
+        inj = FaultInjector(at_rr_set=1)
+        with pytest.raises(InjectedFault):
+            inj.on_rr_set()
+        inj.on_rr_set()  # already fired: now a no-op
+        assert inj.fired["rr_set"]
+        assert not inj.pending()
+
+    def test_pending_tracks_unfired_targets(self):
+        inj = FaultInjector(at_rr_set=2, at_io=1)
+        assert inj.pending()
+        with pytest.raises(InjectedFault):
+            inj.on_io()
+        assert inj.pending()  # rr_set target still armed
+        inj.on_rr_set()
+        with pytest.raises(InjectedFault):
+            inj.on_rr_set()
+        assert not inj.pending()
+
+    def test_delay_mode_sleeps_instead_of_raising(self):
+        slept = []
+        inj = FaultInjector(
+            at_rr_set=2, mode="delay", delay_seconds=0.5, sleep=slept.append
+        )
+        inj.on_rr_set()
+        inj.on_rr_set()  # no raise in delay mode
+        assert len(slept) == 1
+        assert slept[0] >= 0.5  # base delay plus non-negative jitter
+
+    def test_delay_jitter_is_seed_deterministic(self):
+        def record(seed):
+            slept = []
+            inj = FaultInjector(
+                at_rr_set=1,
+                mode="delay",
+                delay_seconds=0.1,
+                jitter=0.5,
+                seed=seed,
+                sleep=slept.append,
+            )
+            inj.on_rr_set()
+            return slept[0]
+
+        assert record(7) == record(7)
+        assert record(7) != record(8)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "explode"},
+            {"at_rr_set": 0},
+            {"at_edge": -1},
+            {"at_io": 0},
+            {"delay_seconds": -0.1},
+            {"jitter": -1.0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(**kwargs)
+
+
+class TestIoAxis:
+    def test_fires_on_nth_checkpoint_write(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.npz")
+        store.fault_injector = FaultInjector(at_io=2)
+        store.save({"round": 1})
+        with pytest.raises(InjectedFault):
+            store.save({"round": 2})
+        # The fault fires before the write touches disk, so the previous
+        # checkpoint survives the "crash" intact.
+        meta, pools = CheckpointStore(tmp_path / "ckpt.npz").load()
+        assert meta == {"round": 1}
+
+    def test_fires_on_checkpoint_read(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.npz")
+        store.save({"round": 1})
+        store.fault_injector = FaultInjector(at_io=1)
+        with pytest.raises(InjectedFault):
+            store.load()
+
+
+class TestFaultsInsideRuns:
+    def test_injected_fault_is_not_a_graceful_interruption(self):
+        # The whole point: a crash must NOT be absorbed into a partial
+        # result the way budget/cancellation interruptions are.
+        assert not issubclass(InjectedFault, ExecutionInterrupted)
+
+    @pytest.mark.parametrize("name", ["opim-c", "hist", "subsim"])
+    def test_rr_fault_propagates_out_of_run(self, wc_graph, name):
+        algo = get_algorithm(name, wc_graph)
+        with pytest.raises(InjectedFault):
+            algo.run(
+                K,
+                eps=EPS,
+                seed=SEED,
+                fault_injector=FaultInjector(at_rr_set=50),
+            )
+
+    def test_edge_fault_propagates_out_of_run(self, wc_graph):
+        algo = get_algorithm("opim-c", wc_graph)
+        with pytest.raises(InjectedFault):
+            algo.run(
+                K,
+                eps=EPS,
+                seed=SEED,
+                fault_injector=FaultInjector(at_edge=500),
+            )
+
+    def test_unfired_injector_changes_nothing(self, wc_graph):
+        plain = get_algorithm("opim-c", wc_graph).run(K, eps=EPS, seed=SEED)
+        watched = get_algorithm("opim-c", wc_graph).run(
+            K,
+            eps=EPS,
+            seed=SEED,
+            fault_injector=FaultInjector(at_rr_set=10**9),
+        )
+        assert watched.status == "complete"
+        assert watched.seeds == plain.seeds
+        assert watched.num_rr_sets == plain.num_rr_sets
