@@ -1,0 +1,152 @@
+"""RR-set generation benchmark: sequential vs. batched vs. fan-out.
+
+Measures wall-clock time, edge throughput, and pool memory for growing a
+fixed number of RR sets on a WC-weighted preferential-attachment graph, and
+writes machine-readable results to ``benchmarks/results/BENCH_rrgen.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_rrgen.py            # full (n=10^4)
+    PYTHONPATH=src python benchmarks/bench_rrgen.py --quick    # CI smoke
+
+or through pytest via ``benchmarks/test_samplers_micro.py``.  ``--quick``
+shrinks the graph and sample count so the whole run finishes in seconds;
+quick results carry ``"quick": true`` so downstream tooling never compares
+them against full-size runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.subsim import SubsimICGenerator
+from repro.rrsets.vanilla import VanillaICGenerator
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_rrgen.json"
+
+GENERATORS = {
+    "vanilla": VanillaICGenerator,
+    "subsim": SubsimICGenerator,
+}
+
+
+def _measure(graph, cls, count, seed, batch_size=1, workers=1):
+    """Grow ``count`` RR sets, returning timing + counter telemetry."""
+    gen = cls(graph)
+    gen.batch_size = batch_size
+    gen.workers = workers
+    pool = RRCollection(graph.n)
+    rng = np.random.default_rng(seed)
+    start = time.perf_counter()
+    pool.extend(count, gen, rng)
+    elapsed = time.perf_counter() - start
+    counters = gen.counters
+    return {
+        "mode": (
+            "sequential" if batch_size == 1 and workers == 1
+            else f"batched(b={batch_size})" if workers == 1
+            else f"fanout(b={batch_size},w={workers})"
+        ),
+        "batch_size": batch_size,
+        "workers": workers,
+        "rr_sets": int(pool.num_rr),
+        "wall_seconds": round(elapsed, 6),
+        "edges_examined": int(counters.edges_examined),
+        "edges_per_second": round(counters.edges_examined / max(elapsed, 1e-9)),
+        "avg_rr_size": round(float(pool.set_sizes().mean()), 3),
+        "pool_bytes": int(pool.nbytes()),
+    }
+
+
+def run_benchmark(
+    n: int = 10_000,
+    degree: int = 10,
+    count: int = 3_000,
+    batch_size: int = 512,
+    workers: int = 2,
+    seed: int = 7,
+    quick: bool = False,
+    include_fanout: bool = True,
+) -> dict:
+    """Benchmark every generator in sequential/batched(/fan-out) modes."""
+    if quick:
+        n, count, batch_size = 1_500, 400, 128
+    graph = wc_weights(
+        preferential_attachment(n, degree, seed=1, reciprocal=0.3)
+    )
+    report = {
+        "benchmark": "rrgen",
+        "quick": quick,
+        "graph": {"model": "pa+wc", "n": graph.n, "m": graph.m},
+        "count": count,
+        "seed": seed,
+        "generators": {},
+    }
+    for name, cls in GENERATORS.items():
+        rows = [
+            _measure(graph, cls, count, seed),
+            _measure(graph, cls, count, seed, batch_size=batch_size),
+        ]
+        if include_fanout:
+            rows.append(
+                _measure(graph, cls, count, seed,
+                         batch_size=batch_size, workers=workers)
+            )
+        sequential, batched = rows[0], rows[1]
+        report["generators"][name] = {
+            "runs": rows,
+            "batched_speedup": round(
+                sequential["wall_seconds"] / max(batched["wall_seconds"], 1e-9),
+                2,
+            ),
+        }
+    return report
+
+
+def write_report(report: dict, path: Path = RESULTS_PATH) -> Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph + few sets; for CI smoke runs")
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--count", type=int, default=3_000)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--no-fanout", action="store_true",
+                        help="skip the multiprocess measurement")
+    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        n=args.n, count=args.count, batch_size=args.batch_size,
+        workers=args.workers, quick=args.quick,
+        include_fanout=not args.no_fanout,
+    )
+    path = write_report(report, args.output)
+    for name, entry in report["generators"].items():
+        print(f"{name}: batched speedup {entry['batched_speedup']}x")
+        for row in entry["runs"]:
+            print(
+                f"  {row['mode']:24s} {row['wall_seconds']:.3f}s  "
+                f"{row['edges_per_second']:>12,} edges/s  "
+                f"pool {row['pool_bytes'] / 1e6:.1f} MB"
+            )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,3 +58,22 @@ def test_micro_alias_table(benchmark, skewed_probs):
     table = AliasTable(skewed_probs + 1e-12)
     rng = np.random.default_rng(1)
     benchmark(table.sample, rng)
+
+
+def test_rrgen_batched_speedup(results_dir):
+    """Batched engine vs. sequential on the WC n=10^4 workload.
+
+    Records the full comparison to ``results/BENCH_rrgen.json`` and asserts
+    the headline claim: the vectorized engine grows RR sets at least 5x
+    faster than the per-set sequential path for the vanilla IC sampler.
+    """
+    from bench_rrgen import run_benchmark, write_report
+
+    report = run_benchmark(include_fanout=False)
+    write_report(report)
+    speedup = report["generators"]["vanilla"]["batched_speedup"]
+    print(f"\nvanilla batched speedup: {speedup}x")
+    assert speedup >= 5.0, (
+        f"batched engine only {speedup}x faster than sequential "
+        "(expected >= 5x on the WC n=10^4 workload)"
+    )

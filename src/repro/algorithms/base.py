@@ -62,6 +62,8 @@ class IMAlgorithm:
         self.generator_cls = generator_cls
         self._control: Optional[RunControl] = None
         self._resume_state = None
+        self._batch_size = 1
+        self._workers = 1
 
     # ------------------------------------------------------------------
     def run(
@@ -77,6 +79,8 @@ class IMAlgorithm:
         checkpoint_every: int = 1,
         resume: bool = False,
         fault_injector: Optional[FaultInjector] = None,
+        batch_size: int = 1,
+        workers: int = 1,
     ) -> IMResult:
         """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
 
@@ -95,6 +99,14 @@ class IMAlgorithm:
           ``checkpoint``); the resumed run replays to a bit-identical final
           answer.
         * ``fault_injector`` — deterministic fault hooks for tests.
+        * ``batch_size`` / ``workers`` — RR-generation strategy: the
+          defaults (both 1) replay the sequential per-set loop with its
+          exact RNG schedule (bit-identical seeds, counters and
+          checkpoints); ``batch_size > 1`` enables the vectorized batched
+          engine, ``workers > 1`` shards batches across processes.  Both
+          sample the identical RR-set distribution.  ``workers > 1`` is
+          incompatible with ``resume`` (resuming replays the recorded
+          RNG schedule, which fan-out streams do not follow).
         """
         n = self.graph.n
         if not 1 <= k <= n:
@@ -106,14 +118,28 @@ class IMAlgorithm:
         if not 0 < delta < 1:
             raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
 
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         store = coerce_store(checkpoint, every=checkpoint_every)
         if resume and store is None:
             raise ConfigurationError("resume=True requires a checkpoint path")
+        if resume and workers > 1:
+            raise ConfigurationError(
+                "workers > 1 cannot resume a checkpoint: resuming replays "
+                "the recorded sequential RNG schedule, which multiprocess "
+                "fan-out streams do not follow; rerun with workers=1"
+            )
         control = RunControl(
             budget=budget, token=cancel, faults=fault_injector, checkpoint=store
         )
         self._control = control
         self._resume_state = None
+        self._batch_size = int(batch_size)
+        self._workers = int(workers)
         if resume and store.exists():
             meta, pools = store.load()
             self._validate_resume(meta, k, eps, delta)
@@ -139,6 +165,8 @@ class IMAlgorithm:
         finally:
             self._resume_state = None
             self._control = None
+            self._batch_size = 1
+            self._workers = 1
         result.runtime_seconds = time.perf_counter() - begin
         if control.active or control.checkpoint is not None:
             result.extras.setdefault("runtime", control.snapshot())
@@ -156,6 +184,8 @@ class IMAlgorithm:
         gen = self.generator_cls(self.graph)
         if self._control is not None:
             gen.control = self._control
+        gen.batch_size = self._batch_size
+        gen.workers = self._workers
         return gen
 
     def _check(self) -> None:

@@ -62,6 +62,15 @@ def _attach_control(control: Optional[RunControl], *generators: RRGenerator) -> 
             gen.control = control
 
 
+def _configure_batching(
+    batch_size: int, workers: int, *generators: RRGenerator
+) -> None:
+    """Propagate the execution knobs onto phase-local generators."""
+    for gen in generators:
+        gen.batch_size = batch_size
+        gen.workers = workers
+
+
 def _restore_counters(gen: RRGenerator, payload: dict) -> None:
     gen.counters = counters_from_dict(payload)
     gen._reported_edges = gen.counters.edges_examined
@@ -117,10 +126,14 @@ class SentinelSetPhase:
         graph: CSRGraph,
         generator_cls: Type[RRGenerator] = VanillaICGenerator,
         use_out_degree_tie_break: bool = True,
+        batch_size: int = 1,
+        workers: int = 1,
     ) -> None:
         self.graph = graph
         self.generator_cls = generator_cls
         self.use_out_degree_tie_break = use_out_degree_tie_break
+        self.batch_size = batch_size
+        self.workers = workers
 
     def run(
         self,
@@ -153,6 +166,7 @@ class SentinelSetPhase:
         gen1 = self.generator_cls(graph)
         gen2 = self.generator_cls(graph)
         _attach_control(control, gen1, gen2)
+        _configure_batching(self.batch_size, self.workers, gen1, gen2)
         pool1 = RRCollection(n)
 
         candidate_b = 0
@@ -275,10 +289,14 @@ class IMSentinelPhase:
         graph: CSRGraph,
         generator_cls: Type[RRGenerator] = VanillaICGenerator,
         use_out_degree_tie_break: bool = True,
+        batch_size: int = 1,
+        workers: int = 1,
     ) -> None:
         self.graph = graph
         self.generator_cls = generator_cls
         self.use_out_degree_tie_break = use_out_degree_tie_break
+        self.batch_size = batch_size
+        self.workers = workers
 
     def run(
         self,
@@ -318,6 +336,7 @@ class IMSentinelPhase:
         gen1 = self.generator_cls(graph)
         gen2 = self.generator_cls(graph)
         _attach_control(control, gen1, gen2)
+        _configure_batching(self.batch_size, self.workers, gen1, gen2)
         pool1 = RRCollection(n)
         pool2 = RRCollection(n)
 
@@ -488,7 +507,8 @@ class HIST(IMAlgorithm):
         else:
             with Timer() as t_sentinel:
                 sentinel = SentinelSetPhase(
-                    self.graph, self.generator_cls, self.use_out_degree_tie_break
+                    self.graph, self.generator_cls, self.use_out_degree_tie_break,
+                    batch_size=self._batch_size, workers=self._workers,
                 ).run(k, eps1, delta1, rng, max_b=self.fixed_b,
                       control=self._control)
             phases["sentinel"] = t_sentinel.elapsed
@@ -533,7 +553,8 @@ class HIST(IMAlgorithm):
 
         with Timer() as t_im:
             im = IMSentinelPhase(
-                self.graph, self.generator_cls, self.use_out_degree_tie_break
+                self.graph, self.generator_cls, self.use_out_degree_tie_break,
+                batch_size=self._batch_size, workers=self._workers,
             ).run(
                 k, eps, sentinel.seeds, eps2, delta2, rng,
                 control=self._control,

@@ -77,13 +77,15 @@ class TIMPlus(IMAlgorithm):
                 )
                 batch_start = estimation_pool.num_rr
                 estimation_pool.extend_to(c_i, gen, rng)
-                batch = estimation_pool.rr_sets[batch_start:]
-                if m == 0 or not batch:
+                if m == 0 or estimation_pool.num_rr == batch_start:
                     break
-                kappa = 0.0
-                for rr in estimation_pool.rr_sets[:c_i]:
-                    width = float(in_deg[rr].sum())
-                    kappa += 1.0 - (1.0 - width / m) ** k
+                # Width statistic over the first c_i sets, one reduceat over
+                # the flat pool: w(R) = sum of in-degrees of R's nodes.
+                # cumsum keeps the strictly left-to-right float accumulation
+                # of the original per-set loop, preserving bit-identity.
+                widths = estimation_pool.per_set_sums(in_deg, stop=c_i)
+                terms = 1.0 - (1.0 - widths.astype(np.float64) / m) ** k
+                kappa = float(np.cumsum(terms)[-1]) if len(terms) else 0.0
                 if kappa / c_i > 1.0 / (2.0 ** i):
                     kpt_star = n * kappa / (2.0 * c_i)
                     break

@@ -145,6 +145,17 @@ def cmd_run(args) -> int:
         )
     if args.resume and not args.checkpoint:
         raise ReproError("--resume requires --checkpoint")
+    if args.batch_size < 1:
+        raise ReproError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.resume and args.workers > 1:
+        raise ReproError(
+            "--workers > 1 cannot be combined with --resume: resuming "
+            "replays the checkpoint's sequential RNG schedule, which "
+            "multiprocess fan-out does not follow. Re-run with --workers 1 "
+            "to resume, or drop --resume to start a fresh parallel run."
+        )
     algo = get_algorithm(args.algorithm, graph, **kwargs)
     result = algo.run(
         args.k,
@@ -154,6 +165,8 @@ def cmd_run(args) -> int:
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        batch_size=args.batch_size,
+        workers=args.workers,
     )
     payload = {
         "algorithm": result.algorithm,
@@ -381,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continue from --checkpoint if it exists")
     p.add_argument("--load-retries", type=int, default=0, metavar="N",
                    help="retry transient graph-load failures up to N times")
+    p.add_argument("--batch-size", type=int, default=1, metavar="B",
+                   help="grow B RR sets per vectorized batch (1 = exact "
+                        "sequential semantics, the default)")
+    p.add_argument("--workers", type=int, default=1, metavar="W",
+                   help="shard RR generation across W processes "
+                        "(incompatible with --resume)")
     p.add_argument("--evaluate", action="store_true")
     p.add_argument("--simulations", type=int, default=500)
     p.set_defaults(func=cmd_run)

@@ -49,11 +49,11 @@ def celf_max_coverage(
         raise ConfigurationError(
             f"initial_covered has {len(covered)} entries for {num_rr} RR sets"
         )
-    node_to_rrs = collection.node_to_rrs
+    rrs_containing = collection.rrs_containing
 
     def marginal(v: int) -> int:
-        lst = node_to_rrs[v]
-        return len(lst) - int(covered[lst].sum()) if lst else 0
+        ids = rrs_containing(v)
+        return len(ids) - int(covered[ids].sum()) if len(ids) else 0
 
     def priority(v: int, gain: int):
         # Max-heap via negation; ties resolve toward larger out-degree,
@@ -82,7 +82,7 @@ def celf_max_coverage(
         gain = -neg_gain
         coverage += gain
         coverage_history.append(coverage)
-        covered[node_to_rrs[v]] = True
+        covered[rrs_containing(v)] = True
 
     return GreedyResult(
         seeds=seeds,

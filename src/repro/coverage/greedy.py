@@ -97,9 +97,9 @@ def max_coverage_greedy(
         raise ConfigurationError(f"topk must be positive, got {topk}")
 
     num_rr = collection.num_rr
-    rr_sets = collection.rr_sets
-    node_to_rrs = collection.node_to_rrs
 
+    # The gain vector starts from the pool's cached per-node coverage
+    # counts (maintained incrementally on append — no index rebuild here).
     gains = collection.coverage_counts()
     covered = (
         initial_covered.copy()
@@ -111,12 +111,7 @@ def max_coverage_greedy(
             raise ConfigurationError(
                 f"initial_covered has {len(covered)} entries for {num_rr} RR sets"
             )
-        pre = np.flatnonzero(covered)
-        members = (
-            np.concatenate([rr_sets[i] for i in pre])
-            if len(pre)
-            else np.zeros(0, dtype=np.int64)
-        )
+        members = collection.nodes_of_sets(np.flatnonzero(covered))
         np.subtract.at(gains, members, 1)
 
     base_coverage = int(covered.sum())
@@ -143,10 +138,15 @@ def max_coverage_greedy(
         seeds.append(best)
         coverage += int(gains[best])
         coverage_history.append(coverage)
-        for rr_id in node_to_rrs[best]:
-            if not covered[rr_id]:
-                covered[rr_id] = True
-                np.subtract.at(gains, rr_sets[rr_id], 1)
+        # Decremental maintenance, vectorized: every RR set newly covered by
+        # ``best`` decrements the gain of each of its members in one
+        # ``np.subtract.at`` over the flat pool (duplicates across sets are
+        # exactly the multiplicities the decrement needs).
+        containing = collection.rrs_containing(best)
+        newly = containing[~covered[containing]]
+        if len(newly):
+            covered[newly] = True
+            np.subtract.at(gains, collection.nodes_of_sets(newly), 1)
         gains[best] = -1  # never reselect
     if track_upper_bound:
         upper_bound = min(upper_bound, coverage + _topk_sum(gains, topk))

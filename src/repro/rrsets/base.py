@@ -55,15 +55,32 @@ class RRGenerator:
     :meth:`_tick`, :meth:`_finish`).  Subclass loops must clear the scratch
     visited-mask before re-raising ``ExecutionInterrupted`` so an aborted
     generation never corrupts the next one — use :meth:`_abandon`.
+
+    **Batched execution.**  ``batch_size`` and ``workers`` select the
+    execution strategy consumed by :meth:`RRCollection.extend
+    <repro.rrsets.collection.RRCollection.extend>`: the defaults (both 1)
+    keep the sequential per-set loop and its exact RNG schedule
+    (bit-identical seeds, counters and checkpoints), while larger values
+    route through :meth:`generate_batch` — the level-synchronous vectorized
+    engine — and the multiprocess fan-out.  Generators whose model has a
+    vectorized kernel declare it via :attr:`batched_mode`.
     """
 
     #: human-readable name used by benchmark tables
     name = "base"
+    #: batched-engine kernel for this model: ``"ic"`` (vectorized coin
+    #: flips), ``"subsim"`` (vectorized geometric skipping on the uniform
+    #: path), or ``None`` — no kernel, ``generate_batch`` falls back to the
+    #: sequential loop.
+    batched_mode: Optional[str] = None
 
     def __init__(self, graph: CSRGraph) -> None:
         self.graph = graph
         self.counters = GenerationCounters()
         self.control = None
+        #: execution knobs read by ``RRCollection.extend`` (see class docs)
+        self.batch_size = 1
+        self.workers = 1
         self._reported_edges = 0
         self._visited = np.zeros(graph.n, dtype=bool)
 
@@ -74,6 +91,34 @@ class RRGenerator:
         stop_mask: Optional[np.ndarray] = None,
     ) -> List[int]:
         raise NotImplementedError
+
+    def generate_batch(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        stop_mask: Optional[np.ndarray] = None,
+    ):
+        """Generate ``count`` RR sets; returns flat ``(nodes, sizes)`` arrays.
+
+        Dispatches to the vectorized engine when :attr:`batched_mode` names
+        a kernel; otherwise loops :meth:`generate` sequentially (identical
+        RNG schedule to ``batch_size=1``), so every generator supports the
+        batched call surface.
+        """
+        if self.batched_mode is not None:
+            from repro.rrsets.batched import generate_batch
+
+            return generate_batch(self, rng, count, stop_mask=stop_mask)
+        chunks = []
+        sizes = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            rr = np.asarray(self.generate(rng, stop_mask=stop_mask), dtype=np.int64)
+            chunks.append(rr)
+            sizes[i] = len(rr)
+        nodes = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        return nodes, sizes
 
     def _pick_root(self, rng: np.random.Generator, root: Optional[int]) -> int:
         if root is None:

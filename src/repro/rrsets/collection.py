@@ -1,9 +1,18 @@
-"""RR-set collections with an incremental inverted coverage index.
+"""RR-set collections backed by a flat growable CSR-style pool.
 
 :class:`RRCollection` is the shared substrate of every sampling-based IM
-algorithm: it stores the RR sets generated so far, plus — for each node — the
-list of RR-set ids containing that node.  Greedy max-coverage, coverage
-queries, and the OPIM-style bounds all operate on this index.
+algorithm.  RR sets live concatenated in one growable ``rr_nodes`` array
+with ``rr_indptr`` offsets (the same layout as a CSR adjacency), so the two
+coverage hot paths are single NumPy kernels instead of Python loops:
+
+* per-node *coverage counts* are maintained incrementally on every append
+  (``np.add.at`` over the new mass) and served from cache;
+* the node → RR-set *inverted index* is a lazily rebuilt CSR
+  (``inv_indptr`` / ``inv_rrs``) — one stable argsort of the pool amortised
+  across the greedy selections that consume it.
+
+``rr_sets`` and ``node_to_rrs`` remain available as lightweight views for
+code written against the original list-of-arrays interface.
 """
 
 from __future__ import annotations
@@ -14,41 +23,186 @@ import numpy as np
 
 from repro.rrsets.base import RRGenerator
 
+#: dtype of the flat node pool; int32 halves memory vs. int64 and covers
+#: every graph this library can hold in RAM.
+NODE_DTYPE = np.int32
+
+
+class _RRSetsView(Sequence):
+    """Read-only sequence view presenting the flat pool as per-set arrays."""
+
+    __slots__ = ("_coll",)
+
+    def __init__(self, coll: "RRCollection") -> None:
+        self._coll = coll
+
+    def __len__(self) -> int:
+        return self._coll.num_rr
+
+    def __getitem__(self, key):
+        coll = self._coll
+        if isinstance(key, slice):
+            return [coll.set_nodes(i) for i in range(*key.indices(coll.num_rr))]
+        if key < 0:
+            key += coll.num_rr
+        if not 0 <= key < coll.num_rr:
+            raise IndexError(f"RR-set id {key} out of range [0, {coll.num_rr})")
+        return coll.set_nodes(key)
+
+    def __iter__(self):
+        for i in range(self._coll.num_rr):
+            yield self._coll.set_nodes(i)
+
+
+class _NodeIndexView:
+    """Read-only view: ``view[node]`` lists the RR-set ids containing it."""
+
+    __slots__ = ("_coll",)
+
+    def __init__(self, coll: "RRCollection") -> None:
+        self._coll = coll
+
+    def __len__(self) -> int:
+        return self._coll.n
+
+    def __getitem__(self, node: int) -> List[int]:
+        return self._coll.rrs_containing(node).tolist()
+
+    def __iter__(self):
+        for node in range(self._coll.n):
+            yield self[node]
+
 
 class RRCollection:
-    """An append-only pool of RR sets over ``n`` nodes."""
+    """An append-only pool of RR sets over ``n`` nodes (flat CSR layout)."""
 
     def __init__(self, n: int) -> None:
         if n <= 0:
             raise ValueError(f"graph must have at least one node, got n={n}")
         self.n = n
-        self.rr_sets: List[np.ndarray] = []
-        self.node_to_rrs: List[List[int]] = [[] for _ in range(n)]
         self.total_size = 0
+        self._num_rr = 0
+        self._nodes = np.empty(1024, dtype=NODE_DTYPE)
+        self._indptr = np.zeros(257, dtype=np.int64)
+        # Incrementally maintained per-node membership counts (the cached
+        # ``coverage_counts``); always current.
+        self._counts = np.zeros(n, dtype=np.int64)
+        # Lazily (re)built inverted CSR; ``_inv_num_rr`` records the pool
+        # size it reflects, so any append invalidates it implicitly.
+        self._inv_indptr: Optional[np.ndarray] = None
+        self._inv_rrs: Optional[np.ndarray] = None
+        self._inv_num_rr = -1
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.rr_sets)
+        return self._num_rr
 
     @property
     def num_rr(self) -> int:
-        return len(self.rr_sets)
+        return self._num_rr
+
+    @property
+    def rr_indptr(self) -> np.ndarray:
+        """Offsets of each stored set inside :attr:`rr_nodes` (read-only)."""
+        return self._indptr[: self._num_rr + 1]
+
+    @property
+    def rr_nodes(self) -> np.ndarray:
+        """The concatenated node ids of every stored set (read-only)."""
+        return self._nodes[: self.total_size]
+
+    @property
+    def rr_sets(self) -> _RRSetsView:
+        """Per-set array views over the flat pool (compatibility facade)."""
+        return _RRSetsView(self)
+
+    @property
+    def node_to_rrs(self) -> _NodeIndexView:
+        """Node → RR-set-id lists served from the inverted CSR."""
+        return _NodeIndexView(self)
 
     def average_size(self) -> float:
         """Mean number of nodes per stored RR set."""
-        return self.total_size / self.num_rr if self.num_rr else 0.0
+        return self.total_size / self._num_rr if self._num_rr else 0.0
+
+    def set_nodes(self, rr_id: int) -> np.ndarray:
+        """Nodes of one stored RR set (a view into the flat pool)."""
+        return self._nodes[self._indptr[rr_id]: self._indptr[rr_id + 1]]
+
+    def set_sizes(self) -> np.ndarray:
+        """Sizes of every stored RR set."""
+        return np.diff(self.rr_indptr)
+
+    def nbytes(self) -> int:
+        """Resident bytes of the pool buffers (nodes, offsets, indexes)."""
+        total = self._nodes.nbytes + self._indptr.nbytes + self._counts.nbytes
+        if self._inv_rrs is not None:
+            total += self._inv_rrs.nbytes + self._inv_indptr.nbytes
+        return total
 
     # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def _reserve(self, extra_nodes: int, extra_sets: int) -> None:
+        need = self.total_size + extra_nodes
+        if need > len(self._nodes):
+            capacity = max(need, 2 * len(self._nodes))
+            grown = np.empty(capacity, dtype=NODE_DTYPE)
+            grown[: self.total_size] = self._nodes[: self.total_size]
+            self._nodes = grown
+        need = self._num_rr + extra_sets + 1
+        if need > len(self._indptr):
+            capacity = max(need, 2 * len(self._indptr))
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: self._num_rr + 1] = self._indptr[: self._num_rr + 1]
+            self._indptr = grown
+
     def add(self, rr: Sequence[int]) -> int:
-        """Store one RR set; returns its id."""
-        rr_id = len(self.rr_sets)
-        arr = np.asarray(rr, dtype=np.int64)
-        self.rr_sets.append(arr)
-        index = self.node_to_rrs
-        for node in rr:
-            index[node].append(rr_id)
-        self.total_size += len(arr)
+        """Store one RR set; returns its id.
+
+        Accepts any integer sequence; ndarrays of the pool dtype are copied
+        straight into the flat buffer without an intermediate conversion,
+        and the coverage-count cache is updated vectorized (nodes within one
+        RR set are unique by construction).
+        """
+        arr = np.asarray(rr, dtype=NODE_DTYPE)
+        size = len(arr)
+        self._reserve(size, 1)
+        rr_id = self._num_rr
+        start = self.total_size
+        self._nodes[start: start + size] = arr
+        self._indptr[rr_id + 1] = start + size
+        self._num_rr = rr_id + 1
+        self.total_size = start + size
+        self._counts[arr] += 1
         return rr_id
+
+    def add_batch(self, nodes: np.ndarray, sizes: np.ndarray) -> int:
+        """Bulk-append ``len(sizes)`` RR sets stored concatenated in ``nodes``.
+
+        Returns the id of the first appended set.  This is the path the
+        batched generation engine feeds: one memcpy into the pool plus one
+        ``np.add.at`` over the new mass, no per-set Python work.
+        """
+        nodes = np.asarray(nodes, dtype=NODE_DTYPE)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.sum() != len(nodes):
+            raise ValueError(
+                f"sizes sum to {int(sizes.sum())} but {len(nodes)} nodes given"
+            )
+        count = len(sizes)
+        self._reserve(len(nodes), count)
+        first_id = self._num_rr
+        start = self.total_size
+        self._nodes[start: start + len(nodes)] = nodes
+        self._indptr[first_id + 1: first_id + count + 1] = (
+            start + np.cumsum(sizes)
+        )
+        self._num_rr = first_id + count
+        self.total_size = start + len(nodes)
+        # Nodes may repeat across (not within) sets: unbuffered add.
+        np.add.at(self._counts, nodes, 1)
+        return first_id
 
     def extend(
         self,
@@ -57,9 +211,40 @@ class RRCollection:
         rng: np.random.Generator,
         stop_mask: Optional[np.ndarray] = None,
     ) -> None:
-        """Generate and store ``count`` fresh random RR sets."""
+        """Generate and store ``count`` fresh random RR sets.
+
+        The execution strategy comes from the generator's ``batch_size`` and
+        ``workers`` attributes: the defaults (both 1) replay the sequential
+        per-set loop bit-identically; ``batch_size > 1`` routes through the
+        vectorized batched engine; ``workers > 1`` additionally shards
+        batches across processes (see :mod:`repro.rrsets.fanout`).
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
+        workers = int(getattr(generator, "workers", 1) or 1)
+        batch_size = int(getattr(generator, "batch_size", 1) or 1)
+        if workers > 1 and count > 0:
+            from repro.rrsets.fanout import generate_multiprocess
+
+            # Loop so a budget-clamped fan-out surfaces BudgetExceeded on
+            # the next boundary (mirroring the batched path) instead of
+            # silently under-delivering.
+            remaining = count
+            while remaining > 0:
+                nodes, sizes = generate_multiprocess(
+                    generator, remaining, rng, workers, stop_mask=stop_mask
+                )
+                self.add_batch(nodes, sizes)
+                remaining -= len(sizes)
+            return
+        if batch_size > 1:
+            remaining = count
+            while remaining > 0:
+                b = min(batch_size, remaining)
+                nodes, sizes = generator.generate_batch(rng, b, stop_mask=stop_mask)
+                self.add_batch(nodes, sizes)
+                remaining -= len(sizes)
+            return
         for _ in range(count):
             self.add(generator.generate(rng, stop_mask=stop_mask))
 
@@ -71,18 +256,78 @@ class RRCollection:
         stop_mask: Optional[np.ndarray] = None,
     ) -> None:
         """Grow the pool until it holds ``target`` RR sets (no-op if larger)."""
-        self.extend(max(0, target - self.num_rr), generator, rng, stop_mask)
+        self.extend(max(0, target - self._num_rr), generator, rng, stop_mask)
 
     # ------------------------------------------------------------------
+    # inverted index
+    # ------------------------------------------------------------------
+    def _inverted(self):
+        """Return ``(inv_indptr, inv_rrs)``, rebuilding if the pool grew."""
+        if self._inv_num_rr != self._num_rr:
+            size = self.total_size
+            nodes = self._nodes[:size]
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(self._counts, out=indptr[1:])
+            order = np.argsort(nodes, kind="stable")
+            rr_of_entry = np.repeat(
+                np.arange(self._num_rr, dtype=NODE_DTYPE), self.set_sizes()
+            )
+            self._inv_rrs = rr_of_entry[order]
+            self._inv_indptr = indptr
+            self._inv_num_rr = self._num_rr
+        return self._inv_indptr, self._inv_rrs
+
+    def rrs_containing(self, node: int) -> np.ndarray:
+        """Ids of the stored RR sets containing ``node`` (ascending)."""
+        if not 0 <= node < self.n:
+            raise IndexError(f"node {node} out of range [0, {self.n})")
+        inv_indptr, inv_rrs = self._inverted()
+        return inv_rrs[inv_indptr[node]: inv_indptr[node + 1]]
+
+    def nodes_of_sets(self, rr_ids: np.ndarray) -> np.ndarray:
+        """Concatenated nodes of the given RR sets (duplicates across sets
+        preserved — exactly what decremental gain updates need)."""
+        rr_ids = np.asarray(rr_ids, dtype=np.int64)
+        if len(rr_ids) == 0:
+            return np.empty(0, dtype=NODE_DTYPE)
+        starts = self._indptr[rr_ids]
+        lens = self._indptr[rr_ids + 1] - starts
+        total = int(lens.sum())
+        offsets = np.repeat(np.cumsum(lens) - lens, lens)
+        flat = np.repeat(starts, lens) + np.arange(total, dtype=np.int64) - offsets
+        return self._nodes[flat]
+
+    def per_set_sums(
+        self, values: np.ndarray, stop: Optional[int] = None
+    ) -> np.ndarray:
+        """Per-set sums of a node-indexed ``values`` array over the first
+        ``stop`` sets (all by default) — one ``reduceat`` over the pool."""
+        stop = self._num_rr if stop is None else min(stop, self._num_rr)
+        if stop == 0:
+            return np.zeros(0, dtype=np.asarray(values).dtype)
+        indptr = self._indptr[: stop + 1]
+        gathered = np.asarray(values)[self._nodes[: indptr[-1]]]
+        # RR sets are never empty (the root is always present), so plain
+        # reduceat needs no empty-block fixup.
+        return np.add.reduceat(gathered, indptr[:-1])
+
+    # ------------------------------------------------------------------
+    # coverage queries
+    # ------------------------------------------------------------------
     def coverage_counts(self) -> np.ndarray:
-        """Per-node count of RR sets containing the node (singleton coverage)."""
-        return np.array([len(lst) for lst in self.node_to_rrs], dtype=np.int64)
+        """Per-node count of RR sets containing the node (singleton coverage).
+
+        Served from the incrementally maintained cache; the returned array
+        is a copy the caller may mutate (greedy uses it as its gain vector).
+        """
+        return self._counts.copy()
 
     def covered_mask(self, seeds: Iterable[int]) -> np.ndarray:
         """Boolean mask over RR-set ids marking sets hit by ``seeds``."""
-        mask = np.zeros(self.num_rr, dtype=bool)
+        mask = np.zeros(self._num_rr, dtype=bool)
+        inv_indptr, inv_rrs = self._inverted()
         for s in seeds:
-            mask[self.node_to_rrs[s]] = True
+            mask[inv_rrs[inv_indptr[s]: inv_indptr[s + 1]]] = True
         return mask
 
     def coverage(self, seeds: Iterable[int]) -> int:
@@ -91,6 +336,6 @@ class RRCollection:
 
     def estimate_influence(self, seeds: Iterable[int]) -> float:
         """Unbiased influence estimate ``n * Lambda_R(S) / |R|`` (Lemma 1)."""
-        if self.num_rr == 0:
+        if self._num_rr == 0:
             raise ValueError("cannot estimate influence from an empty pool")
-        return self.n * self.coverage(seeds) / self.num_rr
+        return self.n * self.coverage(seeds) / self._num_rr

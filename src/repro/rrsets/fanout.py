@@ -1,0 +1,145 @@
+"""Multiprocess fan-out for batched RR-set generation.
+
+RIS sampling is embarrassingly parallel: RR sets are i.i.d., so a request
+for ``count`` sets can be sharded across worker processes that each run the
+batched engine on an independent random stream.  Three properties make the
+fan-out safe to use inside the algorithms:
+
+* **Deterministic streams** — the parent draws one 64-bit value from the
+  algorithm's RNG, seeds a :class:`numpy.random.SeedSequence` with it, and
+  ``spawn``\\ s one child sequence per worker.  Fixed ``(seed, workers)``
+  therefore reproduces the exact same pool run-to-run (a different
+  ``workers`` value is a different — equally valid — sample).
+* **Deterministic merge** — shards are concatenated in worker-rank order,
+  never in completion order.
+* **Honest accounting** — each worker returns its counter totals; the
+  parent folds them into the requesting generator's counters and reports
+  the merged spend to the attached :class:`~repro.runtime.control
+  .RunControl` at the fan-out boundary (budgets cannot be polled *inside*
+  a worker, so caps are enforced between fan-out calls; use single-process
+  mode when mid-generation enforcement matters).
+
+Because worker streams are independent of the parent stream, fan-out runs
+are **not** bit-identical to sequential runs and cannot resume sequential
+checkpoints — the CLI rejects ``--workers > 1`` with ``--resume``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.rrsets.base import GenerationCounters
+
+#: below this request size the fork/pickle overhead dwarfs the work; the
+#: fan-out silently degrades to in-process batched generation.
+MIN_SETS_PER_WORKER = 8
+
+
+def shard_counts(count: int, workers: int) -> list:
+    """Split ``count`` sets into per-rank shard sizes (first ranks larger)."""
+    base, extra = divmod(count, workers)
+    return [base + (1 if r < extra else 0) for r in range(workers)]
+
+
+def _worker_generate(args):
+    """Pool worker: build a fresh generator and batch-generate one shard."""
+    generator_cls, graph, count, batch_size, child_seq, stop_mask = args
+    gen = generator_cls(graph)
+    rng = np.random.default_rng(child_seq)
+    chunks = []
+    size_chunks = []
+    remaining = count
+    while remaining > 0:
+        b = min(batch_size, remaining)
+        nodes, sizes = gen.generate_batch(rng, b, stop_mask=stop_mask)
+        chunks.append(nodes)
+        size_chunks.append(sizes)
+        remaining -= len(sizes)
+    nodes = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    sizes = (
+        np.concatenate(size_chunks) if size_chunks else np.empty(0, dtype=np.int64)
+    )
+    c = gen.counters
+    return nodes, sizes, (
+        c.edges_examined, c.rng_draws, c.nodes_added,
+        c.sets_generated, c.sentinel_hits,
+    )
+
+
+def _merge_counters(counters: GenerationCounters, totals) -> None:
+    counters.edges_examined += totals[0]
+    counters.rng_draws += totals[1]
+    counters.nodes_added += totals[2]
+    counters.sets_generated += totals[3]
+    counters.sentinel_hits += totals[4]
+
+
+def generate_multiprocess(
+    gen,
+    count: int,
+    rng: np.random.Generator,
+    workers: int,
+    stop_mask: Optional[np.ndarray] = None,
+    mp_context: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``count`` RR sets across ``workers`` processes.
+
+    ``gen`` supplies the generator class, graph, batch size, counters and
+    run control; the returned flat ``(nodes, sizes)`` arrays are the rank-
+    ordered concatenation of the worker shards.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    batch_size = max(2, int(getattr(gen, "batch_size", 1) or 1))
+    control = gen.control
+    if control is not None:
+        control.on_rr_start()
+        if control.budget.max_rr_sets is not None:
+            count = min(count, control.budget.max_rr_sets - control.rr_sets)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    # One draw of parent entropy keys the whole fan-out deterministically.
+    gen.counters.rng_draws += 1
+    entropy = int(rng.integers(0, 2**63 - 1))
+
+    effective = min(workers, max(1, count // MIN_SETS_PER_WORKER))
+    if effective <= 1:
+        # Not enough work to amortise process startup: stay in-process but
+        # keep the same derived stream so results depend only on (seed,
+        # workers), not on the degradation decision path.
+        child = np.random.SeedSequence(entropy).spawn(1)[0]
+        args = (type(gen), gen.graph, count, batch_size, child, stop_mask)
+        nodes, sizes, totals = _worker_generate(args)
+        _merge_counters(gen.counters, totals)
+        _report(gen, control, sizes, totals)
+        return nodes, sizes
+
+    children = np.random.SeedSequence(entropy).spawn(effective)
+    shards = shard_counts(count, effective)
+    jobs = [
+        (type(gen), gen.graph, shards[r], batch_size, children[r], stop_mask)
+        for r in range(effective)
+    ]
+    ctx = multiprocessing.get_context(mp_context)
+    with ctx.Pool(processes=effective) as pool:
+        results = pool.map(_worker_generate, jobs)  # rank order preserved
+
+    nodes = np.concatenate([r[0] for r in results])
+    sizes = np.concatenate([r[1] for r in results])
+    merged = tuple(sum(r[2][i] for r in results) for i in range(5))
+    _merge_counters(gen.counters, merged)
+    _report(gen, control, sizes, merged)
+    return nodes, sizes
+
+
+def _report(gen, control, sizes, totals) -> None:
+    """Fold the fan-out's spend into the run control at the boundary."""
+    if control is None:
+        return
+    gen._tick()  # reports the merged edges_examined delta
+    for size in sizes:
+        control.on_rr_complete(int(size))

@@ -30,6 +30,7 @@ class FastVanillaICGenerator(RRGenerator):
     """Vectorised per-node coin flipping under the IC model."""
 
     name = "fast-vanilla"
+    batched_mode = "ic"
 
     def generate(
         self,

@@ -48,6 +48,7 @@ class SubsimICGenerator(RRGenerator):
     """Subset-sampling RR-set generator under the IC model."""
 
     name = "subsim"
+    batched_mode = "subsim"
 
     def __init__(self, graph: CSRGraph, general_mode: str = "sorted") -> None:
         super().__init__(graph)

@@ -27,6 +27,7 @@ class VanillaICGenerator(RRGenerator):
     """Algorithm 2: per-edge coin-flip reverse BFS under the IC model."""
 
     name = "vanilla"
+    batched_mode = "ic"
 
     def generate(
         self,

@@ -51,23 +51,25 @@ def _json_default(value):
 # ----------------------------------------------------------------------
 
 def collection_to_arrays(coll: RRCollection) -> Dict[str, np.ndarray]:
-    """Flatten a collection into ``data`` (concatenated sets) + ``sizes``."""
-    if coll.rr_sets:
-        data = np.concatenate(coll.rr_sets)
-    else:
-        data = np.empty(0, dtype=np.int64)
-    sizes = np.array([len(rr) for rr in coll.rr_sets], dtype=np.int64)
-    return {"data": data, "sizes": sizes, "n": np.int64(coll.n)}
+    """Flatten a collection into ``data`` (concatenated sets) + ``sizes``.
+
+    The collection already stores its pool flat, so this is two array views
+    (``data`` widened to int64 to keep the archive format stable).
+    """
+    return {
+        "data": coll.rr_nodes.astype(np.int64),
+        "sizes": coll.set_sizes(),
+        "n": np.int64(coll.n),
+    }
 
 
 def collection_from_arrays(
     data: np.ndarray, sizes: np.ndarray, n: int
 ) -> RRCollection:
-    """Rebuild a collection (including its inverted index) from flat arrays."""
+    """Rebuild a collection from flat arrays (one bulk append)."""
     coll = RRCollection(int(n))
-    offsets = np.concatenate(([0], np.cumsum(sizes)))
-    for i in range(len(sizes)):
-        coll.add(data[offsets[i]: offsets[i + 1]])
+    if len(sizes):
+        coll.add_batch(data, sizes)
     return coll
 
 

@@ -98,6 +98,43 @@ class TestRun:
         assert rc == 0
         assert "expected_spread" in json.loads(capsys.readouterr().out)
 
+    def test_batch_size_flag(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "3",
+            "--eps", "0.4", "--seed", "0", "--batch-size", "64",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["seeds"]) == 3
+        assert payload["status"] == "complete"
+
+    def test_workers_flag(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "3",
+            "--eps", "0.4", "--seed", "0", "--batch-size", "64",
+            "--workers", "2",
+        ])
+        assert rc == 0
+        assert len(json.loads(capsys.readouterr().out)["seeds"]) == 3
+
+    def test_workers_with_resume_rejected(self, weighted_npz, tmp_path, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "3",
+            "--checkpoint", str(tmp_path / "c.npz"), "--resume",
+            "--workers", "2",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "--resume" in err
+
+    def test_bad_batch_size_rejected(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "3",
+            "--batch-size", "0",
+        ])
+        assert rc == 2
+        assert "--batch-size" in capsys.readouterr().err
+
 
 class TestEvaluate:
     def test_spread_of_explicit_seeds(self, weighted_npz, capsys):
