@@ -11,8 +11,9 @@ Run directly::
 
 or through pytest via ``benchmarks/test_samplers_micro.py``.  ``--quick``
 shrinks the graph and sample count so the whole run finishes in seconds;
-quick results carry ``"quick": true`` so downstream tooling never compares
-them against full-size runs.
+quick results carry ``"quick": true`` and are written to
+``BENCH_rrgen_quick.json`` so a smoke run never overwrites the committed
+full-size numbers.
 """
 
 from __future__ import annotations
@@ -31,6 +32,9 @@ from repro.rrsets.subsim import SubsimICGenerator
 from repro.rrsets.vanilla import VanillaICGenerator
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_rrgen.json"
+#: ``--quick`` runs land here so a CI smoke run can never clobber the
+#: committed full-size numbers in BENCH_rrgen.json
+QUICK_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_rrgen_quick.json"
 
 GENERATORS = {
     "vanilla": VanillaICGenerator,
@@ -127,8 +131,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--no-fanout", action="store_true",
                         help="skip the multiprocess measurement")
-    parser.add_argument("--output", type=Path, default=RESULTS_PATH)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="result file (default: BENCH_rrgen.json, or "
+                             "BENCH_rrgen_quick.json with --quick)")
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = QUICK_RESULTS_PATH if args.quick else RESULTS_PATH
 
     report = run_benchmark(
         n=args.n, count=args.count, batch_size=args.batch_size,

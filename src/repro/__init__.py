@@ -46,6 +46,13 @@ from repro.graphs.weights import (
     wc_weights,
     weibull_weights,
 )
+from repro.observability import (
+    HistogramSketch,
+    MetricsRegistry,
+    PhaseTracer,
+    RunReport,
+    build_run_report,
+)
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.lt import LTGenerator
 from repro.rrsets.subsim import SubsimICGenerator
@@ -65,15 +72,20 @@ __all__ = [
     "CheckpointStore",
     "CSRGraph",
     "FaultInjector",
+    "HistogramSketch",
     "IMResult",
     "InfluenceMaximizer",
     "LTGenerator",
+    "MetricsRegistry",
+    "PhaseTracer",
     "RRCollection",
+    "RunReport",
     "SubsimICGenerator",
     "VanillaICGenerator",
     "__version__",
     "available_algorithms",
     "build_graph",
+    "build_run_report",
     "erdos_renyi",
     "estimate_spread",
     "exponential_weights",

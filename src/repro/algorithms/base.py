@@ -10,6 +10,8 @@ import numpy as np
 
 from repro.core.results import IMResult
 from repro.graphs.csr import CSRGraph
+from repro.observability.registry import MetricsRegistry
+from repro.observability.trace import NULL_TRACER, PhaseTracer
 from repro.rrsets.base import RRGenerator
 from repro.rrsets.vanilla import VanillaICGenerator
 from repro.runtime.budget import Budget
@@ -81,6 +83,8 @@ class IMAlgorithm:
         fault_injector: Optional[FaultInjector] = None,
         batch_size: int = 1,
         workers: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: bool = False,
     ) -> IMResult:
         """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
 
@@ -107,6 +111,14 @@ class IMAlgorithm:
           sample the identical RR-set distribution.  ``workers > 1`` is
           incompatible with ``resume`` (resuming replays the recorded
           RNG schedule, which fan-out streams do not follow).
+        * ``metrics`` — a :class:`~repro.observability.registry
+          .MetricsRegistry` that the run populates (counters, RR-size
+          histogram, pool-memory gauge); its snapshot lands in
+          ``result.extras["metrics"]``.
+        * ``trace`` — enable structured phase tracing; the phase tree
+          (wall time, counter deltas, pool memory per span) lands in
+          ``result.extras["trace"]``.  Implies an internal registry when
+          ``metrics`` is not supplied.
         """
         n = self.graph.n
         if not 1 <= k <= n:
@@ -133,8 +145,15 @@ class IMAlgorithm:
                 "the recorded sequential RNG schedule, which multiprocess "
                 "fan-out streams do not follow; rerun with workers=1"
             )
+        run_metrics = metrics if metrics is not None else MetricsRegistry()
+        tracer = PhaseTracer(run_metrics) if trace else None
         control = RunControl(
-            budget=budget, token=cancel, faults=fault_injector, checkpoint=store
+            budget=budget,
+            token=cancel,
+            faults=fault_injector,
+            checkpoint=store,
+            metrics=run_metrics,
+            tracer=tracer,
         )
         self._control = control
         self._resume_state = None
@@ -143,13 +162,22 @@ class IMAlgorithm:
         if resume and store.exists():
             meta, pools = store.load()
             self._validate_resume(meta, k, eps, delta)
+            # Replay the killed run's pushed metrics (coverage counters,
+            # RR-size histograms) so the resumed run's report is
+            # bit-identical to an uninterrupted one; the runtime.* budget
+            # tallies stay at zero — budgets are per-process.
+            if "metrics" in meta:
+                run_metrics.restore_own_state(
+                    meta["metrics"], skip_prefixes=("runtime.",)
+                )
             self._resume_state = (meta, pools)
 
         rng = as_generator(seed)
         control.start()
         begin = time.perf_counter()
         try:
-            result = self._select(k, eps, delta, rng)
+            with control.tracer.phase("run"):
+                result = self._select(k, eps, delta, rng)
         except ExecutionInterrupted as exc:
             # Safety net: even an algorithm without bespoke degradation
             # honors the contract — no exception, no hang, an honest
@@ -170,6 +198,10 @@ class IMAlgorithm:
         result.runtime_seconds = time.perf_counter() - begin
         if control.active or control.checkpoint is not None:
             result.extras.setdefault("runtime", control.snapshot())
+        if metrics is not None:
+            result.extras.setdefault("metrics", run_metrics.snapshot())
+        if tracer is not None:
+            result.extras.setdefault("trace", tracer.to_dict())
         if store is not None and result.status == "complete":
             store.clear()
         return result
@@ -183,7 +215,7 @@ class IMAlgorithm:
     def _new_generator(self) -> RRGenerator:
         gen = self.generator_cls(self.graph)
         if self._control is not None:
-            gen.control = self._control
+            self._control.adopt_generator(gen)
         gen.batch_size = self._batch_size
         gen.workers = self._workers
         return gen
@@ -192,6 +224,17 @@ class IMAlgorithm:
         """Poll cancellation/deadline from a non-RR sampling loop."""
         if self._control is not None:
             self._control.check()
+
+    def _phase(self, name: str):
+        """Span context for one algorithm phase (no-op when not tracing)."""
+        if self._control is None:
+            return NULL_TRACER.phase(name)
+        return self._control.tracer.phase(name)
+
+    @property
+    def _metrics(self) -> Optional[MetricsRegistry]:
+        """The run's registry, or ``None`` outside ``run()``."""
+        return self._control.metrics if self._control is not None else None
 
     # ------------------------------------------------------------------
     # checkpoint / resume plumbing
@@ -241,6 +284,7 @@ class IMAlgorithm:
         def builder():
             payload = dict(meta)
             payload["rng_state"] = rng.bit_generator.state
+            payload["metrics"] = control.metrics.own_state()
             return payload, pools
 
         return control.maybe_checkpoint(builder)

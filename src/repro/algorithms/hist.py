@@ -59,7 +59,7 @@ from repro.utils.timing import Timer
 def _attach_control(control: Optional[RunControl], *generators: RRGenerator) -> None:
     if control is not None:
         for gen in generators:
-            gen.control = control
+            control.adopt_generator(gen)
 
 
 def _configure_batching(
@@ -167,6 +167,7 @@ class SentinelSetPhase:
         gen2 = self.generator_cls(graph)
         _attach_control(control, gen1, gen2)
         _configure_batching(self.batch_size, self.workers, gen1, gen2)
+        metrics = control.metrics if control is not None else None
         pool1 = RRCollection(n)
 
         candidate_b = 0
@@ -181,7 +182,8 @@ class SentinelSetPhase:
             for i in range(1, i_max + 1):
                 iterations = i
                 greedy = max_coverage_greedy(
-                    pool1, select=k, topk=k, out_degree=out_deg
+                    pool1, select=k, topk=k, out_degree=out_deg,
+                    metrics=metrics,
                 )
                 upper = influence_upper_bound(
                     greedy.upper_bound_coverage, pool1.num_rr, n, delta_u
@@ -337,6 +339,7 @@ class IMSentinelPhase:
         gen2 = self.generator_cls(graph)
         _attach_control(control, gen1, gen2)
         _configure_batching(self.batch_size, self.workers, gen1, gen2)
+        metrics = control.metrics if control is not None else None
         pool1 = RRCollection(n)
         pool2 = RRCollection(n)
 
@@ -380,6 +383,7 @@ class IMSentinelPhase:
                     out_degree=out_deg,
                     initial_covered=initial_covered,
                     excluded=sentinel_seeds,
+                    metrics=metrics,
                 )
                 seeds = list(sentinel_seeds) + greedy.seeds
                 upper = influence_upper_bound(
@@ -500,12 +504,18 @@ class HIST(IMAlgorithm):
             # The killed run's sentinel wall-clock is part of its record,
             # not of this process; keep the phase key with the saved value.
             phases["sentinel"] = float(sentinel_state.get("elapsed", 0.0))
+            if self._control is not None:
+                # The finished phase's generators survive only as counter
+                # shims; registering them keeps ``generation.*`` totals (and
+                # thus RunReports) identical to the uninterrupted run.
+                for shim in sentinel.generators:
+                    self._control.metrics.attach_source(shim)
             if meta["phase"] == "sentinel":
                 self._restore_rng(rng, meta["rng_state"])
             else:
                 im_resume = (meta, pools)
         else:
-            with Timer() as t_sentinel:
+            with Timer() as t_sentinel, self._phase("sentinel"):
                 sentinel = SentinelSetPhase(
                     self.graph, self.generator_cls, self.use_out_degree_tie_break,
                     batch_size=self._batch_size, workers=self._workers,
@@ -551,7 +561,7 @@ class HIST(IMAlgorithm):
             meta.update(round_state)
             self._round_checkpoint(rng, meta, pools)
 
-        with Timer() as t_im:
+        with Timer() as t_im, self._phase("im_sentinel"):
             im = IMSentinelPhase(
                 self.graph, self.generator_cls, self.use_out_degree_tie_break,
                 batch_size=self._batch_size, workers=self._workers,

@@ -83,8 +83,9 @@ class OPIMC(IMAlgorithm):
             upper = float(meta["upper"])
         else:
             try:
-                pool1.extend(theta0, gen1, rng)
-                pool2.extend(theta0, gen2, rng)
+                with self._phase("bootstrap"):
+                    pool1.extend(theta0, gen1, rng)
+                    pool2.extend(theta0, gen2, rng)
             except ExecutionInterrupted as exc:
                 return self._finalize_partial(
                     pool1, k, eps, delta, (gen1, gen2), exc.reason,
@@ -94,33 +95,36 @@ class OPIMC(IMAlgorithm):
         try:
             for i in range(start_round, i_max + 1):
                 rounds = i
-                greedy = max_coverage_greedy(pool1, select=k, topk=k)
-                seeds = greedy.seeds
-                upper = influence_upper_bound(
-                    greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
-                )
-                lower = influence_lower_bound(
-                    pool2.coverage(seeds), pool2.num_rr, n, delta_iter
-                )
-                if upper > 0 and lower / upper > target:
-                    break
-                if i < i_max:
-                    pool1.extend(pool1.num_rr, gen1, rng)
-                    pool2.extend(pool2.num_rr, gen2, rng)
-                    meta = self._query_meta(k, eps, delta)
-                    meta.update(
-                        round=i,
-                        seeds=[int(s) for s in seeds],
-                        lower=lower,
-                        upper=upper,
-                        counters=[
-                            counters_to_dict(gen1.counters),
-                            counters_to_dict(gen2.counters),
-                        ],
+                with self._phase(f"round-{i}"):
+                    greedy = max_coverage_greedy(
+                        pool1, select=k, topk=k, metrics=self._metrics
                     )
-                    self._round_checkpoint(
-                        rng, meta, {"pool1": pool1, "pool2": pool2}
+                    seeds = greedy.seeds
+                    upper = influence_upper_bound(
+                        greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
                     )
+                    lower = influence_lower_bound(
+                        pool2.coverage(seeds), pool2.num_rr, n, delta_iter
+                    )
+                    if upper > 0 and lower / upper > target:
+                        break
+                    if i < i_max:
+                        pool1.extend(pool1.num_rr, gen1, rng)
+                        pool2.extend(pool2.num_rr, gen2, rng)
+                        meta = self._query_meta(k, eps, delta)
+                        meta.update(
+                            round=i,
+                            seeds=[int(s) for s in seeds],
+                            lower=lower,
+                            upper=upper,
+                            counters=[
+                                counters_to_dict(gen1.counters),
+                                counters_to_dict(gen2.counters),
+                            ],
+                        )
+                        self._round_checkpoint(
+                            rng, meta, {"pool1": pool1, "pool2": pool2}
+                        )
         except ExecutionInterrupted as exc:
             return self._finalize_partial(
                 pool1, k, eps, delta, (gen1, gen2), exc.reason,

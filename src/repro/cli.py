@@ -66,6 +66,12 @@ def _load(path: str, retries: int = 0) -> CSRGraph:
     return io.load_edge_list(path)
 
 
+def _write_json(path: str, payload) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _save(graph: CSRGraph, path: str) -> None:
     if path.endswith(".npz"):
         io.save_npz(graph, path)
@@ -156,6 +162,13 @@ def cmd_run(args) -> int:
             "multiprocess fan-out does not follow. Re-run with --workers 1 "
             "to resume, or drop --resume to start a fresh parallel run."
         )
+    want_metrics = bool(args.metrics_out or args.report)
+    want_trace = bool(args.trace_out or args.report)
+    metrics = None
+    if want_metrics:
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
     algo = get_algorithm(args.algorithm, graph, **kwargs)
     result = algo.run(
         args.k,
@@ -167,7 +180,23 @@ def cmd_run(args) -> int:
         resume=args.resume,
         batch_size=args.batch_size,
         workers=args.workers,
+        metrics=metrics,
+        trace=want_trace,
     )
+    if args.metrics_out:
+        _write_json(args.metrics_out, metrics.snapshot())
+    if args.trace_out:
+        _write_json(args.trace_out, result.extras.get("trace", {}))
+    if args.report:
+        from repro.observability import build_run_report
+
+        build_run_report(
+            result,
+            graph,
+            seed=args.seed,
+            metrics=metrics,
+            trace=result.extras.get("trace"),
+        ).write(args.report)
     payload = {
         "algorithm": result.algorithm,
         "status": result.status,
@@ -400,6 +429,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="W",
                    help="shard RR generation across W processes "
                         "(incompatible with --resume)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics-registry snapshot "
+                        "(counters, gauges, histograms) as JSON")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the structured phase trace (span tree with "
+                        "wall time, counter deltas, pool memory) as JSON")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write a full RunReport artifact (graph "
+                        "fingerprint, config, counters, certificate); "
+                        "implies metrics and tracing")
     p.add_argument("--evaluate", action="store_true")
     p.add_argument("--simulations", type=int, default=500)
     p.set_defaults(func=cmd_run)

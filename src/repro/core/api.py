@@ -39,6 +39,8 @@ class InfluenceMaximizer:
         checkpoint_every: int = 1,
         resume: bool = False,
         fault_injector=None,
+        metrics=None,
+        trace: bool = False,
         **algorithm_kwargs,
     ) -> IMResult:
         """Select ``k`` seeds with the named algorithm.
@@ -50,9 +52,11 @@ class InfluenceMaximizer:
         ignore them.
 
         ``budget``, ``cancel``, ``checkpoint``, ``checkpoint_every``,
-        ``resume`` and ``fault_injector`` are forwarded verbatim to
+        ``resume``, ``fault_injector``, ``metrics`` (a
+        :class:`~repro.observability.registry.MetricsRegistry` to populate)
+        and ``trace`` (enable phase tracing) are forwarded verbatim to
         :meth:`~repro.algorithms.base.IMAlgorithm.run` — see its docstring
-        for the partial-result and resume semantics.
+        for the partial-result, resume and observability semantics.
         """
         algo = get_algorithm(algorithm, self.graph, **algorithm_kwargs)
         return algo.run(
@@ -66,6 +70,8 @@ class InfluenceMaximizer:
             checkpoint_every=checkpoint_every,
             resume=resume,
             fault_injector=fault_injector,
+            metrics=metrics,
+            trace=trace,
         )
 
     def evaluate(
@@ -98,6 +104,8 @@ def maximize_influence(
     checkpoint_every: int = 1,
     resume: bool = False,
     fault_injector=None,
+    metrics=None,
+    trace: bool = False,
     **algorithm_kwargs,
 ) -> IMResult:
     """Functional one-shot spelling of :meth:`InfluenceMaximizer.maximize`."""
@@ -113,5 +121,7 @@ def maximize_influence(
         checkpoint_every=checkpoint_every,
         resume=resume,
         fault_injector=fault_injector,
+        metrics=metrics,
+        trace=trace,
         **algorithm_kwargs,
     )

@@ -27,6 +27,7 @@ def celf_max_coverage(
     select: int,
     out_degree: Optional[np.ndarray] = None,
     initial_covered: Optional[np.ndarray] = None,
+    metrics=None,
 ) -> GreedyResult:
     """Greedy max-coverage via CELF lazy evaluation.
 
@@ -34,6 +35,8 @@ def celf_max_coverage(
     :func:`repro.coverage.greedy.max_coverage_greedy` (including the
     Algorithm 6 out-degree tie-break) but without Eq. 2 upper-bound
     tracking, which needs exact gains (``upper_bound_coverage`` is ``inf``).
+    An optional ``metrics`` registry records ``coverage.selections`` and the
+    lazy work measure ``coverage.lazy_reevaluations``.
     """
     n = collection.n
     if not 1 <= select <= n:
@@ -69,6 +72,7 @@ def celf_max_coverage(
     coverage_history = [coverage]
     seeds: List[int] = []
     round_idx = 0
+    reevaluations = 0
 
     while len(seeds) < select:
         round_idx += 1
@@ -77,12 +81,17 @@ def celf_max_coverage(
             if evaluated_at == round_idx:
                 break
             fresh = marginal(v)
+            reevaluations += 1
             heapq.heappush(heap, priority(v, fresh) + (round_idx,))
         seeds.append(v)
         gain = -neg_gain
         coverage += gain
         coverage_history.append(coverage)
         covered[rrs_containing(v)] = True
+
+    if metrics is not None:
+        metrics.inc("coverage.selections", len(seeds))
+        metrics.inc("coverage.lazy_reevaluations", reevaluations)
 
     return GreedyResult(
         seeds=seeds,

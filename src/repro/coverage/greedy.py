@@ -54,6 +54,7 @@ def max_coverage_greedy(
     initial_covered: Optional[np.ndarray] = None,
     track_upper_bound: bool = True,
     excluded: Optional[List[int]] = None,
+    metrics=None,
 ) -> GreedyResult:
     """Select ``select`` seeds greedily by marginal coverage.
 
@@ -83,6 +84,10 @@ def max_coverage_greedy(
         bound on the unconstrained optimum... except their marginal gains
         are zero by construction (their RR sets are initially covered), so
         nothing changes.
+    metrics:
+        Optional :class:`~repro.observability.registry.MetricsRegistry`;
+        when given, records ``coverage.selections`` and the decremental
+        maintenance mass ``coverage.gain_decrements``.
     """
     n = collection.n
     excluded = excluded or []
@@ -122,6 +127,7 @@ def max_coverage_greedy(
     # the pool size is a valid (and sometimes binding) cap on Eq. 2.
     upper_bound = float(num_rr) if track_upper_bound else float("inf")
     seeds: List[int] = []
+    decrements = 0
 
     barred = np.zeros(n, dtype=bool)
     if excluded:
@@ -146,10 +152,15 @@ def max_coverage_greedy(
         newly = containing[~covered[containing]]
         if len(newly):
             covered[newly] = True
-            np.subtract.at(gains, collection.nodes_of_sets(newly), 1)
+            members = collection.nodes_of_sets(newly)
+            np.subtract.at(gains, members, 1)
+            decrements += len(members)
         gains[best] = -1  # never reselect
     if track_upper_bound:
         upper_bound = min(upper_bound, coverage + _topk_sum(gains, topk))
+    if metrics is not None:
+        metrics.inc("coverage.selections", len(seeds))
+        metrics.inc("coverage.gain_decrements", decrements)
 
     return GreedyResult(
         seeds=seeds,

@@ -58,6 +58,7 @@ class CSRGraph:
         "in_prob_sums",
         "uniform_in",
         "weight_model",
+        "_fingerprint",
     )
 
     def __init__(
@@ -89,6 +90,7 @@ class CSRGraph:
         if empty.any():
             self.in_prob_sums[empty] = 0.0
         self.uniform_in = _uniform_in_flags(in_indptr, in_probs)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -123,6 +125,25 @@ class CSRGraph:
     def average_degree(self) -> float:
         """Average out-degree m / n."""
         return self.m / self.n if self.n else 0.0
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the graph (structure + probabilities).
+
+        SHA-256 over ``n`` and the reverse-CSR arrays — the representation
+        RR generation actually walks — so two graphs with the same
+        fingerprint produce identical RR-set distributions and identical
+        deterministic counters.  Cached after the first call (the graph is
+        immutable).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(str(self.n).encode())
+            for array in (self.in_indptr, self.in_indices, self.in_probs):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # transforms

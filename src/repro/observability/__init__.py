@@ -1,0 +1,46 @@
+"""First-class instrumentation: metrics registry, phase tracing, run reports.
+
+The repro's whole cost-model argument rests on machine-independent counters
+(``edges_examined``, ``rng_draws``) standing in for the paper's wall-clock
+claims.  This package turns those ad-hoc fields into an observable surface
+that CI can enforce:
+
+* :class:`MetricsRegistry` — monotonic counters, gauges, and deterministic
+  :class:`HistogramSketch` es (RR-set sizes), aggregating live generator
+  counters as *sources* so the hot loops keep their plain-int bumps;
+* :class:`PhaseTracer` — nestable ``phase()`` spans emitting a structured
+  JSON trace: a phase tree with wall time, counter deltas, and RR-pool
+  memory per span;
+* :class:`RunReport` — the per-run artifact every registered algorithm can
+  write: graph fingerprint, config, seed, counters, histograms, budget
+  spend, and certificate.  Its :meth:`~RunReport.canonical` projection
+  drops wall-clock fields, leaving exactly the deterministic payload the
+  CI counter-regression baseline diffs.
+
+When no sink is attached the instrumented code paths reduce to a ``None``
+check (sequential generation) or a no-op span (phase boundaries) — the
+default path pays nothing measurable.
+"""
+
+from repro.observability.registry import HistogramSketch, MetricsRegistry
+from repro.observability.trace import NULL_TRACER, PhaseTracer
+
+__all__ = [
+    "HistogramSketch",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "PhaseTracer",
+    "RunReport",
+    "build_run_report",
+]
+
+
+def __getattr__(name):
+    # Lazy: report.py pulls in the core result types, which import the
+    # runtime, which imports the registry above — resolving RunReport on
+    # first use instead of at package import keeps that loop open.
+    if name in ("RunReport", "build_run_report"):
+        from repro.observability import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

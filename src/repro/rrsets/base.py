@@ -78,6 +78,11 @@ class RRGenerator:
         self.graph = graph
         self.counters = GenerationCounters()
         self.control = None
+        #: optional :class:`~repro.observability.registry.MetricsRegistry`
+        #: sink; when attached, finished RR sets feed the ``rr_size``
+        #: histogram.  ``None`` (the default) keeps the hot path a plain
+        #: counter bump plus one ``is None`` branch per finished set.
+        self.metrics = None
         #: execution knobs read by ``RRCollection.extend`` (see class docs)
         self.batch_size = 1
         self.workers = 1
@@ -161,6 +166,8 @@ class RRGenerator:
         self.counters.sets_generated += 1
         if hit_sentinel:
             self.counters.sentinel_hits += 1
+        if self.metrics is not None:
+            self.metrics.observe("rr_size", len(rr))
         if self.control is not None:
             self._tick()
             self.control.on_rr_complete(len(rr))

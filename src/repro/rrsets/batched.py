@@ -255,6 +255,8 @@ def generate_batch(
     counters.nodes_added += len(nodes)
     counters.sets_generated += count
     counters.sentinel_hits += int(hit.sum())
+    if gen.metrics is not None:
+        gen.metrics.observe_many("rr_size", sizes)
     if control is not None:
         gen._tick()
         for size in sizes:

@@ -223,30 +223,39 @@ class RRCollection:
             raise ValueError(f"count must be non-negative, got {count}")
         workers = int(getattr(generator, "workers", 1) or 1)
         batch_size = int(getattr(generator, "batch_size", 1) or 1)
-        if workers > 1 and count > 0:
-            from repro.rrsets.fanout import generate_multiprocess
+        try:
+            if workers > 1 and count > 0:
+                from repro.rrsets.fanout import generate_multiprocess
 
-            # Loop so a budget-clamped fan-out surfaces BudgetExceeded on
-            # the next boundary (mirroring the batched path) instead of
-            # silently under-delivering.
-            remaining = count
-            while remaining > 0:
-                nodes, sizes = generate_multiprocess(
-                    generator, remaining, rng, workers, stop_mask=stop_mask
-                )
-                self.add_batch(nodes, sizes)
-                remaining -= len(sizes)
-            return
-        if batch_size > 1:
-            remaining = count
-            while remaining > 0:
-                b = min(batch_size, remaining)
-                nodes, sizes = generator.generate_batch(rng, b, stop_mask=stop_mask)
-                self.add_batch(nodes, sizes)
-                remaining -= len(sizes)
-            return
-        for _ in range(count):
-            self.add(generator.generate(rng, stop_mask=stop_mask))
+                # Loop so a budget-clamped fan-out surfaces BudgetExceeded
+                # on the next boundary (mirroring the batched path) instead
+                # of silently under-delivering.
+                remaining = count
+                while remaining > 0:
+                    nodes, sizes = generate_multiprocess(
+                        generator, remaining, rng, workers, stop_mask=stop_mask
+                    )
+                    self.add_batch(nodes, sizes)
+                    remaining -= len(sizes)
+                return
+            if batch_size > 1:
+                remaining = count
+                while remaining > 0:
+                    b = min(batch_size, remaining)
+                    nodes, sizes = generator.generate_batch(
+                        rng, b, stop_mask=stop_mask
+                    )
+                    self.add_batch(nodes, sizes)
+                    remaining -= len(sizes)
+                return
+            for _ in range(count):
+                self.add(generator.generate(rng, stop_mask=stop_mask))
+        finally:
+            metrics = getattr(generator, "metrics", None)
+            if metrics is not None:
+                # Pool-memory gauge at extend granularity (one call per
+                # doubling round) — phase spans pick it up at span exit.
+                metrics.set_gauge("rr_pool_bytes", self.nbytes())
 
     def extend_to(
         self,

@@ -45,9 +45,20 @@ def shard_counts(count: int, workers: int) -> list:
 
 
 def _worker_generate(args):
-    """Pool worker: build a fresh generator and batch-generate one shard."""
-    generator_cls, graph, count, batch_size, child_seq, stop_mask = args
+    """Pool worker: build a fresh generator and batch-generate one shard.
+
+    When the parent has a metrics sink, the worker runs its own private
+    :class:`~repro.observability.registry.MetricsRegistry` and ships its
+    serialized snapshot back (histograms and worker-own counters only —
+    *not* the generation counters, which travel in the dedicated totals
+    tuple and are folded into the parent generator's counters).
+    """
+    generator_cls, graph, count, batch_size, child_seq, stop_mask, want = args
     gen = generator_cls(graph)
+    if want:
+        from repro.observability.registry import MetricsRegistry
+
+        gen.metrics = MetricsRegistry()
     rng = np.random.default_rng(child_seq)
     chunks = []
     size_chunks = []
@@ -63,10 +74,11 @@ def _worker_generate(args):
         np.concatenate(size_chunks) if size_chunks else np.empty(0, dtype=np.int64)
     )
     c = gen.counters
+    metrics_payload = gen.metrics.snapshot() if want else None
     return nodes, sizes, (
         c.edges_examined, c.rng_draws, c.nodes_added,
         c.sets_generated, c.sentinel_hits,
-    )
+    ), metrics_payload
 
 
 def _merge_counters(counters: GenerationCounters, totals) -> None:
@@ -105,6 +117,7 @@ def generate_multiprocess(
     # One draw of parent entropy keys the whole fan-out deterministically.
     gen.counters.rng_draws += 1
     entropy = int(rng.integers(0, 2**63 - 1))
+    want_metrics = gen.metrics is not None
 
     effective = min(workers, max(1, count // MIN_SETS_PER_WORKER))
     if effective <= 1:
@@ -112,16 +125,24 @@ def generate_multiprocess(
         # keep the same derived stream so results depend only on (seed,
         # workers), not on the degradation decision path.
         child = np.random.SeedSequence(entropy).spawn(1)[0]
-        args = (type(gen), gen.graph, count, batch_size, child, stop_mask)
-        nodes, sizes, totals = _worker_generate(args)
+        args = (
+            type(gen), gen.graph, count, batch_size, child, stop_mask,
+            want_metrics,
+        )
+        nodes, sizes, totals, payload = _worker_generate(args)
         _merge_counters(gen.counters, totals)
+        if payload is not None:
+            gen.metrics.merge_snapshot(payload)
         _report(gen, control, sizes, totals)
         return nodes, sizes
 
     children = np.random.SeedSequence(entropy).spawn(effective)
     shards = shard_counts(count, effective)
     jobs = [
-        (type(gen), gen.graph, shards[r], batch_size, children[r], stop_mask)
+        (
+            type(gen), gen.graph, shards[r], batch_size, children[r],
+            stop_mask, want_metrics,
+        )
         for r in range(effective)
     ]
     ctx = multiprocessing.get_context(mp_context)
@@ -132,6 +153,13 @@ def generate_multiprocess(
     sizes = np.concatenate([r[1] for r in results])
     merged = tuple(sum(r[2][i] for r in results) for i in range(5))
     _merge_counters(gen.counters, merged)
+    if want_metrics:
+        # Child-process metrics join the run at the same rank-order merge
+        # point as the shards; merging is commutative, so rank order is a
+        # convention here, not a correctness requirement.
+        gen.metrics.merge_snapshots(r[3] for r in results)
+        gen.metrics.inc("fanout.calls")
+        gen.metrics.inc("fanout.workers_used", effective)
     _report(gen, control, sizes, merged)
     return nodes, sizes
 

@@ -16,6 +16,15 @@ Generators report progress through three hooks:
 All checks raise :class:`~repro.utils.exceptions.BudgetExceededError` or
 :class:`~repro.utils.exceptions.CancelledError` — both subclasses of
 ``ExecutionInterrupted``, which the algorithms catch to degrade gracefully.
+
+The spend tallies live in a :class:`~repro.observability.registry
+.MetricsRegistry` (one is created when none is supplied) under the
+``runtime.*`` counter names; :attr:`edges_examined` / :attr:`rr_sets` /
+:attr:`rr_nodes` are views over it, so budget enforcement and the
+observability surface read the same numbers by construction.  The control
+also carries the run's :class:`~repro.observability.trace.PhaseTracer`
+(:data:`~repro.observability.trace.NULL_TRACER` when tracing is off) and
+adopts generators into the registry via :meth:`adopt_generator`.
 """
 
 from __future__ import annotations
@@ -23,11 +32,19 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
+from repro.observability.registry import MetricsRegistry
+from repro.observability.trace import NULL_TRACER
 from repro.runtime.budget import Budget
 from repro.runtime.cancellation import CancellationToken
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.faults import FaultInjector
 from repro.utils.exceptions import BudgetExceededError
+
+#: registry names of the run-level spend tallies
+EDGES_COUNTER = "runtime.edges_examined"
+RR_SETS_COUNTER = "runtime.rr_sets"
+RR_NODES_COUNTER = "runtime.rr_nodes"
+CHECKPOINT_SAVES_COUNTER = "runtime.checkpoint_saves"
 
 
 class RunControl:
@@ -40,6 +57,8 @@ class RunControl:
         faults: Optional[FaultInjector] = None,
         checkpoint: Optional[CheckpointStore] = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.budget = budget if budget is not None else Budget()
         self.token = token
@@ -50,11 +69,30 @@ class RunControl:
         self._clock = clock
         self._started_at: Optional[float] = None
         self._deadline: Optional[float] = None
-        # Global machine-independent spend across every generator of the run.
-        self.edges_examined = 0
-        self.rr_sets = 0
-        self.rr_nodes = 0
+        # Global machine-independent spend across every generator of the
+        # run, kept in the registry so budgets and observability agree.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stop_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def edges_examined(self) -> int:
+        return self.metrics.value(EDGES_COUNTER)
+
+    @property
+    def rr_sets(self) -> int:
+        return self.metrics.value(RR_SETS_COUNTER)
+
+    @property
+    def rr_nodes(self) -> int:
+        return self.metrics.value(RR_NODES_COUNTER)
+
+    def adopt_generator(self, gen) -> None:
+        """Wire a generator into this run: control hook + metrics source."""
+        gen.control = self
+        gen.metrics = self.metrics
+        self.metrics.attach_source(gen)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -120,7 +158,7 @@ class RunControl:
     def on_edges(self, count: int) -> None:
         """Record examined edges; called per activated node inside loops."""
         if count:
-            self.edges_examined += count
+            self.metrics.inc(EDGES_COUNTER, count)
             if self.faults is not None:
                 self.faults.on_edges(count)
         self.check()
@@ -137,8 +175,8 @@ class RunControl:
 
     def on_rr_complete(self, size: int) -> None:
         """Account one stored RR set; feeds the RR-set fault axis."""
-        self.rr_sets += 1
-        self.rr_nodes += size
+        self.metrics.inc(RR_SETS_COUNTER)
+        self.metrics.inc(RR_NODES_COUNTER, size)
         if self.faults is not None:
             self.faults.on_rr_set()
 
@@ -147,7 +185,10 @@ class RunControl:
         """Round-boundary hook: persist state when a store is attached."""
         if self.checkpoint is None:
             return False
-        return self.checkpoint.maybe_save(builder)
+        saved = self.checkpoint.maybe_save(builder)
+        if saved:
+            self.metrics.inc(CHECKPOINT_SAVES_COUNTER)
+        return saved
 
     def snapshot(self) -> dict:
         """Spend summary recorded into result extras."""

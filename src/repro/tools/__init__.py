@@ -1,0 +1,8 @@
+"""Maintenance tools runnable as ``python -m repro.tools.<name>``.
+
+* :mod:`repro.tools.update_baseline` — regenerate the committed counter
+  baseline (``benchmarks/results/BASELINE_counters.json``).
+* :mod:`repro.tools.check_counters` — re-run the fixed-seed workload matrix
+  and fail (exit 1) on any deviation from the committed baseline; this is
+  what CI's ``counter-regression`` job runs.
+"""

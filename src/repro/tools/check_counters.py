@@ -1,0 +1,83 @@
+"""Counter-regression gate: diff a fresh run against the committed baseline.
+
+Usage::
+
+    python -m repro.tools.check_counters [--path PATH] [--report-dir DIR]
+
+Exit status 0 when every workload's canonical RunReport matches the
+baseline **exactly**, 1 otherwise (with a per-field diff on stdout).
+``--report-dir`` additionally writes each workload's canonical report as a
+separate JSON file — CI uploads these as artifacts so a failing diff can be
+inspected without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.tools.counter_baseline import (
+    baseline_path,
+    collect_baseline,
+    diff_documents,
+    load_baseline,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.check_counters",
+        description="compare fixed-seed counters against the committed baseline",
+    )
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=None,
+        help="baseline file to compare against (default: committed location)",
+    )
+    parser.add_argument(
+        "--report-dir",
+        type=Path,
+        default=None,
+        help="also write each workload's canonical RunReport here",
+    )
+    args = parser.parse_args(argv)
+    path = args.path if args.path is not None else baseline_path()
+
+    if not path.exists():
+        print(
+            f"no baseline at {path}; generate one with "
+            "`python -m repro.tools.update_baseline`"
+        )
+        return 1
+
+    current = collect_baseline()
+    if args.report_dir is not None:
+        args.report_dir.mkdir(parents=True, exist_ok=True)
+        for name, report in current["workloads"].items():
+            out = args.report_dir / (name.replace("/", "_") + ".json")
+            with open(out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+
+    changes = diff_documents(load_baseline(path), current)
+    if changes:
+        print(f"counter regression: {len(changes)} deviations from {path}")
+        for line in changes:
+            print(f"  {line}")
+        print(
+            "if this change is intended, regenerate the baseline with "
+            "`python -m repro.tools.update_baseline` and commit the result"
+        )
+        return 1
+    print(
+        f"counters match the baseline ({len(current['workloads'])} workloads, "
+        "exact)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

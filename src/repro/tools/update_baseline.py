@@ -1,0 +1,57 @@
+"""Regenerate the committed counter baseline.
+
+Usage::
+
+    python -m repro.tools.update_baseline [--path PATH]
+
+Run this after a change that *intentionally* alters the sampling behaviour
+(counters, RNG schedule, pool sizes), then commit the rewritten
+``benchmarks/results/BASELINE_counters.json`` together with the change so
+the counter-regression CI job reviews the new numbers explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.tools.counter_baseline import (
+    baseline_path,
+    collect_baseline,
+    diff_documents,
+    load_baseline,
+    write_baseline,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.update_baseline",
+        description="rewrite the counter-regression baseline from a fresh run",
+    )
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=None,
+        help="baseline file to write (default: the committed location)",
+    )
+    args = parser.parse_args(argv)
+    path = args.path if args.path is not None else baseline_path()
+
+    document = collect_baseline()
+    if path.exists():
+        changes = diff_documents(load_baseline(path), document)
+        if changes:
+            print(f"updating {len(changes)} changed entries:")
+            for line in changes:
+                print(f"  {line}")
+        else:
+            print("no changes against the existing baseline")
+    write_baseline(document, path)
+    print(f"wrote {len(document['workloads'])} workloads to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
