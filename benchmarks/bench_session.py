@@ -1,0 +1,147 @@
+"""Session benchmark: cross-query RR-set reuse vs. cold per-query runs.
+
+Serves a sequence of ``maximize(k)`` queries twice — once through a shared
+:class:`~repro.engine.session.QuerySession` (warm: later queries select over
+the banks earlier queries filled) and once as independent cold runs — and
+reports wall-clock plus generated/reused RR-set counts per query.  Results
+go to ``benchmarks/results/BENCH_session.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_session.py            # full (n=10^4)
+    PYTHONPATH=src python benchmarks/bench_session.py --quick    # CI smoke
+
+``--quick`` shrinks the graph so the whole run finishes in seconds; quick
+results carry ``"quick": true`` and are written to
+``BENCH_session_quick.json`` so a smoke run never overwrites the committed
+full-size numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.engine.session import QuerySession
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_session.json"
+#: ``--quick`` runs land here so a CI smoke run can never clobber the
+#: committed full-size numbers in BENCH_session.json
+QUICK_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_session_quick.json"
+)
+
+
+def _timed_query(session: QuerySession, k: int, eps: float) -> dict:
+    start = time.perf_counter()
+    result = session.maximize(k, eps=eps)
+    elapsed = time.perf_counter() - start
+    block = result.extras["session"]
+    return {
+        "k": k,
+        "wall_seconds": round(elapsed, 6),
+        "num_rr_sets": int(result.num_rr_sets),
+        "sets_generated": int(block["sets_generated"]),
+        "sets_reused": int(block["sets_reused"]),
+    }
+
+
+def run_benchmark(
+    n: int = 10_000,
+    degree: int = 10,
+    algorithm: str = "subsim",
+    ks: tuple = (50, 20, 10),
+    eps: float = 0.3,
+    seed: int = 7,
+    quick: bool = False,
+) -> dict:
+    """Warm session vs. cold per-query runs over the same query sequence."""
+    if quick:
+        n = 1_500
+    graph = wc_weights(
+        preferential_attachment(n, degree, seed=1, reciprocal=0.3)
+    )
+
+    warm_session = QuerySession(graph, algorithm, seed=seed)
+    warm = [_timed_query(warm_session, k, eps) for k in ks]
+
+    # Cold baseline: each query on a fresh session (same per-role streams),
+    # so per-query draws are identical and only the reuse differs.
+    cold = []
+    for index, k in enumerate(ks):
+        session = QuerySession(graph, algorithm, seed=seed)
+        session.queries_served = index
+        cold.append(_timed_query(session, k, eps))
+
+    second_reduction = 0.0
+    if cold[1]["sets_generated"]:
+        second_reduction = 1.0 - (
+            warm[1]["sets_generated"] / cold[1]["sets_generated"]
+        )
+    return {
+        "benchmark": "session",
+        "quick": quick,
+        "graph": {"model": "pa+wc", "n": graph.n, "m": graph.m},
+        "algorithm": algorithm,
+        "ks": list(ks),
+        "eps": eps,
+        "seed": seed,
+        "warm": warm,
+        "cold": cold,
+        "warm_total_generated": sum(q["sets_generated"] for q in warm),
+        "cold_total_generated": sum(q["sets_generated"] for q in cold),
+        "second_query_reduction": round(second_reduction, 4),
+    }
+
+
+def write_report(report: dict, path: Path = RESULTS_PATH) -> Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph; for CI smoke runs")
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--algorithm", default="subsim")
+    parser.add_argument("--ks", default="50,20,10",
+                        help="comma-separated query sizes, served in order")
+    parser.add_argument("--eps", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="result file (default: BENCH_session.json, or "
+                             "BENCH_session_quick.json with --quick)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = QUICK_RESULTS_PATH if args.quick else RESULTS_PATH
+
+    ks = tuple(int(s) for s in args.ks.split(","))
+    report = run_benchmark(
+        n=args.n, algorithm=args.algorithm, ks=ks, eps=args.eps,
+        seed=args.seed, quick=args.quick,
+    )
+    path = write_report(report, args.output)
+    for label in ("warm", "cold"):
+        print(f"{label}:")
+        for row in report[label]:
+            print(
+                f"  k={row['k']:<4d} {row['wall_seconds']:.3f}s  "
+                f"generated {row['sets_generated']:>8,}  "
+                f"reused {row['sets_reused']:>8,}"
+            )
+    print(
+        f"second-query generation reduced by "
+        f"{report['second_query_reduction'] * 100:.1f}% warm vs cold"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,8 @@ from repro.core.registry import (
     register_algorithm,
 )
 from repro.core.results import IMResult
+from repro.engine.schedule import SamplingSchedule
+from repro.engine.session import QuerySession
 from repro.estimation.montecarlo import estimate_spread
 from repro.graphs.csr import CSRGraph, build_graph
 from repro.graphs.generators import (
@@ -53,6 +55,7 @@ from repro.observability import (
     RunReport,
     build_run_report,
 )
+from repro.rrsets.bank import RRBank
 from repro.rrsets.collection import RRCollection
 from repro.rrsets.lt import LTGenerator
 from repro.rrsets.subsim import SubsimICGenerator
@@ -78,8 +81,11 @@ __all__ = [
     "LTGenerator",
     "MetricsRegistry",
     "PhaseTracer",
+    "QuerySession",
+    "RRBank",
     "RRCollection",
     "RunReport",
+    "SamplingSchedule",
     "SubsimICGenerator",
     "VanillaICGenerator",
     "__version__",

@@ -9,6 +9,7 @@ from typing import Optional, Type, Union
 import numpy as np
 
 from repro.core.results import IMResult
+from repro.engine.session import BankProvider
 from repro.graphs.csr import CSRGraph
 from repro.observability.registry import MetricsRegistry
 from repro.observability.trace import NULL_TRACER, PhaseTracer
@@ -63,6 +64,7 @@ class IMAlgorithm:
         self.graph = graph
         self.generator_cls = generator_cls
         self._control: Optional[RunControl] = None
+        self._banks: Optional[BankProvider] = None
         self._resume_state = None
         self._batch_size = 1
         self._workers = 1
@@ -85,6 +87,7 @@ class IMAlgorithm:
         workers: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
+        banks: Optional[BankProvider] = None,
     ) -> IMResult:
         """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
 
@@ -119,6 +122,13 @@ class IMAlgorithm:
           (wall time, counter deltas, pool memory per span) lands in
           ``result.extras["trace"]``.  Implies an internal registry when
           ``metrics`` is not supplied.
+        * ``banks`` — a session :class:`~repro.engine.session.BankProvider`
+          whose RR banks this run should draw from (set by
+          :class:`~repro.engine.session.QuerySession`).  When omitted, a
+          transient provider around the run's own RNG is built internally
+          and the run replays the historical RNG schedule bit-identically.
+          Incompatible with ``checkpoint``/``resume`` — session durability
+          goes through ``QuerySession.save``.
         """
         n = self.graph.n
         if not 1 <= k <= n:
@@ -137,6 +147,12 @@ class IMAlgorithm:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         store = coerce_store(checkpoint, every=checkpoint_every)
+        if banks is not None and (store is not None or resume):
+            raise ConfigurationError(
+                "run-level checkpoint/resume cannot be combined with a "
+                "session bank provider; persist the session itself with "
+                "QuerySession.save()"
+            )
         if resume and store is None:
             raise ConfigurationError("resume=True requires a checkpoint path")
         if resume and workers > 1:
@@ -173,6 +189,11 @@ class IMAlgorithm:
             self._resume_state = (meta, pools)
 
         rng = as_generator(seed)
+        provider = (
+            banks if banks is not None else BankProvider.transient(self.graph, rng)
+        )
+        provider.begin_query(control)
+        self._banks = provider
         control.start()
         begin = time.perf_counter()
         try:
@@ -191,6 +212,8 @@ class IMAlgorithm:
                 stop_reason=getattr(exc, "reason", None) or str(exc),
             )
         finally:
+            provider.end_query()
+            self._banks = None
             self._resume_state = None
             self._control = None
             self._batch_size = 1
@@ -219,6 +242,22 @@ class IMAlgorithm:
         gen.batch_size = self._batch_size
         gen.workers = self._workers
         return gen
+
+    def _bank(self, role: str, *, stop_mask=None, reusable: bool = True):
+        """The RR bank serving ``role`` for the current run.
+
+        Inside a default run this is a fresh single-run bank on the run's
+        RNG (bit-identical to the pre-bank pools); inside a session it may
+        be a warm bank whose prefix previous queries already generated.
+        """
+        return self._banks.get(
+            role,
+            self._new_generator,
+            stop_mask=stop_mask,
+            reusable=reusable,
+            batch_size=self._batch_size,
+            workers=self._workers,
+        )
 
     def _check(self) -> None:
         """Poll cancellation/deadline from a non-RR sampling loop."""

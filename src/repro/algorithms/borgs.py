@@ -24,9 +24,9 @@ import numpy as np
 from repro.algorithms.base import IMAlgorithm
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
+from repro.engine.schedule import fallback_seeds
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
-from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
 from repro.utils.exceptions import ConfigurationError, ExecutionInterrupted
 
@@ -58,44 +58,47 @@ class BorgsRIS(IMAlgorithm):
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator
     ) -> IMResult:
-        generator = self._new_generator()
-        pool = RRCollection(self.graph.n)
+        bank = self._bank("borgs.pool")
         budget = self.edge_budget(k, eps)
         faithful_budget = self.edge_budget(k, eps) / self.scale_tau
 
-        # Generate until the edge budget is exhausted.  Every RR set costs
-        # at least one unit (the root draw) so the loop terminates even on
-        # edgeless graphs.
+        # Consume the bank one set at a time until the edge budget is
+        # exhausted.  ``counters_at`` prices the prefix consumed so far
+        # (exact: take() marks every set), so a warm bank replays the same
+        # stopping point a cold run reaches.  Every RR set costs at least
+        # one unit (the root draw) so the loop terminates even on edgeless
+        # graphs.
+        idx = 0
         try:
-            while generator.counters.edges_examined < budget:
-                pool.add(generator.generate(rng))
-                if generator.counters.edges_examined == 0:
+            while bank.counters_at(idx).edges_examined < budget:
+                bank.take(idx)
+                idx += 1
+                if bank.counters_at(idx).edges_examined == 0:
                     # Edgeless graph: RR sets are singletons; a handful gives
                     # the (trivial) coverage signal greedy needs.
-                    if pool.num_rr >= 3 * k:
+                    if idx >= 3 * k:
                         break
-                if self.max_rr_sets is not None and pool.num_rr >= self.max_rr_sets:
+                if self.max_rr_sets is not None and idx >= self.max_rr_sets:
                     break
         except ExecutionInterrupted as exc:
-            seeds = []
-            if pool.num_rr:
-                seeds = max_coverage_greedy(
-                    pool, select=k, track_upper_bound=False
-                ).seeds
+            view = bank.view(idx)
+            seeds = fallback_seeds(view if view.num_rr else None, k)
             return self._partial_result(
                 seeds, k, eps, delta,
-                generators=(generator,),
+                generators=(bank,),
                 reason=exc.reason,
                 edge_budget=budget,
             )
 
-        greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+        greedy = max_coverage_greedy(
+            bank.view(idx), select=k, track_upper_bound=False
+        )
         return self._result_from(
             greedy.seeds,
             k,
             eps,
             delta,
-            generators=(generator,),
+            generators=(bank,),
             edge_budget=budget,
             faithful_edge_budget=faithful_budget,
             budget_scaled=self.scale_tau != 1.0,

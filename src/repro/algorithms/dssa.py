@@ -28,7 +28,7 @@ from repro.algorithms.base import IMAlgorithm
 from repro.bounds.thresholds import theta_max_opimc
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
-from repro.rrsets.collection import RRCollection
+from repro.engine.schedule import fallback_seeds
 from repro.utils.exceptions import ExecutionInterrupted
 
 
@@ -52,25 +52,25 @@ class DSSA(IMAlgorithm):
         )
         theta_cap = theta_max_opimc(n, k, eps, delta)
 
-        gen1 = self._new_generator()
-        gen2 = self._new_generator()
-        pool1 = RRCollection(n)
-        pool2 = RRCollection(n)
+        bank1 = self._bank("dssa.r1")
+        bank2 = self._bank("dssa.r2")
 
         theta = max(1, int(math.ceil(lambda_min)))
         theta = min(theta, theta_cap)
         seeds = []
         rounds = 0
         agreed = False
+        served = 0
         try:
             while True:
                 rounds += 1
-                pool1.extend_to(theta, gen1, rng)
-                pool2.extend_to(theta, gen2, rng)
-                greedy = max_coverage_greedy(pool1, select=k, track_upper_bound=False)
+                view1 = bank1.ensure(theta)
+                view2 = bank2.ensure(theta)
+                served = view1.num_rr
+                greedy = max_coverage_greedy(view1, select=k, track_upper_bound=False)
                 seeds = greedy.seeds
                 cov1 = greedy.coverage
-                cov2 = pool2.coverage(seeds)
+                cov2 = view2.coverage(seeds)
                 if cov2 >= lambda_min and cov2 > 0:
                     if cov1 / cov2 <= 1.0 + eps_agree:
                         agreed = True
@@ -79,13 +79,12 @@ class DSSA(IMAlgorithm):
                     break
                 theta = min(2 * theta, theta_cap)
         except ExecutionInterrupted as exc:
-            if not seeds and pool1.num_rr:
-                seeds = max_coverage_greedy(
-                    pool1, select=k, track_upper_bound=False
-                ).seeds
+            if not seeds:
+                pool = bank1.pool
+                seeds = fallback_seeds(pool if pool.num_rr else None, k)
             return self._partial_result(
                 seeds, k, eps, delta,
-                generators=(gen1, gen2),
+                generators=(bank1, bank2),
                 reason=exc.reason,
                 rounds=rounds,
                 agreed=agreed,
@@ -96,8 +95,8 @@ class DSSA(IMAlgorithm):
             k,
             eps,
             delta,
-            generators=(gen1, gen2),
+            generators=(bank1, bank2),
             rounds=rounds,
             agreed=agreed,
-            theta=pool1.num_rr,
+            theta=served,
         )

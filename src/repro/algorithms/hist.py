@@ -42,15 +42,16 @@ from repro.bounds.opim import influence_lower_bound, influence_upper_bound
 from repro.bounds.thresholds import theta_max_im_sentinel, theta_max_sentinel
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
+from repro.engine.schedule import (
+    DoublingResume,
+    SamplingSchedule,
+    run_doubling,
+)
+from repro.engine.session import BankProvider
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
-from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
-from repro.runtime.checkpoint import (
-    RestoredCounters,
-    counters_from_dict,
-    counters_to_dict,
-)
+from repro.runtime.checkpoint import RestoredCounters, counters_to_dict
 from repro.runtime.control import RunControl
 from repro.utils.exceptions import ConfigurationError, ExecutionInterrupted
 from repro.utils.timing import Timer
@@ -69,11 +70,6 @@ def _configure_batching(
     for gen in generators:
         gen.batch_size = batch_size
         gen.workers = workers
-
-
-def _restore_counters(gen: RRGenerator, payload: dict) -> None:
-    gen.counters = counters_from_dict(payload)
-    gen._reported_edges = gen.counters.edges_examined
 
 
 @dataclass
@@ -135,6 +131,15 @@ class SentinelSetPhase:
         self.batch_size = batch_size
         self.workers = workers
 
+    def _make_generator(self, control: Optional[RunControl]):
+        def make() -> RRGenerator:
+            gen = self.generator_cls(self.graph)
+            _attach_control(control, gen)
+            _configure_batching(self.batch_size, self.workers, gen)
+            return gen
+
+        return make
+
     def run(
         self,
         k: int,
@@ -143,6 +148,7 @@ class SentinelSetPhase:
         rng: np.random.Generator,
         max_b: Optional[int] = None,
         control: Optional[RunControl] = None,
+        banks: Optional[BankProvider] = None,
     ) -> SentinelResult:
         """Execute the phase.  ``max_b`` optionally caps the sentinel size
         (used by the fixed-``b`` ablation); the automatic choice of line 8
@@ -163,30 +169,42 @@ class SentinelSetPhase:
         delta_l = delta1 / (6.0 * i_max)
         x = 1.0 - 1.0 / k
 
-        gen1 = self.generator_cls(graph)
-        gen2 = self.generator_cls(graph)
-        _attach_control(control, gen1, gen2)
-        _configure_batching(self.batch_size, self.workers, gen1, gen2)
+        provider = (
+            banks if banks is not None else BankProvider.transient(graph, rng)
+        )
+        make_gen = self._make_generator(control)
+        # R1 holds plain (unmasked) RR sets — reusable across session
+        # queries; R2 is stop-masked per candidate and rebuilt every query.
+        bank1 = provider.get(
+            "sentinel.r1", make_gen,
+            batch_size=self.batch_size, workers=self.workers,
+        )
+        bank2 = provider.get(
+            "sentinel.r2", make_gen, reusable=False,
+            batch_size=self.batch_size, workers=self.workers,
+        )
         metrics = control.metrics if control is not None else None
-        pool1 = RRCollection(n)
 
         candidate_b = 0
         candidate_seeds: List[int] = []
         validation_sets = 0
         iterations = 0
+        sel_sets = 0
         verified = False
         greedy = None
 
         try:
-            pool1.extend(theta0, gen1, rng)
+            theta = theta0
+            view1 = bank1.ensure(theta)
             for i in range(1, i_max + 1):
                 iterations = i
+                sel_sets = view1.num_rr
                 greedy = max_coverage_greedy(
-                    pool1, select=k, topk=k, out_degree=out_deg,
+                    view1, select=k, topk=k, out_degree=out_deg,
                     metrics=metrics,
                 )
                 upper = influence_upper_bound(
-                    greedy.upper_bound_coverage, pool1.num_rr, n, delta_u
+                    greedy.upper_bound_coverage, view1.num_rr, n, delta_u
                 )
                 # Line 8: the largest prefix whose *estimated* lower bound
                 # (Eq. 1 applied to R1 as if it were independent) clears the
@@ -194,7 +212,7 @@ class SentinelSetPhase:
                 b = 0
                 for a in range(1, max_b + 1):
                     est_lower = influence_lower_bound(
-                        greedy.coverage_history[a], pool1.num_rr, n, delta_l
+                        greedy.coverage_history[a], view1.num_rr, n, delta_l
                     )
                     if upper > 0 and est_lower / upper > 1.0 - x ** a - eps1:
                         b = a
@@ -206,45 +224,43 @@ class SentinelSetPhase:
                     threshold = 1.0 - x ** b - eps1
                     # Lines 9-15: verify on an independent sentinel-stopped
                     # pool, growing it once to 4 |R1| before giving up on
-                    # the candidate.
-                    pool2 = RRCollection(n)
-                    pool2.extend(pool1.num_rr, gen2, rng, stop_mask=stop_mask)
+                    # the candidate.  Each candidate gets a fresh pool on
+                    # the same advancing stream.
+                    bank2.reset_pool()
+                    bank2.ensure(view1.num_rr, stop_mask=stop_mask)
                     for _ in range(2):
                         lower = influence_lower_bound(
-                            pool2.coverage(seeds_b), pool2.num_rr, n, delta_l
+                            bank2.pool.coverage(seeds_b),
+                            bank2.pool.num_rr, n, delta_l,
                         )
                         if upper > 0 and lower / upper > threshold:
                             verified = True
                             break
-                        if pool2.num_rr < 4 * pool1.num_rr:
-                            pool2.extend(
-                                4 * pool1.num_rr - pool2.num_rr,
-                                gen2,
-                                rng,
-                                stop_mask=stop_mask,
-                            )
-                    validation_sets += pool2.num_rr
+                        if bank2.pool.num_rr < 4 * view1.num_rr:
+                            bank2.ensure(4 * view1.num_rr, stop_mask=stop_mask)
+                    validation_sets += bank2.pool.num_rr
                     if verified:
                         break
                 if i < i_max:
-                    pool1.extend(pool1.num_rr, gen1, rng)
+                    theta *= 2
+                    view1 = bank1.ensure(theta)
         except ExecutionInterrupted as exc:
             if greedy is not None:
                 fallback = greedy.seeds[:k]
-            elif pool1.num_rr:
+            elif bank1.pool.num_rr:
                 fallback = max_coverage_greedy(
-                    pool1, select=k, topk=k, out_degree=out_deg
+                    bank1.pool, select=k, topk=k, out_degree=out_deg
                 ).seeds
             else:
                 fallback = []
             return SentinelResult(
                 seeds=candidate_seeds,
                 b=candidate_b,
-                selection_rr_sets=pool1.num_rr,
-                total_rr_sets=pool1.num_rr + validation_sets,
+                selection_rr_sets=bank1.pool.num_rr,
+                total_rr_sets=bank1.pool.num_rr + validation_sets,
                 verified=verified,
                 iterations=iterations,
-                generators=(gen1, gen2),
+                generators=(bank1, bank2),
                 interrupted=True,
                 stop_reason=exc.reason,
                 fallback_seeds=fallback,
@@ -260,11 +276,11 @@ class SentinelSetPhase:
         return SentinelResult(
             seeds=candidate_seeds,
             b=candidate_b,
-            selection_rr_sets=pool1.num_rr,
-            total_rr_sets=pool1.num_rr + validation_sets,
+            selection_rr_sets=sel_sets,
+            total_rr_sets=sel_sets + validation_sets,
             verified=verified,
             iterations=iterations,
-            generators=(gen1, gen2),
+            generators=(bank1, bank2),
         )
 
 
@@ -311,6 +327,7 @@ class IMSentinelPhase:
         control: Optional[RunControl] = None,
         resume=None,
         checkpoint: Optional[Callable[[dict, dict], None]] = None,
+        banks: Optional[BankProvider] = None,
     ) -> IMSentinelResult:
         """Execute the phase.
 
@@ -335,98 +352,108 @@ class IMSentinelPhase:
         i_max = max(1, int(math.ceil(math.log2(max(theta_max / theta0, 2.0)))))
         delta_iter = delta2 / (3.0 * i_max)
 
-        gen1 = self.generator_cls(graph)
-        gen2 = self.generator_cls(graph)
-        _attach_control(control, gen1, gen2)
-        _configure_batching(self.batch_size, self.workers, gen1, gen2)
+        provider = (
+            banks if banks is not None else BankProvider.transient(graph, rng)
+        )
+
+        def make_gen() -> RRGenerator:
+            gen = self.generator_cls(graph)
+            _attach_control(control, gen)
+            _configure_batching(self.batch_size, self.workers, gen)
+            return gen
+
+        # Sentinel-stopped sets are specific to this query's sentinel set,
+        # so neither pool is reusable across session queries.
+        bank1 = provider.get(
+            "im.r1", make_gen, stop_mask=stop_mask, reusable=False,
+            batch_size=self.batch_size, workers=self.workers,
+        )
+        bank2 = provider.get(
+            "im.r2", make_gen, stop_mask=stop_mask, reusable=False,
+            batch_size=self.batch_size, workers=self.workers,
+        )
         metrics = control.metrics if control is not None else None
-        pool1 = RRCollection(n)
-        pool2 = RRCollection(n)
+        schedule = SamplingSchedule(theta0, max(theta0, theta_max), i_max)
 
-        seeds: List[int] = list(sentinel_seeds)
-        lower = 0.0
-        upper = float("inf")
-        iterations = 0
-        start_round = 1
-
+        doubling_resume = None
         if resume is not None:
             meta, pools = resume
-            pool1, pool2 = pools["pool1"], pools["pool2"]
-            _restore_counters(gen1, meta["counters"][0])
-            _restore_counters(gen2, meta["counters"][1])
+            bank1.adopt(pools["pool1"], meta["counters"][0])
+            bank2.adopt(pools["pool2"], meta["counters"][1])
             IMAlgorithm._restore_rng(rng, meta["rng_state"])
-            iterations = int(meta["round"])
-            start_round = iterations + 1
-            seeds = [int(s) for s in meta["seeds"]]
-            lower = float(meta["lower"])
-            upper = float(meta["upper"])
-        else:
-            try:
-                pool1.extend(theta0, gen1, rng, stop_mask=stop_mask)
-                pool2.extend(theta0, gen2, rng, stop_mask=stop_mask)
-            except ExecutionInterrupted as exc:
-                return self._interrupted(
-                    sentinel_seeds, pool1, out_deg, k, b,
-                    seeds, lower, upper, iterations, (gen1, gen2), exc.reason,
-                )
-
-        try:
-            for i in range(start_round, i_max + 1):
-                iterations = i
-                # Line 5: RR sets already hit by a sentinel carry no marginal
-                # coverage; mark them covered before greedy runs.
-                initial_covered = pool1.covered_mask(sentinel_seeds)
-                greedy = max_coverage_greedy(
-                    pool1,
-                    select=k - b,
-                    topk=k,
-                    out_degree=out_deg,
-                    initial_covered=initial_covered,
-                    excluded=sentinel_seeds,
-                    metrics=metrics,
-                )
-                seeds = list(sentinel_seeds) + greedy.seeds
-                upper = influence_upper_bound(
-                    greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
-                )
-                lower = influence_lower_bound(
-                    pool2.coverage(seeds), pool2.num_rr, n, delta_iter
-                )
-                if upper > 0 and lower / upper > target:
-                    break
-                if i < i_max:
-                    pool1.extend(pool1.num_rr, gen1, rng, stop_mask=stop_mask)
-                    pool2.extend(pool2.num_rr, gen2, rng, stop_mask=stop_mask)
-                    if checkpoint is not None:
-                        checkpoint(
-                            {
-                                "round": i,
-                                "seeds": [int(s) for s in seeds],
-                                "lower": lower,
-                                "upper": upper,
-                                "counters": [
-                                    counters_to_dict(gen1.counters),
-                                    counters_to_dict(gen2.counters),
-                                ],
-                            },
-                            {"pool1": pool1, "pool2": pool2},
-                        )
-        except ExecutionInterrupted as exc:
-            return self._interrupted(
-                sentinel_seeds, pool1, out_deg, k, b,
-                seeds, lower, upper, iterations, (gen1, gen2), exc.reason,
+            doubling_resume = DoublingResume(
+                int(meta["round"]),
+                [int(s) for s in meta["seeds"]],
+                float(meta["lower"]),
+                float(meta["upper"]),
             )
 
-        sets = sum(g.counters.sets_generated for g in (gen1, gen2))
-        nodes = sum(g.counters.nodes_added for g in (gen1, gen2))
+        def select(pool):
+            # Line 5: RR sets already hit by a sentinel carry no marginal
+            # coverage; mark them covered before greedy runs.
+            greedy = max_coverage_greedy(
+                pool,
+                select=k - b,
+                topk=k,
+                out_degree=out_deg,
+                initial_covered=pool.covered_mask(sentinel_seeds),
+                excluded=sentinel_seeds,
+                metrics=metrics,
+            )
+            upper = influence_upper_bound(
+                greedy.upper_bound_coverage, pool.num_rr, n, delta_iter
+            )
+            return list(sentinel_seeds) + greedy.seeds, upper
+
+        def validate(pool, seeds):
+            return influence_lower_bound(
+                pool.coverage(seeds), pool.num_rr, n, delta_iter
+            )
+
+        def checkpointer(i, seeds, lower, upper):
+            if checkpoint is not None:
+                checkpoint(
+                    {
+                        "round": i,
+                        "seeds": [int(s) for s in seeds],
+                        "lower": lower,
+                        "upper": upper,
+                        "counters": [
+                            counters_to_dict(bank1.generator.counters),
+                            counters_to_dict(bank2.generator.counters),
+                        ],
+                    },
+                    {"pool1": bank1.pool, "pool2": bank2.pool},
+                )
+
+        outcome = run_doubling(
+            schedule,
+            bank1,
+            bank2,
+            select=select,
+            validate=validate,
+            target=target,
+            initial_seeds=sentinel_seeds,
+            resume=doubling_resume,
+            checkpointer=checkpointer,
+        )
+        if outcome.interrupted:
+            return self._interrupted(
+                sentinel_seeds, bank1.pool, out_deg, k, b,
+                outcome.seeds, outcome.lower, outcome.upper,
+                outcome.rounds, (bank1, bank2), outcome.stop_reason,
+            )
+
+        sets = sum(g.counters.sets_generated for g in (bank1, bank2))
+        nodes = sum(g.counters.nodes_added for g in (bank1, bank2))
         return IMSentinelResult(
-            seeds=seeds,
-            lower_bound=lower,
-            upper_bound=upper,
+            seeds=outcome.seeds,
+            lower_bound=outcome.lower,
+            upper_bound=outcome.upper,
             num_rr_sets=sets,
             average_rr_size=(nodes / sets) if sets else 0.0,
-            iterations=iterations,
-            generators=(gen1, gen2),
+            iterations=outcome.rounds,
+            generators=(bank1, bank2),
         )
 
     def _interrupted(
@@ -520,7 +547,7 @@ class HIST(IMAlgorithm):
                     self.graph, self.generator_cls, self.use_out_degree_tie_break,
                     batch_size=self._batch_size, workers=self._workers,
                 ).run(k, eps1, delta1, rng, max_b=self.fixed_b,
-                      control=self._control)
+                      control=self._control, banks=self._banks)
             phases["sentinel"] = t_sentinel.elapsed
             if sentinel.interrupted:
                 result = self._partial_result(
@@ -570,6 +597,7 @@ class HIST(IMAlgorithm):
                 control=self._control,
                 resume=im_resume,
                 checkpoint=im_checkpoint,
+                banks=self._banks,
             )
         generators.extend(im.generators)
         phases["im_sentinel"] = t_im.elapsed

@@ -26,9 +26,9 @@ from repro.algorithms.base import IMAlgorithm
 from repro.bounds.thresholds import imm_lambda_prime, imm_lambda_star
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
+from repro.engine.schedule import fallback_seeds
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
-from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
 from repro.utils.exceptions import ExecutionInterrupted
 
@@ -60,21 +60,26 @@ class IMM(IMAlgorithm):
         lam_prime = imm_lambda_prime(n, k, eps_prime, delta)
         lam_star = imm_lambda_star(n, k, eps, delta)
 
-        gen = self._new_generator()
-        pool = RRCollection(n)
+        # Both phases share one pool — the martingale analysis allows it —
+        # so IMM is a single bank whose prefix both phases select over.
+        bank = self._bank("imm.pool")
 
         # Phase 1: estimate LB <= OPT_k by doubling guesses downward.
         lower_bound = 1.0
         capped = False
+        theta_p1 = 0
+        last_greedy = None
         try:
             max_i = max(1, int(math.ceil(math.log2(n))) - 1)
             for i in range(1, max_i + 1):
                 x = n / (2.0 ** i)
                 theta_i = self._cap(int(math.ceil(lam_prime / x)))
                 capped = capped or theta_i == self.max_rr_sets
-                pool.extend_to(theta_i, gen, rng)
-                greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
-                estimate = n * greedy.coverage / pool.num_rr
+                theta_p1 = max(theta_p1, theta_i)
+                view = bank.ensure(theta_i)
+                greedy = max_coverage_greedy(view, select=k, track_upper_bound=False)
+                last_greedy = greedy
+                estimate = n * greedy.coverage / view.num_rr
                 if estimate >= (1.0 + eps_prime) * x:
                     lower_bound = estimate / (1.0 + eps_prime)
                     break
@@ -82,20 +87,21 @@ class IMM(IMAlgorithm):
                     lower_bound = max(lower_bound, estimate / (1.0 + eps_prime))
                     break
 
-            # Phase 2: final pool size and selection.
+            # Phase 2: final pool size and selection.  Phase 1's sets are
+            # never discarded, so the effective size is at least theta_p1.
             theta = self._cap(int(math.ceil(lam_star / lower_bound)))
             capped = capped or theta == self.max_rr_sets
-            pool.extend_to(theta, gen, rng)
-            greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+            view = bank.ensure(max(theta, theta_p1))
+            greedy = max_coverage_greedy(view, select=k, track_upper_bound=False)
+            last_greedy = greedy
         except ExecutionInterrupted as exc:
-            seeds = []
-            if pool.num_rr:
-                seeds = max_coverage_greedy(
-                    pool, select=k, track_upper_bound=False
-                ).seeds
+            # Degrade to the last completed greedy pass instead of rerunning
+            # it over the interrupted pool.
+            pool = bank.pool if bank.pool.num_rr else None
+            seeds = fallback_seeds(pool, k, last=last_greedy)
             return self._partial_result(
                 seeds, k, eps, delta,
-                generators=(gen,),
+                generators=(bank,),
                 reason=exc.reason,
                 opt_lower_bound=lower_bound,
                 capped=capped,
@@ -106,7 +112,7 @@ class IMM(IMAlgorithm):
             k,
             eps,
             delta,
-            generators=(gen,),
+            generators=(bank,),
             opt_lower_bound=lower_bound,
             capped=capped,
             coverage=greedy.coverage,

@@ -26,12 +26,16 @@ from repro.bounds.opim import influence_lower_bound, influence_upper_bound
 from repro.bounds.thresholds import theta_max_opimc
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
+from repro.engine.schedule import (
+    DoublingResume,
+    SamplingSchedule,
+    fallback_seeds,
+    run_doubling,
+)
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
-from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
 from repro.runtime.checkpoint import counters_to_dict
-from repro.utils.exceptions import ExecutionInterrupted
 
 
 class OPIMC(IMAlgorithm):
@@ -58,90 +62,83 @@ class OPIMC(IMAlgorithm):
         delta_iter = delta / (3.0 * i_max)
         target = 1.0 - 1.0 / math.e - eps
 
-        gen1 = self._new_generator()
-        gen2 = self._new_generator()
-        pool1 = RRCollection(n)
-        pool2 = RRCollection(n)
+        bank1 = self._bank("opimc.r1")
+        bank2 = self._bank("opimc.r2")
+        schedule = SamplingSchedule(theta0, max(theta0, theta_max), i_max)
 
-        seeds = []
-        lower = 0.0
-        upper = float("inf")
-        rounds = 0
-        start_round = 1
-
+        resume = None
         resumed = self._take_resume_state()
         if resumed is not None:
             meta, pools = resumed
-            pool1, pool2 = pools["pool1"], pools["pool2"]
-            self._restore_generator(gen1, meta["counters"][0])
-            self._restore_generator(gen2, meta["counters"][1])
+            bank1.adopt(pools["pool1"], meta["counters"][0])
+            bank2.adopt(pools["pool2"], meta["counters"][1])
             self._restore_rng(rng, meta["rng_state"])
-            rounds = int(meta["round"])
-            start_round = rounds + 1
-            seeds = [int(s) for s in meta["seeds"]]
-            lower = float(meta["lower"])
-            upper = float(meta["upper"])
-        else:
-            try:
-                with self._phase("bootstrap"):
-                    pool1.extend(theta0, gen1, rng)
-                    pool2.extend(theta0, gen2, rng)
-            except ExecutionInterrupted as exc:
-                return self._finalize_partial(
-                    pool1, k, eps, delta, (gen1, gen2), exc.reason,
-                    rounds, theta_max, lower, upper,
-                )
+            resume = DoublingResume(
+                int(meta["round"]),
+                [int(s) for s in meta["seeds"]],
+                float(meta["lower"]),
+                float(meta["upper"]),
+            )
 
-        try:
-            for i in range(start_round, i_max + 1):
-                rounds = i
-                with self._phase(f"round-{i}"):
-                    greedy = max_coverage_greedy(
-                        pool1, select=k, topk=k, metrics=self._metrics
-                    )
-                    seeds = greedy.seeds
-                    upper = influence_upper_bound(
-                        greedy.upper_bound_coverage, pool1.num_rr, n, delta_iter
-                    )
-                    lower = influence_lower_bound(
-                        pool2.coverage(seeds), pool2.num_rr, n, delta_iter
-                    )
-                    if upper > 0 and lower / upper > target:
-                        break
-                    if i < i_max:
-                        pool1.extend(pool1.num_rr, gen1, rng)
-                        pool2.extend(pool2.num_rr, gen2, rng)
-                        meta = self._query_meta(k, eps, delta)
-                        meta.update(
-                            round=i,
-                            seeds=[int(s) for s in seeds],
-                            lower=lower,
-                            upper=upper,
-                            counters=[
-                                counters_to_dict(gen1.counters),
-                                counters_to_dict(gen2.counters),
-                            ],
-                        )
-                        self._round_checkpoint(
-                            rng, meta, {"pool1": pool1, "pool2": pool2}
-                        )
-        except ExecutionInterrupted as exc:
+        def select(pool):
+            greedy = max_coverage_greedy(
+                pool, select=k, topk=k, metrics=self._metrics
+            )
+            upper = influence_upper_bound(
+                greedy.upper_bound_coverage, pool.num_rr, n, delta_iter
+            )
+            return greedy.seeds, upper
+
+        def validate(pool, seeds):
+            return influence_lower_bound(
+                pool.coverage(seeds), pool.num_rr, n, delta_iter
+            )
+
+        def checkpointer(i, seeds, lower, upper):
+            meta = self._query_meta(k, eps, delta)
+            meta.update(
+                round=i,
+                seeds=[int(s) for s in seeds],
+                lower=lower,
+                upper=upper,
+                counters=[
+                    counters_to_dict(bank1.generator.counters),
+                    counters_to_dict(bank2.generator.counters),
+                ],
+            )
+            self._round_checkpoint(
+                rng, meta, {"pool1": bank1.pool, "pool2": bank2.pool}
+            )
+
+        outcome = run_doubling(
+            schedule,
+            bank1,
+            bank2,
+            select=select,
+            validate=validate,
+            target=target,
+            resume=resume,
+            checkpointer=checkpointer,
+            phase=self._phase,
+        )
+        if outcome.interrupted:
             return self._finalize_partial(
-                pool1, k, eps, delta, (gen1, gen2), exc.reason,
-                rounds, theta_max, lower, upper, seeds=seeds,
+                bank1.pool, k, eps, delta, (bank1, bank2),
+                outcome.stop_reason, outcome.rounds, theta_max,
+                outcome.lower, outcome.upper, seeds=outcome.seeds,
             )
 
         result = self._result_from(
-            seeds,
+            outcome.seeds,
             k,
             eps,
             delta,
-            generators=(gen1, gen2),
-            rounds=rounds,
+            generators=(bank1, bank2),
+            rounds=outcome.rounds,
             theta_max=theta_max,
         )
-        result.lower_bound = lower
-        result.upper_bound = upper
+        result.lower_bound = outcome.lower
+        result.upper_bound = outcome.upper
         return result
 
     def _finalize_partial(
@@ -149,8 +146,8 @@ class OPIMC(IMAlgorithm):
         rounds, theta_max, lower, upper, seeds=None,
     ) -> IMResult:
         """Best-so-far degradation: greedy over whatever pool1 holds."""
-        if not seeds and pool1.num_rr:
-            seeds = max_coverage_greedy(pool1, select=k, topk=k).seeds
+        if not seeds:
+            seeds = fallback_seeds(pool1, k, topk=k)
         result = self._partial_result(
             seeds or [], k, eps, delta,
             generators=generators,

@@ -25,7 +25,7 @@ from repro.algorithms.base import IMAlgorithm
 from repro.bounds.thresholds import theta_max_opimc
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
-from repro.rrsets.collection import RRCollection
+from repro.engine.schedule import fallback_seeds
 from repro.utils.exceptions import ExecutionInterrupted
 
 
@@ -49,27 +49,30 @@ class SSA(IMAlgorithm):
         ) / (e2 * e2)
         theta_cap = theta_max_opimc(n, k, eps, delta)
 
-        gen_select = self._new_generator()
-        gen_validate = self._new_generator()
-        pool = RRCollection(n)
+        bank_sel = self._bank("ssa.select")
+        bank_val = self._bank("ssa.validate")
         theta = max(1, int(math.ceil(lambda1)))
         theta = min(theta, theta_cap)
 
         seeds = []
         rounds = 0
         validated = False
+        served = 0
+        stare_base = 0  # cursor into the validation bank's stream
         try:
             while True:
                 rounds += 1
-                pool.extend_to(theta, gen_select, rng)
-                greedy = max_coverage_greedy(pool, select=k, track_upper_bound=False)
+                view = bank_sel.ensure(theta)
+                served = view.num_rr
+                greedy = max_coverage_greedy(view, select=k, track_upper_bound=False)
                 seeds = greedy.seeds
                 if greedy.coverage >= lambda1:
-                    estimate = self._stare(
-                        seeds, lambda2, theta_cap, gen_validate, rng
+                    estimate, drawn = self._stare(
+                        seeds, lambda2, theta_cap, bank_val, stare_base
                     )
+                    stare_base += drawn
                     if estimate is not None:
-                        selection_estimate = n * greedy.coverage / pool.num_rr
+                        selection_estimate = n * greedy.coverage / view.num_rr
                         if selection_estimate <= (1.0 + e1) * estimate:
                             validated = True
                             break
@@ -77,13 +80,12 @@ class SSA(IMAlgorithm):
                     break  # worst-case sample size reached: guarantee holds anyway
                 theta = min(2 * theta, theta_cap)
         except ExecutionInterrupted as exc:
-            if not seeds and pool.num_rr:
-                seeds = max_coverage_greedy(
-                    pool, select=k, track_upper_bound=False
-                ).seeds
+            if not seeds:
+                pool = bank_sel.pool
+                seeds = fallback_seeds(pool if pool.num_rr else None, k)
             return self._partial_result(
                 seeds, k, eps, delta,
-                generators=(gen_select, gen_validate),
+                generators=(bank_sel, bank_val),
                 reason=exc.reason,
                 rounds=rounds,
                 validated=validated,
@@ -94,26 +96,31 @@ class SSA(IMAlgorithm):
             k,
             eps,
             delta,
-            generators=(gen_select, gen_validate),
+            generators=(bank_sel, bank_val),
             rounds=rounds,
             validated=validated,
-            theta=pool.num_rr,
+            theta=served,
         )
 
-    def _stare(self, seeds, lambda2, cap, generator, rng):
+    def _stare(self, seeds, lambda2, cap, bank, start):
         """Sequential validation: sample until ``lambda2`` RR sets are covered.
 
-        Returns the influence estimate ``n * lambda2 / T`` or None when the
-        sampling budget ``cap`` is exhausted first (validation failure).
+        Consumes the validation bank's stream one set at a time starting at
+        position ``start`` (the cursor the selection loop accumulates across
+        stare calls, so a warm bank replays the same segments a cold run
+        draws).  Returns ``(estimate, drawn)`` where the estimate is
+        ``n * covered / T`` — or None when the sampling budget ``cap`` is
+        exhausted first (validation failure).
         """
-        seed_set = set(seeds)
+        seed_mask = np.zeros(self.graph.n, dtype=bool)
+        seed_mask[list(seeds)] = True
         covered = 0
         drawn = 0
         while covered < lambda2:
             if drawn >= cap:
-                return None
-            rr = generator.generate(rng)
+                return None, drawn
+            rr = bank.take(start + drawn)
             drawn += 1
-            if any(node in seed_set for node in rr):
+            if seed_mask[np.asarray(rr)].any():
                 covered += 1
-        return self.graph.n * covered / drawn
+        return self.graph.n * covered / drawn, drawn

@@ -26,9 +26,9 @@ from repro.algorithms.base import IMAlgorithm
 from repro.bounds.combinatorics import log_binomial
 from repro.core.results import IMResult
 from repro.coverage.greedy import max_coverage_greedy
+from repro.engine.schedule import fallback_seeds
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
-from repro.rrsets.collection import RRCollection
 from repro.rrsets.vanilla import VanillaICGenerator
 from repro.utils.exceptions import ExecutionInterrupted
 
@@ -58,32 +58,39 @@ class TIMPlus(IMAlgorithm):
         graph = self.graph
         n, m = graph.n, graph.m
         in_deg = graph.in_degree()
-        gen = self._new_generator()
         log_inv_delta = math.log(1.0 / delta)
 
-        # ``last_pool`` tracks the most recent selection-worthy pool so an
+        # One bank per phase pool; all four interleave on the run's stream
+        # in transient mode exactly as the four ad-hoc pools used to.
+        bank_est = self._bank("tim.estimate")
+        bank_refine = self._bank("tim.refine")
+        bank_check = self._bank("tim.check")
+        bank_final = self._bank("tim.final")
+        generators = (bank_est, bank_refine, bank_check, bank_final)
+
+        # ``last_bank`` tracks the most recent selection-worthy pool so an
         # interrupt anywhere still yields best-so-far seeds.
         kpt_star = 1.0
         kpt_plus = 1.0
         theta = 0
-        estimation_pool = RRCollection(n)
-        last_pool = estimation_pool
+        last_bank = bank_est
         try:
             # ---- Phase 1: KPT* estimation --------------------------------
             log2n = max(2, int(math.ceil(math.log2(max(n, 2)))))
+            prev_c = 0
             for i in range(1, log2n):
                 c_i = self._cap(
                     int(math.ceil((6.0 * log_inv_delta + 6.0 * math.log(log2n)) * 2**i))
                 )
-                batch_start = estimation_pool.num_rr
-                estimation_pool.extend_to(c_i, gen, rng)
-                if m == 0 or estimation_pool.num_rr == batch_start:
+                view = bank_est.ensure(c_i)
+                if m == 0 or c_i <= prev_c:
                     break
+                prev_c = c_i
                 # Width statistic over the first c_i sets, one reduceat over
                 # the flat pool: w(R) = sum of in-degrees of R's nodes.
                 # cumsum keeps the strictly left-to-right float accumulation
                 # of the original per-set loop, preserving bit-identity.
-                widths = estimation_pool.per_set_sums(in_deg, stop=c_i)
+                widths = view.per_set_sums(in_deg, stop=c_i)
                 terms = 1.0 - (1.0 - widths.astype(np.float64) / m) ** k
                 kappa = float(np.cumsum(terms)[-1]) if len(terms) else 0.0
                 if kappa / c_i > 1.0 / (2.0 ** i):
@@ -102,15 +109,11 @@ class TIMPlus(IMAlgorithm):
                 / (eps_prime ** 2)
             )
             theta_refine = self._cap(max(1, int(math.ceil(lam_prime / kpt_star))))
-            refine_pool = RRCollection(n)
-            last_pool = refine_pool
-            refine_pool.extend(theta_refine, gen, rng)
-            greedy = max_coverage_greedy(
-                refine_pool, select=k, track_upper_bound=False
-            )
-            check_pool = RRCollection(n)
-            check_pool.extend(theta_refine, gen, rng)
-            fraction = check_pool.coverage(greedy.seeds) / check_pool.num_rr
+            last_bank = bank_refine
+            view = bank_refine.ensure(theta_refine)
+            greedy = max_coverage_greedy(view, select=k, track_upper_bound=False)
+            check = bank_check.ensure(theta_refine)
+            fraction = check.coverage(greedy.seeds) / check.num_rr
             kpt_plus = max(kpt_star, fraction * n / (1.0 + eps_prime))
 
             # ---- Phase 3: final selection --------------------------------
@@ -121,23 +124,17 @@ class TIMPlus(IMAlgorithm):
                 / (eps ** 2)
             )
             theta = self._cap(max(1, int(math.ceil(lam / kpt_plus))))
-            final_pool = RRCollection(n)
-            last_pool = final_pool
-            final_pool.extend(theta, gen, rng)
-            greedy = max_coverage_greedy(
-                final_pool, select=k, track_upper_bound=False
-            )
+            last_bank = bank_final
+            view = bank_final.ensure(theta)
+            greedy = max_coverage_greedy(view, select=k, track_upper_bound=False)
         except ExecutionInterrupted as exc:
-            if not last_pool.num_rr and estimation_pool.num_rr:
-                last_pool = estimation_pool
-            seeds = []
-            if last_pool.num_rr:
-                seeds = max_coverage_greedy(
-                    last_pool, select=k, track_upper_bound=False
-                ).seeds
+            pool = last_bank.pool
+            if not pool.num_rr and bank_est.pool.num_rr:
+                pool = bank_est.pool
+            seeds = fallback_seeds(pool if pool.num_rr else None, k)
             return self._partial_result(
                 seeds, k, eps, delta,
-                generators=(gen,),
+                generators=generators,
                 reason=exc.reason,
                 kpt_star=kpt_star,
                 kpt_plus=kpt_plus,
@@ -148,7 +145,7 @@ class TIMPlus(IMAlgorithm):
             k,
             eps,
             delta,
-            generators=(gen,),
+            generators=generators,
             kpt_star=kpt_star,
             kpt_plus=kpt_plus,
             theta=theta,

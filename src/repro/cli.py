@@ -136,19 +136,65 @@ def cmd_summarize(args) -> int:
     return 0
 
 
+def _run_payload(result, args, graph) -> dict:
+    """The JSON block ``run`` prints for one query."""
+    payload = {
+        "algorithm": result.algorithm,
+        "status": result.status,
+        "seeds": result.seeds,
+        "runtime_seconds": round(result.runtime_seconds, 4),
+        "num_rr_sets": result.num_rr_sets,
+        "average_rr_size": round(result.average_rr_size, 2),
+        "certified_ratio": round(result.approx_ratio_certified, 4),
+    }
+    if result.is_partial:
+        payload["stop_reason"] = result.stop_reason
+    if args.evaluate:
+        spread = estimate_spread(
+            graph, result.seeds,
+            model="lt" if args.algorithm.endswith("-lt") else "ic",
+            num_simulations=args.simulations, seed=args.seed,
+        )
+        payload["expected_spread"] = round(spread.mean, 2)
+    return payload
+
+
 def cmd_run(args) -> int:
+    if (args.k is None) == (args.ks is None):
+        raise ReproError("exactly one of --k or --ks is required")
+    ks = None
+    if args.ks is not None:
+        ks = [int(s) for s in args.ks.split(",") if s.strip()]
+        if not ks or any(k < 1 for k in ks):
+            raise ReproError(f"--ks needs positive integers, got {args.ks!r}")
+        if args.checkpoint or args.resume or args.report or args.trace_out:
+            raise ReproError(
+                "--ks is incompatible with --checkpoint/--resume/--report/"
+                "--trace-out; those artifacts describe a single run"
+            )
+    if args.reuse_pool and ks is None:
+        raise ReproError("--reuse-pool requires --ks (a multi-query run)")
+    if args.reuse_pool and (args.checkpoint or args.resume):
+        raise ReproError(
+            "--reuse-pool cannot be combined with --checkpoint/--resume: "
+            "sessions persist through QuerySession.save(), not run "
+            "checkpoints"
+        )
     graph = _load(args.graph, retries=args.load_retries)
     if args.weights:
         graph = _apply_weights(graph, args.weights, args.seed)
     kwargs = {}
     if args.max_rr_sets and args.algorithm in ("imm", "tim+", "imm-lt"):
         kwargs["max_rr_sets"] = args.max_rr_sets
-    budget = None
-    if args.timeout is not None or args.max_edges is not None:
-        budget = Budget(
+
+    def make_budget():
+        if args.timeout is None and args.max_edges is None:
+            return None
+        return Budget(
             wall_clock_seconds=args.timeout,
             max_edges_examined=args.max_edges,
         )
+
     if args.resume and not args.checkpoint:
         raise ReproError("--resume requires --checkpoint")
     if args.batch_size < 1:
@@ -169,12 +215,63 @@ def cmd_run(args) -> int:
         from repro.observability import MetricsRegistry
 
         metrics = MetricsRegistry()
+
+    if ks is not None:
+        queries = []
+        if args.reuse_pool:
+            from repro.engine.session import QuerySession
+
+            session = QuerySession(
+                graph, args.algorithm, seed=args.seed, **kwargs
+            )
+            for k in ks:
+                result = session.maximize(
+                    k,
+                    eps=args.eps,
+                    budget=make_budget(),
+                    batch_size=args.batch_size,
+                    workers=args.workers,
+                    metrics=metrics,
+                )
+                entry = _run_payload(result, args, graph)
+                entry["k"] = k
+                entry["session"] = result.extras.get("session")
+                queries.append(entry)
+            session_block = {
+                "reuse_pool": True,
+                "sets_generated": session.metrics.value("bank.sets_generated"),
+                "sets_reused": session.metrics.value("bank.sets_reused"),
+            }
+        else:
+            algo = get_algorithm(args.algorithm, graph, **kwargs)
+            for k in ks:
+                result = algo.run(
+                    k,
+                    eps=args.eps,
+                    seed=args.seed,
+                    budget=make_budget(),
+                    batch_size=args.batch_size,
+                    workers=args.workers,
+                    metrics=metrics,
+                )
+                entry = _run_payload(result, args, graph)
+                entry["k"] = k
+                queries.append(entry)
+            session_block = {"reuse_pool": False}
+        if args.metrics_out:
+            _write_json(args.metrics_out, metrics.snapshot())
+        print(json.dumps(
+            {"queries": queries, "session": session_block},
+            indent=2, default=int,
+        ))
+        return 0
+
     algo = get_algorithm(args.algorithm, graph, **kwargs)
     result = algo.run(
         args.k,
         eps=args.eps,
         seed=args.seed,
-        budget=budget,
+        budget=make_budget(),
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
@@ -197,25 +294,7 @@ def cmd_run(args) -> int:
             metrics=metrics,
             trace=result.extras.get("trace"),
         ).write(args.report)
-    payload = {
-        "algorithm": result.algorithm,
-        "status": result.status,
-        "seeds": result.seeds,
-        "runtime_seconds": round(result.runtime_seconds, 4),
-        "num_rr_sets": result.num_rr_sets,
-        "average_rr_size": round(result.average_rr_size, 2),
-        "certified_ratio": round(result.approx_ratio_certified, 4),
-    }
-    if result.is_partial:
-        payload["stop_reason"] = result.stop_reason
-    if args.evaluate:
-        spread = estimate_spread(
-            graph, result.seeds,
-            model="lt" if args.algorithm.endswith("-lt") else "ic",
-            num_simulations=args.simulations, seed=args.seed,
-        )
-        payload["expected_spread"] = round(spread.mean, 2)
-    print(json.dumps(payload, indent=2, default=int))
+    print(json.dumps(_run_payload(result, args, graph), indent=2, default=int))
     return 0
 
 
@@ -406,7 +485,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("--algorithm", default="hist+subsim",
                    choices=available_algorithms())
-    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--k", type=int, default=None,
+                   help="seed-set size (exactly one of --k / --ks)")
+    p.add_argument("--ks", default=None, metavar="K1,K2,...",
+                   help="comma-separated seed-set sizes: run one query per "
+                        "k and print a {queries, session} payload")
+    p.add_argument("--reuse-pool", action="store_true",
+                   help="serve --ks queries from one shared RR-set session "
+                        "(later queries reuse earlier queries' RR sets)")
     p.add_argument("--eps", type=float, default=0.1)
     p.add_argument("--weights", default=None)
     p.add_argument("--seed", type=int, default=0)

@@ -9,14 +9,16 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.registry import get_algorithm
 from repro.core.results import IMResult
+from repro.engine.session import QuerySession
 from repro.estimation.montecarlo import SpreadEstimate, estimate_spread
 from repro.graphs.csr import CSRGraph
 from repro.runtime.budget import Budget
 from repro.runtime.cancellation import CancellationToken
+from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike
 
 
@@ -25,6 +27,30 @@ class InfluenceMaximizer:
 
     def __init__(self, graph: CSRGraph) -> None:
         self.graph = graph
+        self._sessions: Dict[Tuple[Any, ...], QuerySession] = {}
+
+    def session(
+        self,
+        algorithm: str = "hist+subsim",
+        *,
+        seed: SeedLike = None,
+        byte_cap: Optional[int] = None,
+        **algorithm_kwargs,
+    ) -> QuerySession:
+        """A :class:`~repro.engine.session.QuerySession` over this graph.
+
+        Successive ``maximize`` calls on the session share its RR banks, so
+        a later query whose schedule stops inside an already-materialised
+        prefix generates (almost) nothing new.  ``byte_cap`` bounds the
+        banks' resident bytes (enforced between queries).
+        """
+        return QuerySession(
+            self.graph,
+            algorithm,
+            seed=seed,
+            byte_cap=byte_cap,
+            **algorithm_kwargs,
+        )
 
     def maximize(
         self,
@@ -39,8 +65,11 @@ class InfluenceMaximizer:
         checkpoint_every: int = 1,
         resume: bool = False,
         fault_injector=None,
+        batch_size: int = 1,
+        workers: int = 1,
         metrics=None,
         trace: bool = False,
+        reuse_pool: bool = False,
         **algorithm_kwargs,
     ) -> IMResult:
         """Select ``k`` seeds with the named algorithm.
@@ -52,12 +81,48 @@ class InfluenceMaximizer:
         ignore them.
 
         ``budget``, ``cancel``, ``checkpoint``, ``checkpoint_every``,
-        ``resume``, ``fault_injector``, ``metrics`` (a
+        ``resume``, ``fault_injector``, ``batch_size``, ``workers``,
+        ``metrics`` (a
         :class:`~repro.observability.registry.MetricsRegistry` to populate)
         and ``trace`` (enable phase tracing) are forwarded verbatim to
         :meth:`~repro.algorithms.base.IMAlgorithm.run` — see its docstring
         for the partial-result, resume and observability semantics.
+
+        ``reuse_pool=True`` routes the query through a cached
+        :meth:`session` (keyed by algorithm, seed and algorithm kwargs), so
+        repeated calls with different ``k`` share RR sets.  Run-level
+        checkpointing is a per-run durability story and cannot be combined
+        with it — persist the session itself instead.
         """
+        if reuse_pool:
+            if checkpoint is not None or resume:
+                raise ConfigurationError(
+                    "reuse_pool=True cannot be combined with run-level "
+                    "checkpoint/resume; use session().save() instead"
+                )
+            key = (
+                algorithm,
+                seed,
+                tuple(sorted(algorithm_kwargs.items(), key=lambda kv: kv[0])),
+            )
+            session = self._sessions.get(key)
+            if session is None:
+                session = self.session(
+                    algorithm, seed=seed, **algorithm_kwargs
+                )
+                self._sessions[key] = session
+            return session.maximize(
+                k,
+                eps=eps,
+                delta=delta,
+                budget=budget,
+                cancel=cancel,
+                fault_injector=fault_injector,
+                batch_size=batch_size,
+                workers=workers,
+                metrics=metrics,
+                trace=trace,
+            )
         algo = get_algorithm(algorithm, self.graph, **algorithm_kwargs)
         return algo.run(
             k,
@@ -70,6 +135,8 @@ class InfluenceMaximizer:
             checkpoint_every=checkpoint_every,
             resume=resume,
             fault_injector=fault_injector,
+            batch_size=batch_size,
+            workers=workers,
             metrics=metrics,
             trace=trace,
         )
@@ -104,6 +171,8 @@ def maximize_influence(
     checkpoint_every: int = 1,
     resume: bool = False,
     fault_injector=None,
+    batch_size: int = 1,
+    workers: int = 1,
     metrics=None,
     trace: bool = False,
     **algorithm_kwargs,
@@ -121,6 +190,8 @@ def maximize_influence(
         checkpoint_every=checkpoint_every,
         resume=resume,
         fault_injector=fault_injector,
+        batch_size=batch_size,
+        workers=workers,
         metrics=metrics,
         trace=trace,
         **algorithm_kwargs,

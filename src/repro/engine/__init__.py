@@ -1,0 +1,27 @@
+"""Shared sampling engine: schedules, doubling loop, banks, sessions.
+
+The engine is the layer between the RR-set substrate and the algorithms:
+algorithms express themselves as (schedule, stop rule, select) against
+:class:`~repro.rrsets.bank.RRBank` prefixes, and the engine owns the
+grow/checkpoint/interrupt plumbing they used to copy.  See
+``docs/ARCHITECTURE.md`` for the full layer map.
+"""
+
+from repro.engine.schedule import (
+    DoublingOutcome,
+    DoublingResume,
+    SamplingSchedule,
+    fallback_seeds,
+    run_doubling,
+)
+from repro.engine.session import BankProvider, QuerySession
+
+__all__ = [
+    "BankProvider",
+    "DoublingOutcome",
+    "DoublingResume",
+    "QuerySession",
+    "SamplingSchedule",
+    "fallback_seeds",
+    "run_doubling",
+]

@@ -1,0 +1,369 @@
+"""Query sessions: bank provisioning and cross-query RR-set reuse.
+
+Two pieces live here.  :class:`BankProvider` is the factory every
+``IMAlgorithm.run`` draws its :class:`~repro.rrsets.bank.RRBank`\\ s from;
+it has two modes:
+
+* **transient** — built internally by ``run()`` around the run's own RNG.
+  Every ``get`` hands out a fresh single-run bank sharing that RNG, so the
+  pools interleave their draws on one stream exactly as the pre-bank code
+  did.  Default single-query runs go through this path and replay the seed
+  RNG schedule bit-identically.
+* **session** — built by :class:`QuerySession` with its own entropy.  Each
+  *role* (``"opimc.r1"``, ``"tim.final"``, ...) gets a private RNG stream
+  derived from ``(entropy, role)`` only, so the stream a role sees is the
+  same whether the pool is cold or warm — the prefix-stability property
+  cross-query reuse rests on.  Reusable, unmasked roles are cached and
+  served again to later queries; stop-masked or non-reusable roles get a
+  fresh bank (on the same per-role stream origin) every query.
+
+:class:`QuerySession` binds a graph + algorithm to a session provider and
+serves repeated ``maximize(k, eps)`` calls, reporting per-query
+``bank.sets_generated`` / ``bank.sets_reused`` deltas, with warm-start
+persistence through the existing
+:class:`~repro.runtime.checkpoint.CheckpointStore`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.observability.registry import MetricsRegistry
+from repro.rrsets.bank import RRBank
+from repro.rrsets.base import RRGenerator
+from repro.rrsets.collection import RRCollection
+from repro.runtime.checkpoint import CheckpointStore, coerce_store
+from repro.utils.exceptions import CheckpointError, ConfigurationError
+
+#: bumped when the warm-start payload layout changes incompatibly
+SESSION_FORMAT = 1
+
+
+def _session_entropy(seed: Any) -> int:
+    if seed is None:
+        return int(np.random.SeedSequence().entropy)
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    raise ConfigurationError(
+        f"session seed must be an int or None, got {type(seed).__name__}"
+    )
+
+
+class BankProvider:
+    """Hands out :class:`RRBank` instances to algorithm code.
+
+    Algorithms never construct banks directly — they ask the provider for a
+    *role*, and the provider decides whether that role is a throwaway bank
+    on the run's shared RNG (transient mode) or a cached, prefix-stable
+    bank on a private stream (session mode).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        entropy: Optional[int] = None,
+        reuse: bool = False,
+        byte_cap: Optional[int] = None,
+        session_metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if (rng is None) == (entropy is None):
+            raise ConfigurationError(
+                "a BankProvider needs exactly one of a shared rng "
+                "(transient mode) or an entropy (session mode)"
+            )
+        self.graph = graph
+        self.reuse = reuse
+        self.byte_cap = byte_cap
+        self.metrics = session_metrics
+        self.entropy = entropy
+        self._shared_rng = rng
+        self._banks: Dict[str, RRBank] = {}
+        self._staged: Dict[str, Tuple[Dict[str, Any], RRCollection]] = {}
+        self._active: List[RRBank] = []
+        self._control: Optional[Any] = None
+        self._run_metrics: Optional[MetricsRegistry] = None
+
+    @classmethod
+    def transient(
+        cls, graph: CSRGraph, rng: np.random.Generator
+    ) -> "BankProvider":
+        """The single-run provider ``IMAlgorithm.run`` builds by default."""
+        return cls(graph, rng=rng)
+
+    @property
+    def is_session(self) -> bool:
+        return self._shared_rng is None
+
+    # ------------------------------------------------------------------
+    # per-query lifecycle
+    # ------------------------------------------------------------------
+    def begin_query(self, control: Optional[Any] = None) -> None:
+        self._control = control
+        self._run_metrics = (
+            getattr(control, "metrics", None) if control is not None else None
+        )
+        self._active = []
+
+    def end_query(self) -> None:
+        for bank in self._active:
+            bank.end_query()
+        self._active = []
+        self._control = None
+        self._run_metrics = None
+
+    # ------------------------------------------------------------------
+    # bank provisioning
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        role: str,
+        make_generator: Callable[[], RRGenerator],
+        *,
+        stop_mask: Optional[np.ndarray] = None,
+        reusable: bool = True,
+        batch_size: int = 1,
+        workers: int = 1,
+    ) -> RRBank:
+        """The bank serving ``role`` for the current query.
+
+        ``reusable`` declares whether the role's sets are query-agnostic
+        (plain RR sets: yes; sentinel-masked or per-candidate validation
+        sets: no).  Only reusable, unmasked roles are cached across
+        queries; everything else is rebuilt per query — but still on its
+        deterministic per-role stream, so cold and warm queries draw
+        identically.
+        """
+        if self._shared_rng is not None:
+            gen = make_generator()
+            return RRBank(
+                self.graph,
+                gen,
+                self._shared_rng,
+                role=role,
+                stop_mask=stop_mask,
+                reusable=False,
+            )
+        persistent = self.reuse and reusable and stop_mask is None
+        bank = self._banks.get(role) if persistent else None
+        if bank is None:
+            gen = make_generator()
+            bank = RRBank(
+                self.graph,
+                gen,
+                self._stream(role),
+                role=role,
+                stop_mask=stop_mask,
+                reusable=persistent,
+                byte_cap=self.byte_cap,
+            )
+            if persistent:
+                staged = self._staged.pop(role, None)
+                if staged is not None:
+                    bank.restore_state(*staged)
+                self._banks[role] = bank
+        else:
+            # Cached bank: rebind its generator to this query's control and
+            # batching knobs (the generator object itself persists so its
+            # cumulative counters keep matching the recorded marks).
+            gen = bank.generator
+            gen.batch_size = batch_size
+            gen.workers = workers
+            if self._control is not None:
+                self._control.adopt_generator(gen)
+        sinks = [
+            m for m in (self._run_metrics, self.metrics) if m is not None
+        ]
+        bank.begin_query(sinks)
+        self._active.append(bank)
+        return bank
+
+    def _stream(self, role: str) -> np.random.Generator:
+        # The stream depends only on (entropy, role) — not on creation
+        # order or query index — so a role re-created for a later query
+        # starts at the same origin a cold run would.
+        key = zlib.crc32(role.encode("utf-8"))
+        seq = np.random.SeedSequence(self.entropy, spawn_key=(key,))
+        return np.random.default_rng(seq)
+
+    # ------------------------------------------------------------------
+    # warm-start state
+    # ------------------------------------------------------------------
+    def persistent_banks(self) -> Dict[str, RRBank]:
+        return dict(self._banks)
+
+    @property
+    def has_banks(self) -> bool:
+        return bool(self._banks) or bool(self._staged)
+
+    def stage_restored(
+        self, mapping: Dict[str, Tuple[Dict[str, Any], RRCollection]]
+    ) -> None:
+        """Install warm-start payloads, now or when the role is first used."""
+        for role, (payload, pool) in mapping.items():
+            bank = self._banks.get(role)
+            if bank is not None:
+                bank.restore_state(payload, pool)
+            else:
+                self._staged[role] = (payload, pool)
+
+
+class QuerySession:
+    """A graph bound to its RR banks, serving repeated queries.
+
+    Successive :meth:`maximize` calls share the session's banks: a query
+    whose sampling schedule stops within an already-materialised prefix
+    generates nothing new.  With an integer ``seed`` the session is fully
+    deterministic — and because every bank stream depends only on
+    ``(seed, role)``, each query's seeds and counters are bit-identical to
+    what a cold session with the same seed would return for that query
+    alone (sequential generation; see ``docs/ARCHITECTURE.md``).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: str = "hist+subsim",
+        *,
+        seed: Any = None,
+        byte_cap: Optional[int] = None,
+        **algorithm_kwargs: Any,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.algorithm_kwargs = dict(algorithm_kwargs)
+        #: session-lifetime registry accumulating ``bank.*`` counters
+        self.metrics = MetricsRegistry()
+        self.provider = BankProvider(
+            graph,
+            entropy=_session_entropy(seed),
+            reuse=True,
+            byte_cap=byte_cap,
+            session_metrics=self.metrics,
+        )
+        self.queries_served = 0
+
+    @property
+    def entropy(self) -> int:
+        return int(self.provider.entropy)
+
+    # ------------------------------------------------------------------
+    def maximize(
+        self,
+        k: int,
+        eps: float = 0.1,
+        delta: Optional[float] = None,
+        *,
+        budget: Optional[Any] = None,
+        cancel: Optional[Any] = None,
+        fault_injector: Optional[Any] = None,
+        batch_size: int = 1,
+        workers: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: bool = False,
+    ) -> Any:
+        """Serve one query against the session's banks.
+
+        Run-level checkpoint/resume is deliberately absent: a session's
+        durability story is :meth:`save` / :meth:`restore`, which persist
+        the banks themselves.  The result's ``extras["session"]`` block
+        reports this query's generated-vs-reused split.
+        """
+        # Imported lazily: the registry pulls in the algorithm modules,
+        # which import the engine — resolving at call time breaks the cycle.
+        from repro.core.registry import get_algorithm
+
+        algo = get_algorithm(self.algorithm, self.graph, **self.algorithm_kwargs)
+        generated0 = self.metrics.value("bank.sets_generated")
+        reused0 = self.metrics.value("bank.sets_reused")
+        result = algo.run(
+            k,
+            eps=eps,
+            delta=delta,
+            seed=self._query_rng(),
+            budget=budget,
+            cancel=cancel,
+            fault_injector=fault_injector,
+            batch_size=batch_size,
+            workers=workers,
+            metrics=metrics,
+            trace=trace,
+            banks=self.provider,
+        )
+        self.queries_served += 1
+        result.extras["session"] = {
+            "query_index": self.queries_served,
+            "sets_generated": self.metrics.value("bank.sets_generated")
+            - generated0,
+            "sets_reused": self.metrics.value("bank.sets_reused") - reused0,
+        }
+        return result
+
+    def _query_rng(self) -> np.random.Generator:
+        # The run-level RNG: RR generation never touches it in session mode
+        # (banks own their streams); it seeds whatever non-bank randomness
+        # an algorithm may have.  Distinct per query, deterministic in
+        # (entropy, query index).
+        seq = np.random.SeedSequence(
+            self.provider.entropy, spawn_key=(0, self.queries_served)
+        )
+        return np.random.default_rng(seq)
+
+    # ------------------------------------------------------------------
+    # warm-start persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Any) -> None:
+        """Persist the reusable banks for a later process to warm-start."""
+        store: CheckpointStore = coerce_store(path)
+        banks = self.provider.persistent_banks()
+        meta = {
+            "session_format": SESSION_FORMAT,
+            "fingerprint": self.graph.fingerprint(),
+            "algorithm": self.algorithm,
+            "entropy": self.entropy,
+            "queries_served": int(self.queries_served),
+            "banks": {role: bank.state_dict() for role, bank in banks.items()},
+            "metrics": self.metrics.own_state(),
+        }
+        store.save(meta, {role: bank.pool for role, bank in banks.items()})
+
+    def restore(self, path: Any) -> "QuerySession":
+        """Warm-start this session from a :meth:`save` payload."""
+        store: CheckpointStore = coerce_store(path)
+        meta, pools = store.load()
+        if meta.get("session_format") != SESSION_FORMAT:
+            raise CheckpointError(
+                f"unsupported session format {meta.get('session_format')!r}"
+            )
+        fingerprint = self.graph.fingerprint()
+        if meta.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                "session checkpoint belongs to a different graph "
+                f"({meta.get('fingerprint')!r} != {fingerprint!r})"
+            )
+        if meta.get("algorithm") != self.algorithm:
+            raise CheckpointError(
+                f"session checkpoint was written by {meta.get('algorithm')!r}, "
+                f"not {self.algorithm!r}"
+            )
+        entropy = int(meta["entropy"])
+        if self.queries_served == 0 and not self.provider.has_banks:
+            self.provider.entropy = entropy
+        elif entropy != self.provider.entropy:
+            raise CheckpointError(
+                "session checkpoint entropy does not match this session's seed"
+            )
+        self.queries_served = int(meta["queries_served"])
+        self.metrics.restore_own_state(meta.get("metrics", {}))
+        self.provider.stage_restored(
+            {
+                role: (payload, pools[role])
+                for role, payload in meta["banks"].items()
+            }
+        )
+        return self

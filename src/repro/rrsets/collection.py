@@ -73,6 +73,98 @@ class _NodeIndexView:
             yield self[node]
 
 
+class RRPrefixView:
+    """Read-only view over the first ``theta`` RR sets of a collection.
+
+    Warm :class:`~repro.rrsets.bank.RRBank` queries select seeds over a
+    *prefix* of a pool that may already hold more sets (generated for an
+    earlier query).  The view re-serves the exact coverage surface greedy
+    and the bounds consume — ``coverage_counts`` / ``rrs_containing`` /
+    ``nodes_of_sets`` / ``covered_mask`` — restricted to set ids
+    ``< num_rr``, so selecting over the prefix of a warm pool is
+    bit-identical to selecting over a cold pool of that size.
+
+    :meth:`RRCollection.prefix` returns the collection itself when the
+    requested prefix covers the whole pool, so cold (single-query) runs
+    never pay for the indirection.
+    """
+
+    __slots__ = ("_coll", "num_rr")
+
+    def __init__(self, coll: "RRCollection", theta: int) -> None:
+        if not 0 <= theta <= coll.num_rr:
+            raise ValueError(
+                f"prefix length {theta} out of range [0, {coll.num_rr}]"
+            )
+        self._coll = coll
+        self.num_rr = int(theta)
+
+    def __len__(self) -> int:
+        return self.num_rr
+
+    @property
+    def n(self) -> int:
+        return self._coll.n
+
+    @property
+    def total_size(self) -> int:
+        return int(self._coll.rr_indptr[self.num_rr])
+
+    def average_size(self) -> float:
+        return self.total_size / self.num_rr if self.num_rr else 0.0
+
+    def set_nodes(self, rr_id: int) -> np.ndarray:
+        if not 0 <= rr_id < self.num_rr:
+            raise IndexError(f"RR-set id {rr_id} out of range [0, {self.num_rr})")
+        return self._coll.set_nodes(rr_id)
+
+    def set_sizes(self) -> np.ndarray:
+        return np.diff(self._coll.rr_indptr[: self.num_rr + 1])
+
+    def coverage_counts(self) -> np.ndarray:
+        """Per-node membership counts over the prefix (fresh array)."""
+        stop = int(self._coll.rr_indptr[self.num_rr])
+        counts = np.bincount(
+            self._coll.rr_nodes[:stop], minlength=self._coll.n
+        )
+        return counts.astype(np.int64, copy=False)
+
+    def rrs_containing(self, node: int) -> np.ndarray:
+        """Prefix RR-set ids containing ``node`` (ascending)."""
+        ids = self._coll.rrs_containing(node)
+        # Ids come back ascending (stable argsort of the flat pool), so the
+        # prefix is a binary-searched slice, not a boolean scan.
+        return ids[: np.searchsorted(ids, self.num_rr)]
+
+    def nodes_of_sets(self, rr_ids: np.ndarray) -> np.ndarray:
+        rr_ids = np.asarray(rr_ids, dtype=np.int64)
+        if len(rr_ids) and rr_ids.max() >= self.num_rr:
+            raise IndexError(
+                f"RR-set id {int(rr_ids.max())} out of prefix [0, {self.num_rr})"
+            )
+        return self._coll.nodes_of_sets(rr_ids)
+
+    def per_set_sums(
+        self, values: np.ndarray, stop: Optional[int] = None
+    ) -> np.ndarray:
+        stop = self.num_rr if stop is None else min(stop, self.num_rr)
+        return self._coll.per_set_sums(values, stop=stop)
+
+    def covered_mask(self, seeds: Iterable[int]) -> np.ndarray:
+        mask = np.zeros(self.num_rr, dtype=bool)
+        for s in seeds:
+            mask[self.rrs_containing(s)] = True
+        return mask
+
+    def coverage(self, seeds: Iterable[int]) -> int:
+        return int(self.covered_mask(seeds).sum())
+
+    def estimate_influence(self, seeds: Iterable[int]) -> float:
+        if self.num_rr == 0:
+            raise ValueError("cannot estimate influence from an empty prefix")
+        return self.n * self.coverage(seeds) / self.num_rr
+
+
 class RRCollection:
     """An append-only pool of RR sets over ``n`` nodes (flat CSR layout)."""
 
@@ -348,3 +440,18 @@ class RRCollection:
         if self._num_rr == 0:
             raise ValueError("cannot estimate influence from an empty pool")
         return self.n * self.coverage(seeds) / self._num_rr
+
+    # ------------------------------------------------------------------
+    # prefix views
+    # ------------------------------------------------------------------
+    def prefix(self, theta: int):
+        """The first ``theta`` sets as a selectable pool.
+
+        Returns ``self`` when ``theta`` covers the whole pool (the cold
+        path pays nothing) and an :class:`RRPrefixView` otherwise (the warm
+        path selects over exactly the sets a cold run of that size holds).
+        """
+        theta = int(theta)
+        if theta >= self._num_rr:
+            return self
+        return RRPrefixView(self, theta)

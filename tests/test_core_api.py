@@ -76,6 +76,47 @@ class TestFacade:
         )
         assert result.num_rr_sets <= 1000
 
+    def test_batch_size_and_workers_forwarded_to_run(self, wc_graph):
+        # Regression: these are run() parameters, not constructor kwargs —
+        # they used to fall into **algorithm_kwargs and blow up the
+        # algorithm constructor with a TypeError.
+        result = InfluenceMaximizer(wc_graph).maximize(
+            3, algorithm="subsim", eps=0.4, seed=0, batch_size=16, workers=1
+        )
+        assert len(result.seeds) == 3
+        functional = maximize_influence(
+            wc_graph, 3, algorithm="subsim", eps=0.4, seed=0,
+            batch_size=16, workers=1,
+        )
+        assert functional.seeds == result.seeds
+
+class TestFacadeSessions:
+    def test_session_returns_query_session(self, wc_graph):
+        from repro.engine.session import QuerySession
+
+        session = InfluenceMaximizer(wc_graph).session("subsim", seed=4)
+        assert isinstance(session, QuerySession)
+        assert len(session.maximize(3, eps=0.4).seeds) == 3
+
+    def test_reuse_pool_shares_sets_across_calls(self, wc_graph):
+        maximizer = InfluenceMaximizer(wc_graph)
+        first = maximizer.maximize(
+            6, algorithm="subsim", eps=0.3, seed=9, reuse_pool=True
+        )
+        second = maximizer.maximize(
+            3, algorithm="subsim", eps=0.3, seed=9, reuse_pool=True
+        )
+        assert first.extras["session"]["query_index"] == 1
+        assert second.extras["session"]["query_index"] == 2
+        assert second.extras["session"]["sets_reused"] > 0
+
+    def test_reuse_pool_rejects_run_checkpoints(self, wc_graph, tmp_path):
+        with pytest.raises(ConfigurationError):
+            InfluenceMaximizer(wc_graph).maximize(
+                3, algorithm="subsim", seed=0, reuse_pool=True,
+                checkpoint=str(tmp_path / "c.npz"),
+            )
+
 
 class TestFastVariant:
     def test_opim_c_fast_registered(self, wc_graph):

@@ -1,0 +1,207 @@
+"""Tests for the sampling engine: schedules, sessions, cross-query reuse."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_algorithm
+from repro.engine.schedule import SamplingSchedule
+from repro.engine.session import BankProvider, QuerySession
+from repro.utils.exceptions import CheckpointError, ConfigurationError
+
+
+class TestSamplingSchedule:
+    def test_doubling_geometry(self):
+        sched = SamplingSchedule(100, 1600, 5)
+        assert [sched.theta_at(i) for i in range(1, 6)] == [
+            100, 200, 400, 800, 1600,
+        ]
+
+    def test_theta_max_clamps(self):
+        sched = SamplingSchedule(100, 500, 4)
+        assert sched.theta_at(4) == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingSchedule(0, 10, 1)
+        with pytest.raises(ValueError):
+            SamplingSchedule(10, 5, 1)
+        with pytest.raises(ValueError):
+            SamplingSchedule(10, 20, 0)
+        with pytest.raises(ValueError):
+            SamplingSchedule(10, 20, 2).theta_at(0)
+
+
+class TestBankProvider:
+    def test_needs_exactly_one_rng_source(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            BankProvider(wc_graph)
+        with pytest.raises(ConfigurationError):
+            BankProvider(
+                wc_graph, rng=np.random.default_rng(0), entropy=1
+            )
+
+    def test_transient_banks_share_the_run_rng(self, wc_graph):
+        rng = np.random.default_rng(0)
+        provider = BankProvider.transient(wc_graph, rng)
+        from repro.rrsets.vanilla import VanillaICGenerator
+
+        bank1 = provider.get("a", lambda: VanillaICGenerator(wc_graph))
+        bank2 = provider.get("b", lambda: VanillaICGenerator(wc_graph))
+        assert bank1 is not bank2
+        assert bank1.rng is rng and bank2.rng is rng
+        assert not bank1.reusable and not bank2.reusable
+
+    def test_session_streams_depend_only_on_role(self, wc_graph):
+        from repro.rrsets.vanilla import VanillaICGenerator
+
+        def make():
+            return VanillaICGenerator(wc_graph)
+
+        p1 = BankProvider(wc_graph, entropy=42, reuse=True)
+        p1.begin_query(None)
+        a_first = p1.get("r1", make)
+        a_first.ensure(10)
+
+        # Same role requested after other roles, in another provider: the
+        # stream origin is identical.
+        p2 = BankProvider(wc_graph, entropy=42, reuse=True)
+        p2.begin_query(None)
+        p2.get("zzz", make).ensure(3)
+        a_second = p2.get("r1", make)
+        a_second.ensure(10)
+        for i in range(10):
+            np.testing.assert_array_equal(
+                a_first.pool.set_nodes(i), a_second.pool.set_nodes(i)
+            )
+
+    def test_non_reusable_roles_not_cached(self, wc_graph):
+        from repro.rrsets.vanilla import VanillaICGenerator
+
+        def make():
+            return VanillaICGenerator(wc_graph)
+
+        p = BankProvider(wc_graph, entropy=1, reuse=True)
+        p.begin_query(None)
+        cached = p.get("plain", make)
+        masked = p.get(
+            "masked", make, stop_mask=np.zeros(wc_graph.n, dtype=bool)
+        )
+        p.end_query()
+        p.begin_query(None)
+        assert p.get("plain", make) is cached
+        assert p.get(
+            "masked", make, stop_mask=np.zeros(wc_graph.n, dtype=bool)
+        ) is not masked
+
+
+class TestWarmColdIdentity:
+    """A warm query must be bit-identical to the same query run cold."""
+
+    @pytest.mark.parametrize("algorithm", ["opim-c", "subsim"])
+    def test_second_query_matches_cold(self, wc_graph, algorithm):
+        warm = QuerySession(wc_graph, algorithm, seed=17)
+        warm.maximize(4, eps=0.3)
+        warm_second = warm.maximize(8, eps=0.3)
+
+        cold = QuerySession(wc_graph, algorithm, seed=17)
+        cold.maximize(4, eps=0.3)  # advance query index identically
+        cold_direct = QuerySession(wc_graph, algorithm, seed=17)
+        cold_direct.queries_served = 1
+        cold_result = cold_direct.maximize(8, eps=0.3)
+
+        assert warm_second.seeds == cold_result.seeds
+        assert warm_second.num_rr_sets == cold_result.num_rr_sets
+        assert warm_second.lower_bound == cold_result.lower_bound
+        assert warm_second.upper_bound == cold_result.upper_bound
+
+    def test_warm_query_reuses_sets(self, wc_graph):
+        session = QuerySession(wc_graph, "subsim", seed=5)
+        first = session.maximize(10, eps=0.3)
+        second = session.maximize(4, eps=0.3)
+        assert first.extras["session"]["sets_reused"] == 0
+        assert second.extras["session"]["sets_reused"] > 0
+        assert (
+            second.extras["session"]["sets_generated"]
+            <= first.extras["session"]["sets_generated"]
+        )
+
+    def test_session_metrics_accumulate(self, wc_graph):
+        session = QuerySession(wc_graph, "subsim", seed=5)
+        session.maximize(6, eps=0.3)
+        session.maximize(6, eps=0.3)
+        generated = session.metrics.value("bank.sets_generated")
+        reused = session.metrics.value("bank.sets_reused")
+        assert generated > 0
+        # An identical second query is served entirely from the pool.
+        assert reused == generated
+
+
+class TestSessionAcrossAlgorithms:
+    @pytest.mark.parametrize(
+        "algorithm,kwargs",
+        [
+            ("opim-c", {}),
+            ("subsim", {}),
+            ("hist", {}),
+            ("hist+subsim", {}),
+            ("imm", {"max_rr_sets": 2000}),
+            ("tim+", {"max_rr_sets": 2000}),
+            ("ssa", {}),
+            ("d-ssa", {}),
+            ("borgs-ris", {"scale_tau": 1e-4, "max_rr_sets": 5000}),
+        ],
+    )
+    def test_two_queries_smoke(self, wc_graph, algorithm, kwargs):
+        session = QuerySession(wc_graph, algorithm, seed=3, **kwargs)
+        r1 = session.maximize(3, eps=0.4)
+        r2 = session.maximize(5, eps=0.4)
+        assert len(r1.seeds) == 3
+        assert len(r2.seeds) == 5
+        assert r1.extras["session"]["query_index"] == 1
+        assert r2.extras["session"]["query_index"] == 2
+
+
+class TestSessionPersistence:
+    def test_save_restore_matches_live_session(self, wc_graph, tmp_path):
+        path = str(tmp_path / "session.npz")
+        live = QuerySession(wc_graph, "subsim", seed=23)
+        live.maximize(5, eps=0.3)
+        live.save(path)
+        continued = live.maximize(9, eps=0.3)
+
+        restored = QuerySession(wc_graph, "subsim", seed=23).restore(path)
+        assert restored.queries_served == 1
+        resumed = restored.maximize(9, eps=0.3)
+        assert resumed.seeds == continued.seeds
+        assert resumed.num_rr_sets == continued.num_rr_sets
+
+    def test_restore_rejects_other_algorithm(self, wc_graph, tmp_path):
+        path = str(tmp_path / "session.npz")
+        QuerySession(wc_graph, "subsim", seed=1).save(path)
+        with pytest.raises(CheckpointError):
+            QuerySession(wc_graph, "opim-c", seed=1).restore(path)
+
+    def test_restore_rejects_other_graph(self, wc_graph, er_graph, tmp_path):
+        path = str(tmp_path / "session.npz")
+        s = QuerySession(wc_graph, "subsim", seed=1)
+        s.maximize(3, eps=0.4)
+        s.save(path)
+        with pytest.raises(CheckpointError):
+            QuerySession(er_graph, "subsim", seed=1).restore(path)
+
+    def test_session_seed_must_be_int(self, wc_graph):
+        with pytest.raises(ConfigurationError):
+            QuerySession(wc_graph, "subsim", seed="nope")
+
+
+class TestSessionRunCheckpointConflict:
+    def test_banks_with_run_checkpoint_rejected(self, wc_graph, tmp_path):
+        session = QuerySession(wc_graph, "opim-c", seed=2)
+        algo = get_algorithm("opim-c", wc_graph)
+        with pytest.raises(ConfigurationError):
+            algo.run(
+                3,
+                eps=0.4,
+                checkpoint=str(tmp_path / "run.npz"),
+                banks=session.provider,
+            )

@@ -1,0 +1,270 @@
+"""Tests for RR banks and prefix views (the sampling-engine substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.rrsets.bank import RRBank
+from repro.rrsets.collection import RRCollection, RRPrefixView
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.runtime.checkpoint import counters_to_dict
+from repro.utils.exceptions import CheckpointError, ConfigurationError
+
+
+def _filled(graph, count, seed=0):
+    gen = VanillaICGenerator(graph)
+    pool = RRCollection(graph.n)
+    pool.extend(count, gen, np.random.default_rng(seed))
+    return pool
+
+
+def _bank(graph, seed=0, **kwargs):
+    return RRBank(
+        graph,
+        VanillaICGenerator(graph),
+        np.random.default_rng(seed),
+        **kwargs,
+    )
+
+
+class TestPrefixView:
+    def test_matches_truncated_pool(self, wc_graph):
+        pool = _filled(wc_graph, 80)
+        theta = 30
+        view = pool.prefix(theta)
+        assert isinstance(view, RRPrefixView)
+        assert view.num_rr == theta
+        assert view.n == pool.n
+        # Every per-set accessor agrees with the underlying sets.
+        sizes = view.set_sizes()
+        for i in range(theta):
+            nodes = view.set_nodes(i)
+            np.testing.assert_array_equal(nodes, pool.set_nodes(i))
+            assert sizes[i] == len(nodes)
+        assert view.total_size == int(sizes.sum())
+        assert view.average_size() == pytest.approx(sizes.mean())
+
+    def test_coverage_counts_naive(self, wc_graph):
+        pool = _filled(wc_graph, 60)
+        view = pool.prefix(25)
+        naive = np.zeros(pool.n, dtype=np.int64)
+        for i in range(25):
+            naive[pool.set_nodes(i)] += 1
+        np.testing.assert_array_equal(view.coverage_counts(), naive)
+
+    def test_rrs_containing_cut(self, wc_graph):
+        pool = _filled(wc_graph, 60)
+        view = pool.prefix(25)
+        for node in range(0, pool.n, 17):
+            ids = view.rrs_containing(node)
+            full = pool.rrs_containing(node)
+            np.testing.assert_array_equal(ids, full[full < 25])
+
+    def test_coverage_and_mask(self, wc_graph):
+        pool = _filled(wc_graph, 60)
+        view = pool.prefix(25)
+        seeds = [0, 5, 11]
+        mask = view.covered_mask(seeds)
+        assert mask.shape == (25,)
+        naive = sum(
+            1
+            for i in range(25)
+            if set(seeds) & set(int(v) for v in pool.set_nodes(i))
+        )
+        assert int(mask.sum()) == naive
+        assert view.coverage(seeds) == naive
+
+    def test_out_of_range_set_rejected(self, wc_graph):
+        pool = _filled(wc_graph, 20)
+        view = pool.prefix(10)
+        with pytest.raises(IndexError):
+            view.set_nodes(10)
+        with pytest.raises(IndexError):
+            view.nodes_of_sets(np.array([3, 10]))
+
+    def test_full_prefix_returns_collection(self, wc_graph):
+        pool = _filled(wc_graph, 20)
+        assert pool.prefix(20) is pool
+        assert pool.prefix(25) is pool
+
+    def test_bad_theta_rejected(self, wc_graph):
+        pool = _filled(wc_graph, 20)
+        with pytest.raises(ValueError):
+            RRPrefixView(pool, 21)
+        with pytest.raises(ValueError):
+            RRPrefixView(pool, -1)
+
+
+class TestBankGrowth:
+    def test_prefix_stability(self, wc_graph):
+        """Growing past theta never changes the first theta sets."""
+        warm = _bank(wc_graph, seed=11, reusable=True)
+        warm.ensure(40)
+        warm.ensure(160)
+        cold = _bank(wc_graph, seed=11, reusable=True)
+        cold.ensure(40)
+        for i in range(40):
+            np.testing.assert_array_equal(
+                warm.pool.set_nodes(i), cold.pool.set_nodes(i)
+            )
+
+    def test_ensure_returns_prefix_view(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        view = bank.ensure(30)
+        assert view.num_rr == 30
+        bank.ensure(60)
+        assert bank.view(30).num_rr == 30
+        assert bank.view(999).num_rr == 60
+
+    def test_take_sequential_and_skip_rejected(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        first = bank.take(0)
+        assert len(first) >= 1
+        bank.take(1)
+        with pytest.raises(IndexError):
+            bank.take(5)
+        # Re-taking an existing index serves the stored set.
+        np.testing.assert_array_equal(bank.take(0), bank.pool.set_nodes(0))
+
+    def test_counters_at_marks(self, wc_graph):
+        bank = _bank(wc_graph, seed=3, reusable=True)
+        bank.ensure(20)
+        at_20 = counters_to_dict(bank.generator.counters)
+        bank.ensure(80)
+        # Exact at a recorded boundary, even after later growth.
+        assert counters_to_dict(bank.counters_at(20)) == at_20
+        # Interior sizes fall back to the nearest mark at or below.
+        assert counters_to_dict(bank.counters_at(33)) == at_20
+        # The frontier reports the live counters.
+        assert bank.counters_at(80).sets_generated == 80
+
+    def test_query_counters_match_cold_run(self, wc_graph):
+        # 25 is a recorded stop of the warm bank's history, so a warm query
+        # consuming that prefix reports exactly what a cold run would.
+        warm = _bank(wc_graph, seed=7, reusable=True)
+        warm.ensure(25)
+        warm.ensure(100)
+        warm.begin_query(())
+        warm.ensure(25)
+        cold = _bank(wc_graph, seed=7, reusable=True)
+        cold.ensure(25)
+        assert counters_to_dict(warm.counters) == counters_to_dict(
+            cold.counters
+        )
+
+    def test_reuse_metrics_emitted(self, wc_graph):
+        from repro.observability.registry import MetricsRegistry
+
+        bank = _bank(wc_graph, reusable=True)
+        sink = MetricsRegistry()
+        bank.begin_query([sink])
+        bank.ensure(30)
+        bank.end_query()
+        assert sink.value("bank.sets_generated") == 30
+        assert sink.value("bank.sets_reused") == 0
+        bank.begin_query([sink])
+        bank.ensure(20)
+        bank.end_query()
+        assert sink.value("bank.sets_generated") == 30
+        assert sink.value("bank.sets_reused") == 20
+
+
+class TestBankEviction:
+    def test_byte_cap_evicts_between_queries(self, wc_graph):
+        bank = _bank(wc_graph, seed=5, reusable=True, byte_cap=1)
+        bank.begin_query(())
+        view = bank.ensure(50)
+        # The cap never interrupts the serving query...
+        assert view.num_rr == 50
+        assert bank.over_cap
+        # ...but end_query drops the pool.
+        assert bank.end_query()
+        assert bank.pool.num_rr == 0
+
+    def test_eviction_regenerates_identical_prefix(self, wc_graph):
+        bank = _bank(wc_graph, seed=5, reusable=True, byte_cap=1)
+        bank.begin_query(())
+        bank.ensure(50)
+        before = [bank.pool.set_nodes(i).copy() for i in range(50)]
+        bank.end_query()
+        bank.begin_query(())
+        bank.ensure(50)
+        for i in range(50):
+            np.testing.assert_array_equal(bank.pool.set_nodes(i), before[i])
+        assert bank.counters.sets_generated == 50
+
+    def test_transient_bank_cannot_evict(self, wc_graph):
+        bank = _bank(wc_graph, reusable=False)
+        with pytest.raises(ConfigurationError):
+            bank.evict()
+
+    def test_reusable_bank_cannot_reset(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        with pytest.raises(ConfigurationError):
+            bank.reset_pool()
+
+    def test_reset_pool_keeps_stream_advancing(self, wc_graph):
+        bank = _bank(wc_graph, seed=9)
+        bank.ensure(10)
+        first = bank.pool.set_nodes(0).copy()
+        bank.reset_pool()
+        assert bank.pool.num_rr == 0
+        bank.ensure(10)
+        # The stream moved on: the fresh pool is a different draw.
+        regenerated = [bank.pool.set_nodes(i) for i in range(10)]
+        assert any(
+            len(first) != len(r) or (first != r).any() for r in regenerated[:1]
+        ) or bank.generator.counters.sets_generated == 20
+
+
+class TestBankConfig:
+    def test_reusable_stop_mask_rejected(self, wc_graph):
+        mask = np.zeros(wc_graph.n, dtype=bool)
+        with pytest.raises(ConfigurationError):
+            _bank(wc_graph, reusable=True, stop_mask=mask)
+
+    def test_reusable_bank_rejects_call_site_mask(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        mask = np.zeros(wc_graph.n, dtype=bool)
+        with pytest.raises(ConfigurationError):
+            bank.ensure(5, stop_mask=mask)
+
+    def test_adopt_rejected_on_reusable(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        pool = _filled(wc_graph, 5)
+        with pytest.raises(ConfigurationError):
+            bank.adopt(pool, counters_to_dict(bank.generator.counters))
+
+
+class TestBankStateRoundTrip:
+    def test_state_dict_restores(self, wc_graph):
+        bank = _bank(wc_graph, seed=21, reusable=True)
+        bank.ensure(40)
+        payload = bank.state_dict()
+        pool = bank.pool
+
+        fresh = _bank(wc_graph, seed=21, reusable=True)
+        fresh.restore_state(payload, pool)
+        fresh.ensure(80)
+        straight = _bank(wc_graph, seed=21, reusable=True)
+        straight.ensure(80)
+        for i in range(80):
+            np.testing.assert_array_equal(
+                fresh.pool.set_nodes(i), straight.pool.set_nodes(i)
+            )
+
+    def test_restore_rejects_generator_mismatch(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        bank.ensure(5)
+        payload = bank.state_dict()
+        payload["generator"] = "SomethingElse"
+        fresh = _bank(wc_graph, reusable=True)
+        with pytest.raises(CheckpointError):
+            fresh.restore_state(payload, bank.pool)
+
+    def test_restore_rejects_pool_size_mismatch(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True)
+        bank.ensure(5)
+        payload = bank.state_dict()
+        fresh = _bank(wc_graph, reusable=True)
+        with pytest.raises(CheckpointError):
+            fresh.restore_state(payload, _filled(wc_graph, 3))
