@@ -68,6 +68,7 @@ class IMAlgorithm:
         self._resume_state = None
         self._batch_size = 1
         self._workers = 1
+        self._batched_mode: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -85,6 +86,7 @@ class IMAlgorithm:
         fault_injector: Optional[FaultInjector] = None,
         batch_size: int = 1,
         workers: int = 1,
+        batched_mode: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
         banks: Optional[BankProvider] = None,
@@ -114,6 +116,11 @@ class IMAlgorithm:
           sample the identical RR-set distribution.  ``workers > 1`` is
           incompatible with ``resume`` (resuming replays the recorded
           RNG schedule, which fan-out streams do not follow).
+        * ``batched_mode`` — override the vectorized kernel the batched
+          engine runs (``"ic"``, ``"subsim"`` or ``"lt"``); ``None`` (the
+          default) keeps the generator's own kernel.  The override must be
+          one of the generator's ``supported_batched_modes`` and only
+          matters when ``batch_size > 1`` or ``workers > 1``.
         * ``metrics`` — a :class:`~repro.observability.registry
           .MetricsRegistry` that the run populates (counters, RR-size
           histogram, pool-memory gauge); its snapshot lands in
@@ -146,6 +153,24 @@ class IMAlgorithm:
             )
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batched_mode is not None:
+            from repro.rrsets.batched import BATCHED_MODES
+
+            supported = getattr(
+                self.generator_cls, "supported_batched_modes", ()
+            )
+            if batched_mode not in BATCHED_MODES:
+                raise ConfigurationError(
+                    f"batched_mode must be one of "
+                    f"{', '.join(repr(m) for m in BATCHED_MODES)}, "
+                    f"got {batched_mode!r}"
+                )
+            if batched_mode not in supported:
+                offered = ", ".join(repr(m) for m in supported) or "none"
+                raise ConfigurationError(
+                    f"generator {self.generator_cls.__name__} supports "
+                    f"batched modes {offered}, not {batched_mode!r}"
+                )
         store = coerce_store(checkpoint, every=checkpoint_every)
         if banks is not None and (store is not None or resume):
             raise ConfigurationError(
@@ -175,6 +200,7 @@ class IMAlgorithm:
         self._resume_state = None
         self._batch_size = int(batch_size)
         self._workers = int(workers)
+        self._batched_mode = batched_mode
         if resume and store.exists():
             meta, pools = store.load()
             self._validate_resume(meta, k, eps, delta)
@@ -218,6 +244,7 @@ class IMAlgorithm:
             self._control = None
             self._batch_size = 1
             self._workers = 1
+            self._batched_mode = None
         result.runtime_seconds = time.perf_counter() - begin
         if control.active or control.checkpoint is not None:
             result.extras.setdefault("runtime", control.snapshot())
@@ -241,6 +268,8 @@ class IMAlgorithm:
             self._control.adopt_generator(gen)
         gen.batch_size = self._batch_size
         gen.workers = self._workers
+        if self._batched_mode is not None:
+            gen.batched_mode = self._batched_mode
         return gen
 
     def _bank(self, role: str, *, stop_mask=None, reusable: bool = True):
@@ -257,6 +286,7 @@ class IMAlgorithm:
             reusable=reusable,
             batch_size=self._batch_size,
             workers=self._workers,
+            batched_mode=self._batched_mode,
         )
 
     def _check(self) -> None:

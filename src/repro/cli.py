@@ -208,6 +208,7 @@ def cmd_run(args) -> int:
             "multiprocess fan-out does not follow. Re-run with --workers 1 "
             "to resume, or drop --resume to start a fresh parallel run."
         )
+    batched_mode = None if args.batched_mode == "auto" else args.batched_mode
     want_metrics = bool(args.metrics_out or args.report)
     want_trace = bool(args.trace_out or args.report)
     metrics = None
@@ -231,6 +232,7 @@ def cmd_run(args) -> int:
                     budget=make_budget(),
                     batch_size=args.batch_size,
                     workers=args.workers,
+                    batched_mode=batched_mode,
                     metrics=metrics,
                 )
                 entry = _run_payload(result, args, graph)
@@ -252,6 +254,7 @@ def cmd_run(args) -> int:
                     budget=make_budget(),
                     batch_size=args.batch_size,
                     workers=args.workers,
+                    batched_mode=batched_mode,
                     metrics=metrics,
                 )
                 entry = _run_payload(result, args, graph)
@@ -277,6 +280,7 @@ def cmd_run(args) -> int:
         resume=args.resume,
         batch_size=args.batch_size,
         workers=args.workers,
+        batched_mode=batched_mode,
         metrics=metrics,
         trace=want_trace,
     )
@@ -515,6 +519,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="W",
                    help="shard RR generation across W processes "
                         "(incompatible with --resume)")
+    p.add_argument("--batched-mode", default="auto",
+                   choices=["auto", "ic", "subsim", "lt"],
+                   help="vectorized kernel for the batched engine: auto "
+                        "keeps each generator's native kernel; ic forces "
+                        "per-edge coins, subsim bucket-skipping, lt the "
+                        "backward live-edge walk (only meaningful with "
+                        "--batch-size > 1 or --workers > 1)")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's metrics-registry snapshot "
                         "(counters, gauges, histograms) as JSON")

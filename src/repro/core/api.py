@@ -67,6 +67,7 @@ class InfluenceMaximizer:
         fault_injector=None,
         batch_size: int = 1,
         workers: int = 1,
+        batched_mode: Optional[str] = None,
         metrics=None,
         trace: bool = False,
         reuse_pool: bool = False,
@@ -82,6 +83,8 @@ class InfluenceMaximizer:
 
         ``budget``, ``cancel``, ``checkpoint``, ``checkpoint_every``,
         ``resume``, ``fault_injector``, ``batch_size``, ``workers``,
+        ``batched_mode`` (override the vectorized kernel the batched
+        engine runs — ``"ic"``, ``"subsim"`` or ``"lt"``),
         ``metrics`` (a
         :class:`~repro.observability.registry.MetricsRegistry` to populate)
         and ``trace`` (enable phase tracing) are forwarded verbatim to
@@ -120,6 +123,7 @@ class InfluenceMaximizer:
                 fault_injector=fault_injector,
                 batch_size=batch_size,
                 workers=workers,
+                batched_mode=batched_mode,
                 metrics=metrics,
                 trace=trace,
             )
@@ -137,6 +141,7 @@ class InfluenceMaximizer:
             fault_injector=fault_injector,
             batch_size=batch_size,
             workers=workers,
+            batched_mode=batched_mode,
             metrics=metrics,
             trace=trace,
         )
@@ -173,6 +178,7 @@ def maximize_influence(
     fault_injector=None,
     batch_size: int = 1,
     workers: int = 1,
+    batched_mode: Optional[str] = None,
     metrics=None,
     trace: bool = False,
     **algorithm_kwargs,
@@ -192,6 +198,7 @@ def maximize_influence(
         fault_injector=fault_injector,
         batch_size=batch_size,
         workers=workers,
+        batched_mode=batched_mode,
         metrics=metrics,
         trace=trace,
         **algorithm_kwargs,

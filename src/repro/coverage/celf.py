@@ -28,6 +28,7 @@ def celf_max_coverage(
     out_degree: Optional[np.ndarray] = None,
     initial_covered: Optional[np.ndarray] = None,
     metrics=None,
+    batch: int = 64,
 ) -> GreedyResult:
     """Greedy max-coverage via CELF lazy evaluation.
 
@@ -35,12 +36,24 @@ def celf_max_coverage(
     :func:`repro.coverage.greedy.max_coverage_greedy` (including the
     Algorithm 6 out-degree tie-break) but without Eq. 2 upper-bound
     tracking, which needs exact gains (``upper_bound_coverage`` is ``inf``).
-    An optional ``metrics`` registry records ``coverage.selections`` and the
-    lazy work measure ``coverage.lazy_reevaluations``.
+
+    Stale heap entries are re-evaluated in waves: up to ``batch`` entries
+    are popped together and their marginals recomputed in one vectorized
+    :meth:`~repro.rrsets.collection.RRCollection.uncovered_counts` pass
+    over the inverted index.  Within a round marginals are constant, so a
+    wave computes exactly the values a one-at-a-time loop would; a node is
+    still only *selected* when its fresh value tops the heap, which keeps
+    the seed sequence identical to the sequential formulation.  An optional
+    ``metrics`` registry records ``coverage.selections`` and the lazy work
+    measure ``coverage.lazy_reevaluations`` (wave re-evaluation may exceed
+    the one-at-a-time count: a wave can refresh entries a sequential pop
+    order would never have reached that round).
     """
     n = collection.n
     if not 1 <= select <= n:
         raise ConfigurationError(f"select must lie in [1, {n}], got {select}")
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
 
     num_rr = collection.num_rr
     covered = (
@@ -53,10 +66,7 @@ def celf_max_coverage(
             f"initial_covered has {len(covered)} entries for {num_rr} RR sets"
         )
     rrs_containing = collection.rrs_containing
-
-    def marginal(v: int) -> int:
-        ids = rrs_containing(v)
-        return len(ids) - int(covered[ids].sum()) if len(ids) else 0
+    uncovered_counts = collection.uncovered_counts
 
     def priority(v: int, gain: int):
         # Max-heap via negation; ties resolve toward larger out-degree,
@@ -64,7 +74,8 @@ def celf_max_coverage(
         degree = int(out_degree[v]) if out_degree is not None else 0
         return (-gain, -degree, v)
 
-    heap = [priority(v, marginal(v)) + (0,) for v in range(n)]
+    gains = uncovered_counts(np.arange(n, dtype=np.int64), covered)
+    heap = [priority(v, int(gains[v])) + (0,) for v in range(n)]
     heapq.heapify(heap)
 
     base = int(covered.sum())
@@ -77,12 +88,19 @@ def celf_max_coverage(
     while len(seeds) < select:
         round_idx += 1
         while True:
-            neg_gain, neg_deg, v, evaluated_at = heapq.heappop(heap)
-            if evaluated_at == round_idx:
+            if heap[0][3] == round_idx:
+                neg_gain, _, v, _ = heapq.heappop(heap)
                 break
-            fresh = marginal(v)
-            reevaluations += 1
-            heapq.heappush(heap, priority(v, fresh) + (round_idx,))
+            # Pop a wave of stale entries (stopping at the first fresh
+            # one) and refresh them in a single vectorized pass.
+            stale = []
+            while heap and len(stale) < batch and heap[0][3] != round_idx:
+                stale.append(heapq.heappop(heap))
+            nodes = np.array([entry[2] for entry in stale], dtype=np.int64)
+            fresh = uncovered_counts(nodes, covered)
+            reevaluations += len(stale)
+            for entry, gain in zip(stale, fresh.tolist()):
+                heapq.heappush(heap, priority(entry[2], gain) + (round_idx,))
         seeds.append(v)
         gain = -neg_gain
         coverage += gain

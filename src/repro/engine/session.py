@@ -129,6 +129,7 @@ class BankProvider:
         reusable: bool = True,
         batch_size: int = 1,
         workers: int = 1,
+        batched_mode: Optional[str] = None,
     ) -> RRBank:
         """The bank serving ``role`` for the current query.
 
@@ -174,6 +175,8 @@ class BankProvider:
             gen = bank.generator
             gen.batch_size = batch_size
             gen.workers = workers
+            if batched_mode is not None:
+                gen.batched_mode = batched_mode
             if self._control is not None:
                 self._control.adopt_generator(gen)
         sinks = [
@@ -264,6 +267,7 @@ class QuerySession:
         fault_injector: Optional[Any] = None,
         batch_size: int = 1,
         workers: int = 1,
+        batched_mode: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
     ) -> Any:
@@ -291,6 +295,7 @@ class QuerySession:
             fault_injector=fault_injector,
             batch_size=batch_size,
             workers=workers,
+            batched_mode=batched_mode,
             metrics=metrics,
             trace=trace,
             banks=self.provider,

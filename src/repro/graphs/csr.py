@@ -12,7 +12,7 @@ subset sampler (paper Section 3.3) and is harmless everywhere else.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -59,6 +59,7 @@ class CSRGraph:
         "uniform_in",
         "weight_model",
         "_fingerprint",
+        "_cache",
     )
 
     def __init__(
@@ -91,6 +92,7 @@ class CSRGraph:
             self.in_prob_sums[empty] = 0.0
         self.uniform_in = _uniform_in_flags(in_indptr, in_probs)
         self._fingerprint: Optional[str] = None
+        self._cache: Dict[str, Tuple[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -144,6 +146,38 @@ class CSRGraph:
                 digest.update(np.ascontiguousarray(array).tobytes())
             self._fingerprint = digest.hexdigest()[:16]
         return self._fingerprint
+
+    def cached(self, key: str, builder: Callable[["CSRGraph"], Any]) -> Any:
+        """Memoised per-graph preprocessing (sampler tables, kernel arrays).
+
+        Samplers derive immutable structures from the in-adjacency (bucket
+        boundaries, alias tables, sorted-segment arrays); caching them on
+        the graph lets every generator instance — sequential or batched —
+        share one build.  Entries are guarded by :meth:`fingerprint`, so a
+        stale entry can never serve a graph whose arrays differ, and the
+        cache is dropped on pickling (fan-out workers rebuild lazily).
+        """
+        fp = self.fingerprint()
+        entry = self._cache.get(key)
+        if entry is None or entry[0] != fp:
+            entry = (fp, builder(self))
+            self._cache[key] = entry
+        return entry[1]
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Exclude the preprocessing cache: worker processes rebuild what
+        # they need, and shipping alias/segment tables would bloat every
+        # fan-out pickle.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_cache"
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._cache = {}
 
     # ------------------------------------------------------------------
     # transforms

@@ -69,10 +69,15 @@ class RRGenerator:
     #: human-readable name used by benchmark tables
     name = "base"
     #: batched-engine kernel for this model: ``"ic"`` (vectorized coin
-    #: flips), ``"subsim"`` (vectorized geometric skipping on the uniform
-    #: path), or ``None`` — no kernel, ``generate_batch`` falls back to the
-    #: sequential loop.
+    #: flips), ``"subsim"`` (vectorized geometric/segment skipping),
+    #: ``"lt"`` (level-synchronous live-edge walks), or ``None`` — no
+    #: kernel, ``generate_batch`` falls back to the sequential loop.  An
+    #: instance-level assignment overrides the class default (the
+    #: ``batched_mode`` run parameter threads through here).
     batched_mode: Optional[str] = None
+    #: the kernels this generator's model can legally run; overrides
+    #: outside this tuple are rejected by the engine and by ``run()``.
+    supported_batched_modes: tuple = ()
 
     def __init__(self, graph: CSRGraph) -> None:
         self.graph = graph

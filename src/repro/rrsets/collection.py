@@ -28,6 +28,40 @@ from repro.rrsets.base import RRGenerator
 NODE_DTYPE = np.int32
 
 
+def _segment_uncovered(
+    inv_indptr: np.ndarray,
+    inv_rrs: np.ndarray,
+    nodes: np.ndarray,
+    covered: np.ndarray,
+    limit: Optional[int] = None,
+) -> np.ndarray:
+    """Per-node count of uncovered member sets from an inverted CSR.
+
+    ``limit`` restricts the count to set ids below it (prefix views);
+    ``covered`` is then indexed only by in-range ids, so a prefix-sized
+    mask is safe against a full-pool index.
+    """
+    starts = inv_indptr[nodes]
+    lens = inv_indptr[nodes + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(len(nodes), dtype=np.int64)
+    offsets = np.repeat(np.cumsum(lens) - lens, lens)
+    flat = np.repeat(starts, lens) + np.arange(total, dtype=np.int64) - offsets
+    ids = inv_rrs[flat]
+    if limit is None:
+        fresh = (~covered[ids]).astype(np.int64)
+    else:
+        fresh = np.zeros(total, dtype=np.int64)
+        kept = np.flatnonzero(ids < limit)
+        fresh[kept] = ~covered[ids[kept]]
+    # Segmented sums via cumsum differences: reduceat mishandles the empty
+    # segments that zero-membership nodes produce.
+    csum = np.concatenate(([0], np.cumsum(fresh)))
+    bounds = np.concatenate(([0], np.cumsum(lens)))
+    return csum[bounds[1:]] - csum[bounds[:-1]]
+
+
 class _RRSetsView(Sequence):
     """Read-only sequence view presenting the flat pool as per-set arrays."""
 
@@ -143,6 +177,18 @@ class RRPrefixView:
                 f"RR-set id {int(rr_ids.max())} out of prefix [0, {self.num_rr})"
             )
         return self._coll.nodes_of_sets(rr_ids)
+
+    def uncovered_counts(
+        self, nodes: np.ndarray, covered: np.ndarray
+    ) -> np.ndarray:
+        """Per-node count of uncovered prefix sets containing each node."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return np.zeros(0, dtype=np.int64)
+        inv_indptr, inv_rrs = self._coll._inverted()
+        return _segment_uncovered(
+            inv_indptr, inv_rrs, nodes, covered, limit=self.num_rr
+        )
 
     def per_set_sums(
         self, values: np.ndarray, stop: Optional[int] = None
@@ -384,6 +430,21 @@ class RRCollection:
             raise IndexError(f"node {node} out of range [0, {self.n})")
         inv_indptr, inv_rrs = self._inverted()
         return inv_rrs[inv_indptr[node]: inv_indptr[node + 1]]
+
+    def uncovered_counts(
+        self, nodes: np.ndarray, covered: np.ndarray
+    ) -> np.ndarray:
+        """Per-node count of *uncovered* sets containing each queried node.
+
+        One ragged gather over the inverted CSR plus a segmented sum — the
+        exact marginal-gain vector CELF's batched lazy re-evaluation needs,
+        with no per-node Python work.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return np.zeros(0, dtype=np.int64)
+        inv_indptr, inv_rrs = self._inverted()
+        return _segment_uncovered(inv_indptr, inv_rrs, nodes, covered)
 
     def nodes_of_sets(self, rr_ids: np.ndarray) -> np.ndarray:
         """Concatenated nodes of the given RR sets (duplicates across sets

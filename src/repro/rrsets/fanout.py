@@ -53,8 +53,15 @@ def _worker_generate(args):
     *not* the generation counters, which travel in the dedicated totals
     tuple and are folded into the parent generator's counters).
     """
-    generator_cls, graph, count, batch_size, child_seq, stop_mask, want = args
+    (
+        generator_cls, graph, count, batch_size, child_seq, stop_mask, want,
+        batched_mode,
+    ) = args
     gen = generator_cls(graph)
+    # The parent's kernel selection travels with the job: a worker-built
+    # generator must run the same batched mode the requesting generator
+    # resolved (including any per-run override).
+    gen.batched_mode = batched_mode
     if want:
         from repro.observability.registry import MetricsRegistry
 
@@ -127,7 +134,7 @@ def generate_multiprocess(
         child = np.random.SeedSequence(entropy).spawn(1)[0]
         args = (
             type(gen), gen.graph, count, batch_size, child, stop_mask,
-            want_metrics,
+            want_metrics, gen.batched_mode,
         )
         nodes, sizes, totals, payload = _worker_generate(args)
         _merge_counters(gen.counters, totals)
@@ -141,7 +148,7 @@ def generate_multiprocess(
     jobs = [
         (
             type(gen), gen.graph, shards[r], batch_size, children[r],
-            stop_mask, want_metrics,
+            stop_mask, want_metrics, gen.batched_mode,
         )
         for r in range(effective)
     ]

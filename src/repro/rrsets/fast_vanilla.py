@@ -31,6 +31,7 @@ class FastVanillaICGenerator(RRGenerator):
 
     name = "fast-vanilla"
     batched_mode = "ic"
+    supported_batched_modes = ("ic",)
 
     def generate(
         self,

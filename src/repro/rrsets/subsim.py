@@ -37,6 +37,7 @@ import numpy as np
 from repro.graphs.csr import CSRGraph
 from repro.rrsets.base import RRGenerator
 from repro.sampling.bucket import BucketSampler, IndexedBucketSampler
+from repro.sampling.precompute import node_sampler_dict, uniform_arrays
 from repro.utils.exceptions import ExecutionInterrupted
 
 _TINY = 2.2250738585072014e-308  # smallest positive normal double
@@ -49,6 +50,7 @@ class SubsimICGenerator(RRGenerator):
 
     name = "subsim"
     batched_mode = "subsim"
+    supported_batched_modes = ("subsim", "ic")
 
     def __init__(self, graph: CSRGraph, general_mode: str = "sorted") -> None:
         super().__init__(graph)
@@ -57,22 +59,18 @@ class SubsimICGenerator(RRGenerator):
                 f"general_mode must be one of {_GENERAL_MODES}, got {general_mode!r}"
             )
         self.general_mode = general_mode
-        deg = graph.in_degree()
-        nonempty = deg > 0
-        first = np.zeros(graph.n, dtype=np.float64)
-        first[nonempty] = graph.in_probs[graph.in_indptr[:-1][nonempty]]
-        self._is_uniform = graph.uniform_in & nonempty
-        self._uniform_p = np.where(self._is_uniform, first, 0.0)
-        self._log_one_minus_p = np.zeros(graph.n, dtype=np.float64)
-        mid = self._is_uniform & (self._uniform_p > 0.0) & (self._uniform_p < 1.0)
-        self._log_one_minus_p[mid] = np.log1p(-self._uniform_p[mid])
-        # Probabilities below ~1e-300 underflow log1p to a denormal whose
-        # reciprocal overflows; such nodes are unsampleable in practice, so
-        # fold them into the p == 0 fast path.
-        degenerate = mid & (self._log_one_minus_p > -1e-300)
-        self._uniform_p[degenerate] = 0.0
-        # Lazily built per-node samplers for the "bucket"/"indexed" modes.
-        self._node_samplers: Dict[int, BucketSampler] = {}
+        # Per-node uniform-rate arrays, cached on the graph: every generator
+        # instance over this graph (bank roles, fan-out workers, repeated
+        # queries) shares one build.  The arrays are never mutated here.
+        arrays = uniform_arrays(graph)
+        self._is_uniform = arrays.is_uniform
+        self._uniform_p = arrays.p
+        self._log_one_minus_p = arrays.log1mp
+        # Lazily built per-node samplers for the "bucket"/"indexed" modes,
+        # shared across instances through the graph cache as well.
+        self._node_samplers: Dict[int, BucketSampler] = node_sampler_dict(
+            graph, general_mode
+        )
 
     # ------------------------------------------------------------------
     def generate(

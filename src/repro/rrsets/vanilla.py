@@ -28,6 +28,7 @@ class VanillaICGenerator(RRGenerator):
 
     name = "vanilla"
     batched_mode = "ic"
+    supported_batched_modes = ("ic",)
 
     def generate(
         self,

@@ -6,9 +6,50 @@ visited bucket in constant time, and exported as a general utility.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
+
+
+def build_alias_arrays(
+    weights: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Walker construction: return the ``(prob, alias)`` arrays directly.
+
+    The flat form lets callers (the batched LT kernel) concatenate many
+    per-node tables into one pair of arrays; :class:`AliasTable` wraps the
+    same construction for single-table use.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or len(weights) == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = float(weights.sum())
+    if total <= 0.0:
+        raise ValueError("weights must have a positive sum")
+
+    n = len(weights)
+    # Divide before scaling: n / total can overflow to inf for denormal
+    # totals, poisoning the small/large partition with NaNs.
+    scaled = (weights / total) * n
+    prob = np.ones(n, dtype=np.float64)
+    alias = np.arange(n, dtype=np.int64)
+
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    while small and large:
+        s = small.pop()
+        big = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = big
+        scaled[big] = scaled[big] - (1.0 - scaled[s])
+        if scaled[big] < 1.0:
+            small.append(big)
+        else:
+            large.append(big)
+    # Residual entries (floating-point leftovers) keep prob == 1.
+    return prob, alias
 
 
 class AliasTable:
@@ -21,39 +62,8 @@ class AliasTable:
     __slots__ = ("_prob", "_alias", "_n")
 
     def __init__(self, weights: Sequence[float]) -> None:
-        weights = np.asarray(weights, dtype=np.float64)
-        if weights.ndim != 1 or len(weights) == 0:
-            raise ValueError("weights must be a non-empty 1-D sequence")
-        if (weights < 0).any():
-            raise ValueError("weights must be non-negative")
-        total = float(weights.sum())
-        if total <= 0.0:
-            raise ValueError("weights must have a positive sum")
-
-        n = len(weights)
-        # Divide before scaling: n / total can overflow to inf for denormal
-        # totals, poisoning the small/large partition with NaNs.
-        scaled = (weights / total) * n
-        prob = np.ones(n, dtype=np.float64)
-        alias = np.arange(n, dtype=np.int64)
-
-        small = [i for i in range(n) if scaled[i] < 1.0]
-        large = [i for i in range(n) if scaled[i] >= 1.0]
-        while small and large:
-            s = small.pop()
-            l = large.pop()
-            prob[s] = scaled[s]
-            alias[s] = l
-            scaled[l] = scaled[l] - (1.0 - scaled[s])
-            if scaled[l] < 1.0:
-                small.append(l)
-            else:
-                large.append(l)
-        # Residual entries (floating-point leftovers) keep prob == 1.
-
-        self._prob = prob
-        self._alias = alias
-        self._n = n
+        self._prob, self._alias = build_alias_arrays(weights)
+        self._n = len(self._prob)
 
     def __len__(self) -> int:
         return self._n
