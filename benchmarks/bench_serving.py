@@ -1,0 +1,215 @@
+"""Serving benchmark: warm vs. cold query throughput and overload shedding.
+
+Boots an in-process :class:`~repro.serving.server.QueryServer` and drives
+it over HTTP three ways:
+
+* **cold pass** — every query arrives from a distinct tenant, so each one
+  builds a fresh session and pays full RR-set generation;
+* **warm pass** — the same tenant repeats the query sequence, so later
+  queries select over banks the earlier ones filled;
+* **overload flood** — a one-worker server with a short queue takes a
+  burst of concurrent requests and must shed the excess with clean 429s.
+
+Results go to ``benchmarks/results/BENCH_serving.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full (n=10^4)
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick    # CI smoke
+
+``--quick`` shrinks the graph so the whole run finishes in seconds; quick
+results carry ``"quick": true`` and are written to
+``BENCH_serving_quick.json`` so a smoke run never overwrites the committed
+full-size numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.serving import GraphRegistry, QueryServer, ServeClient, ServerConfig
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
+#: ``--quick`` runs land here so a CI smoke run can never clobber the
+#: committed full-size numbers in BENCH_serving.json
+QUICK_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_serving_quick.json"
+)
+
+
+def _timed_pass(client: ServeClient, queries: list) -> dict:
+    """Serve ``(tenant, k)`` queries in order; report wall time and reuse."""
+    rows = []
+    start = time.perf_counter()
+    for tenant, k in queries:
+        status, payload = client.query("bench", k, tenant=tenant)
+        assert status == 200 and payload["status"] == "complete", payload
+        rows.append(
+            {
+                "tenant": tenant,
+                "k": k,
+                "sets_generated": payload["session"]["sets_generated"],
+                "sets_reused": payload["session"]["sets_reused"],
+            }
+        )
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_seconds": round(elapsed, 6),
+        "qps": round(len(queries) / elapsed, 4),
+        "total_generated": sum(r["sets_generated"] for r in rows),
+        "total_reused": sum(r["sets_reused"] for r in rows),
+        "queries": rows,
+    }
+
+
+def _flood(address: tuple, graph_name: str, k: int, clients: int) -> dict:
+    """Hit the server with ``clients`` concurrent queries; tally outcomes."""
+    statuses = []
+    lock = threading.Lock()
+
+    def one(index: int) -> None:
+        status, _ = ServeClient(*address).query(
+            graph_name, k, tenant=f"flood-{index}"
+        )
+        with lock:
+            statuses.append(status)
+
+    threads = [
+        threading.Thread(target=one, args=(i,)) for i in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    served = statuses.count(200)
+    shed = statuses.count(429)
+    return {
+        "clients": clients,
+        "wall_seconds": round(elapsed, 6),
+        "served": served,
+        "shed": shed,
+        "shed_rate": round(shed / clients, 4),
+    }
+
+
+def run_benchmark(
+    n: int = 10_000,
+    degree: int = 10,
+    algorithm: str = "subsim",
+    ks: tuple = (50, 20, 10),
+    eps: float = 0.3,
+    seed: int = 7,
+    flood_clients: int = 24,
+    quick: bool = False,
+) -> dict:
+    """Warm vs. cold qps over HTTP, then an overload flood on one worker."""
+    if quick:
+        n = 1_500
+        flood_clients = 8
+    graph = wc_weights(
+        preferential_attachment(n, degree, seed=1, reciprocal=0.3)
+    )
+    registry = GraphRegistry()
+    registry.add_graph("bench", graph)
+    config = ServerConfig(
+        algorithm=algorithm, eps=eps, seed=seed, workers=2, max_pending=64
+    )
+    with QueryServer(config, registry=registry) as server:
+        client = ServeClient(*server.address, timeout=600.0)
+        # Cold: distinct tenants, so every query builds a fresh session.
+        cold = _timed_pass(
+            client, [(f"cold-{i}", k) for i, k in enumerate(ks)]
+        )
+        # Warm: one tenant replays the sequence over its now-filled banks.
+        warm = _timed_pass(client, [("warm", k) for k in ks])
+
+    # Overload: one worker, short queue, concurrent burst.  The server
+    # must serve what it can and shed the rest with clean 429s.
+    overload_config = ServerConfig(
+        algorithm=algorithm, eps=eps, seed=seed, workers=1, max_pending=2
+    )
+    with QueryServer(overload_config, registry=registry) as server:
+        overload = _flood(server.address, "bench", min(ks), flood_clients)
+        shed_counters = server.metrics_snapshot()["counters"]
+    assert overload["served"] + overload["shed"] == overload["clients"]
+
+    return {
+        "benchmark": "serving",
+        "quick": quick,
+        "graph": {"model": "pa+wc", "n": graph.n, "m": graph.m},
+        "algorithm": algorithm,
+        "ks": list(ks),
+        "eps": eps,
+        "seed": seed,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(cold["wall_seconds"] / warm["wall_seconds"], 4),
+        "overload": overload,
+        "overload_counters": {
+            key: value
+            for key, value in shed_counters.items()
+            if key.startswith("serving.")
+        },
+    }
+
+
+def write_report(report: dict, path: Path = RESULTS_PATH) -> Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph; for CI smoke runs")
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--algorithm", default="subsim")
+    parser.add_argument("--ks", default="50,20,10",
+                        help="comma-separated query sizes, served in order")
+    parser.add_argument("--eps", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--flood-clients", type=int, default=24,
+                        help="concurrent clients in the overload burst")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="result file (default: BENCH_serving.json, or "
+                             "BENCH_serving_quick.json with --quick)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = QUICK_RESULTS_PATH if args.quick else RESULTS_PATH
+
+    ks = tuple(int(s) for s in args.ks.split(","))
+    report = run_benchmark(
+        n=args.n, algorithm=args.algorithm, ks=ks, eps=args.eps,
+        seed=args.seed, flood_clients=args.flood_clients, quick=args.quick,
+    )
+    path = write_report(report, args.output)
+    for label in ("cold", "warm"):
+        block = report[label]
+        print(
+            f"{label}: {block['wall_seconds']:.3f}s  "
+            f"{block['qps']:.2f} qps  "
+            f"generated {block['total_generated']:>8,}  "
+            f"reused {block['total_reused']:>8,}"
+        )
+    print(f"warm speedup: {report['warm_speedup']:.2f}x")
+    overload = report["overload"]
+    print(
+        f"overload: {overload['served']} served / {overload['shed']} shed "
+        f"of {overload['clients']} "
+        f"(shed rate {overload['shed_rate'] * 100:.0f}%)"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

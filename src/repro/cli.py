@@ -10,14 +10,20 @@ Subcommands mirror the library's workflow:
   average RR-set size.
 * ``rr-stats`` — average RR-set size and generation cost per generator.
 * ``experiment`` — regenerate one of the paper's figures/tables.
+* ``serve`` / ``query`` — run the resilient multi-tenant query daemon and
+  talk to it.
 
-Every command accepts ``--seed`` for reproducibility.
+Every command accepts ``--seed`` for reproducibility.  Ctrl-C during
+``run`` cancels cooperatively: the partial result (with its
+``complete=False`` certificate) is printed and the process exits with
+code 130 instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import List, Optional
 
@@ -35,6 +41,10 @@ from repro.rrsets.subsim import SubsimICGenerator
 from repro.rrsets.vanilla import VanillaICGenerator
 from repro.runtime.budget import Budget
 from repro.utils.exceptions import ReproError
+
+#: exit code for a run interrupted by Ctrl-C (after printing the partial
+#: result + certificate) — 128 + SIGINT, distinct from error exit 2
+EXIT_INTERRUPTED = 130
 
 _GENERATOR_CLASSES = {
     "vanilla": VanillaICGenerator,
@@ -81,25 +91,43 @@ def _save(graph: CSRGraph, path: str) -> None:
 
 def _apply_weights(graph: CSRGraph, scheme: str, seed: int) -> CSRGraph:
     """Apply a weight scheme named like "wc", "wc-variant:2.5", "uniform:0.01"."""
-    name, _, arg = scheme.partition(":")
-    if name == "wc":
-        return weights.wc_weights(graph)
-    if name == "wc-variant":
-        return weights.wc_variant_weights(graph, float(arg))
-    if name == "uniform":
-        return weights.uniform_weights(graph, float(arg))
-    if name == "exponential":
-        return weights.exponential_weights(graph, seed=seed)
-    if name == "weibull":
-        return weights.weibull_weights(graph, seed=seed)
-    if name == "trivalency":
-        return weights.trivalency_weights(graph, seed=seed)
-    if name == "lt":
-        return weights.lt_normalized_weights(graph)
-    raise ReproError(
-        f"unknown weight scheme {scheme!r}; use wc, wc-variant:<theta>, "
-        "uniform:<p>, exponential, weibull, trivalency, or lt"
-    )
+    return weights.apply_scheme(graph, scheme, seed=seed)
+
+
+class _SigintCancel:
+    """Turn Ctrl-C into a cooperative cancellation instead of a traceback.
+
+    While active, the first SIGINT cancels the run's
+    :class:`~repro.runtime.cancellation.CancellationToken`, so the
+    algorithm degrades to a ``status="partial"`` result whose certificate
+    the CLI then prints; a second SIGINT restores the default behavior
+    (hard exit) in case the run ignores the token.
+    """
+
+    def __init__(self) -> None:
+        from repro.runtime.cancellation import CancellationToken
+
+        self.token = CancellationToken()
+        self._previous = None
+
+    def _handle(self, signum, frame) -> None:
+        self.token.cancel("cancelled")
+        print("interrupt: finishing with partial results "
+              "(Ctrl-C again to force quit)", file=sys.stderr)
+        if self._previous is not None:
+            signal.signal(signal.SIGINT, self._previous)
+
+    def __enter__(self) -> "_SigintCancel":
+        try:
+            self._previous = signal.signal(signal.SIGINT, self._handle)
+        except ValueError:  # not the main thread; run uninterruptible
+            self._previous = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is not None:
+            signal.signal(signal.SIGINT, self._previous)
+            self._previous = None
 
 
 # ----------------------------------------------------------------------
@@ -148,7 +176,20 @@ def _run_payload(result, args, graph) -> dict:
         "certified_ratio": round(result.approx_ratio_certified, 4),
     }
     if result.is_partial:
+        from repro.core.certify import partial_certificate
+
+        certificate = partial_certificate(result)
         payload["stop_reason"] = result.stop_reason
+        payload["certificate"] = {
+            "ratio": round(certificate.ratio, 4),
+            "lower_bound": round(certificate.lower_bound, 2),
+            "upper_bound": (
+                certificate.upper_bound
+                if certificate.upper_bound == float("inf")
+                else round(certificate.upper_bound, 2)
+            ),
+            "complete": certificate.complete,
+        }
     if args.evaluate:
         spread = estimate_spread(
             graph, result.seeds,
@@ -219,71 +260,83 @@ def cmd_run(args) -> int:
 
     if ks is not None:
         queries = []
-        if args.reuse_pool:
-            from repro.engine.session import QuerySession
+        cancelled = False
+        with _SigintCancel() as interrupt:
+            if args.reuse_pool:
+                from repro.engine.session import QuerySession
 
-            session = QuerySession(
-                graph, args.algorithm, seed=args.seed, **kwargs
-            )
-            for k in ks:
-                result = session.maximize(
-                    k,
-                    eps=args.eps,
-                    budget=make_budget(),
-                    batch_size=args.batch_size,
-                    workers=args.workers,
-                    batched_mode=batched_mode,
-                    metrics=metrics,
+                session = QuerySession(
+                    graph, args.algorithm, seed=args.seed, **kwargs
                 )
-                entry = _run_payload(result, args, graph)
-                entry["k"] = k
-                entry["session"] = result.extras.get("session")
-                queries.append(entry)
-            session_block = {
-                "reuse_pool": True,
-                "sets_generated": session.metrics.value("bank.sets_generated"),
-                "sets_reused": session.metrics.value("bank.sets_reused"),
-            }
-        else:
-            algo = get_algorithm(args.algorithm, graph, **kwargs)
-            for k in ks:
-                result = algo.run(
-                    k,
-                    eps=args.eps,
-                    seed=args.seed,
-                    budget=make_budget(),
-                    batch_size=args.batch_size,
-                    workers=args.workers,
-                    batched_mode=batched_mode,
-                    metrics=metrics,
-                )
-                entry = _run_payload(result, args, graph)
-                entry["k"] = k
-                queries.append(entry)
-            session_block = {"reuse_pool": False}
+                for k in ks:
+                    result = session.maximize(
+                        k,
+                        eps=args.eps,
+                        budget=make_budget(),
+                        cancel=interrupt.token,
+                        batch_size=args.batch_size,
+                        workers=args.workers,
+                        batched_mode=batched_mode,
+                        metrics=metrics,
+                    )
+                    entry = _run_payload(result, args, graph)
+                    entry["k"] = k
+                    entry["session"] = result.extras.get("session")
+                    queries.append(entry)
+                    if interrupt.token.cancelled:
+                        cancelled = True
+                        break
+                session_block = {
+                    "reuse_pool": True,
+                    "sets_generated": session.metrics.value("bank.sets_generated"),
+                    "sets_reused": session.metrics.value("bank.sets_reused"),
+                }
+            else:
+                algo = get_algorithm(args.algorithm, graph, **kwargs)
+                for k in ks:
+                    result = algo.run(
+                        k,
+                        eps=args.eps,
+                        seed=args.seed,
+                        budget=make_budget(),
+                        cancel=interrupt.token,
+                        batch_size=args.batch_size,
+                        workers=args.workers,
+                        batched_mode=batched_mode,
+                        metrics=metrics,
+                    )
+                    entry = _run_payload(result, args, graph)
+                    entry["k"] = k
+                    queries.append(entry)
+                    if interrupt.token.cancelled:
+                        cancelled = True
+                        break
+                session_block = {"reuse_pool": False}
         if args.metrics_out:
             _write_json(args.metrics_out, metrics.snapshot())
         print(json.dumps(
             {"queries": queries, "session": session_block},
             indent=2, default=int,
         ))
-        return 0
+        return EXIT_INTERRUPTED if cancelled else 0
 
     algo = get_algorithm(args.algorithm, graph, **kwargs)
-    result = algo.run(
-        args.k,
-        eps=args.eps,
-        seed=args.seed,
-        budget=make_budget(),
-        checkpoint=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-        batch_size=args.batch_size,
-        workers=args.workers,
-        batched_mode=batched_mode,
-        metrics=metrics,
-        trace=want_trace,
-    )
+    with _SigintCancel() as interrupt:
+        result = algo.run(
+            args.k,
+            eps=args.eps,
+            seed=args.seed,
+            budget=make_budget(),
+            cancel=interrupt.token,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            batch_size=args.batch_size,
+            workers=args.workers,
+            batched_mode=batched_mode,
+            metrics=metrics,
+            trace=want_trace,
+        )
     if args.metrics_out:
         _write_json(args.metrics_out, metrics.snapshot())
     if args.trace_out:
@@ -299,6 +352,8 @@ def cmd_run(args) -> int:
             trace=result.extras.get("trace"),
         ).write(args.report)
     print(json.dumps(_run_payload(result, args, graph), indent=2, default=int))
+    if result.is_partial and result.stop_reason == "cancelled":
+        return EXIT_INTERRUPTED
     return 0
 
 
@@ -431,6 +486,81 @@ def cmd_profile(args) -> int:
     print(render_table([profile.summary_row()], title="RR-set size profile"))
     print(profile.histogram_chart())
     return 0
+
+
+def _parse_graph_specs(specs: List[str]) -> List[tuple]:
+    """Parse repeated ``--graph NAME=PATH`` arguments."""
+    parsed = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ReproError(
+                f"--graph expects NAME=PATH, got {spec!r}"
+            )
+        parsed.append((name, path))
+    return parsed
+
+
+def cmd_serve(args) -> int:
+    from repro.serving import GraphRegistry, QueryServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        algorithm=args.algorithm,
+        eps=args.eps,
+        seed=args.seed,
+        byte_cap=args.byte_cap,
+        default_deadline=args.default_deadline,
+        lifetime_budget=Budget(
+            max_edges_examined=args.max_edges,
+            max_rr_sets=args.max_rr_sets,
+        ),
+        query_retries=args.query_retries,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_every=args.snapshot_every,
+    )
+    registry = GraphRegistry()
+    for name, path in _parse_graph_specs(args.graph):
+        registry.add_path(name, path, weight_scheme=args.weights, seed=args.seed)
+    server = QueryServer(config, registry=registry)
+    server.start()
+    host, port = server.address
+    # flush: supervisors (and CI) read this banner through a pipe to
+    # learn the bound port, so it must not sit in a block buffer.
+    print(f"serving {registry.names()} on http://{host}:{port} "
+          f"({config.workers} workers, algorithm {config.algorithm})",
+          flush=True)
+    try:
+        while True:
+            signal.pause()
+    except KeyboardInterrupt:
+        print("shutting down: draining workers and snapshotting sessions",
+              file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.serving import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    status_code, payload = client.query(
+        args.graph,
+        args.k,
+        tenant=args.tenant,
+        eps=args.eps,
+        deadline_seconds=args.deadline,
+    )
+    print(json.dumps(payload, indent=2, default=float))
+    if status_code == 200:
+        return 0
+    if status_code == 429:
+        return 3  # shed: the caller should back off and retry
+    return 2
 
 
 def cmd_stability(args) -> int:
@@ -597,6 +727,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_profile)
 
+    p = sub.add_parser("serve", help="run the multi-tenant query daemon")
+    p.add_argument("--graph", action="append", required=True,
+                   metavar="NAME=PATH",
+                   help="register a graph file under NAME (repeatable)")
+    p.add_argument("--weights", default=None,
+                   help="weight scheme applied to every loaded graph")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337,
+                   help="bind port (0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-pending", type=int, default=8,
+                   help="dispatch-queue bound; excess requests shed with 429")
+    p.add_argument("--algorithm", default="subsim",
+                   choices=available_algorithms())
+    p.add_argument("--eps", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--byte-cap", type=int, default=None,
+                   help="per-session RR-bank byte cap (eviction between "
+                        "queries)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS")
+    p.add_argument("--max-edges", type=int, default=None,
+                   help="lifetime edge-examination budget; exhaustion sheds "
+                        "new requests")
+    p.add_argument("--max-rr-sets", type=int, default=None,
+                   help="lifetime RR-set budget; exhaustion sheds new "
+                        "requests")
+    p.add_argument("--query-retries", type=int, default=1)
+    p.add_argument("--snapshot-dir", default=None,
+                   help="session snapshot directory (enables crash recovery)")
+    p.add_argument("--snapshot-every", type=int, default=1)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query", help="send one query to a running daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337)
+    p.add_argument("--graph", required=True)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--eps", type=float, default=None)
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="client-side HTTP timeout")
+    p.set_defaults(func=cmd_query)
+
     p = sub.add_parser("stability", help="seed-set stability across runs")
     p.add_argument("graph")
     p.add_argument("--algorithm", default="subsim",
@@ -620,6 +795,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # A Ctrl-C outside a cancellable run (or a forced second one):
+        # still no traceback, and the exit code states what happened.
+        print("error: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

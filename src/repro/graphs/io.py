@@ -11,8 +11,9 @@ exception chained as ``__cause__``, so callers catch one type and can still
 distinguish transient I/O faults (``isinstance(exc.__cause__, OSError)``)
 from permanent format errors.  The ``*_with_retry`` variants exploit
 exactly that distinction: transient failures are retried with bounded,
-jittered exponential backoff (sleep and jitter RNG are injectable for
-tests); format errors are never retried.
+jittered exponential backoff under a max-total-wait cap (sleep and jitter
+RNG are injectable for tests); format errors are never retried, and the
+error that finally surfaces records its ``attempts`` / ``total_wait``.
 """
 
 from __future__ import annotations
@@ -147,22 +148,38 @@ def _retry_load(
     sleep: Callable[[float], None],
     seed: SeedLike,
     kwargs: dict,
+    max_total_wait: Optional[float] = None,
 ) -> CSRGraph:
     if retries < 0:
         raise GraphFormatError(f"retries must be >= 0, got {retries}")
+    if max_total_wait is not None and max_total_wait < 0:
+        raise GraphFormatError(
+            f"max_total_wait must be >= 0, got {max_total_wait}"
+        )
     rng = as_generator(seed)
     attempt = 0
+    waited = 0.0
     while True:
         attempt += 1
         try:
             return loader(path, **kwargs)
         except GraphFormatError as exc:
+            # Surface how hard the loader tried, so the caller's error
+            # report can distinguish "failed instantly" from "retried N
+            # times over S seconds and gave up".
+            exc.attempts = attempt
+            exc.total_wait = waited
             transient = isinstance(exc.__cause__, OSError)
             if not transient or attempt > retries:
                 raise
             delay = backoff * (2.0 ** (attempt - 1))
             if jitter > 0:
                 delay *= 1.0 + jitter * float(rng.random())
+            if max_total_wait is not None and waited + delay > max_total_wait:
+                # The cap bounds cumulative sleep, not attempts: stop
+                # retrying once the next backoff would blow it.
+                raise
+            waited += delay
             sleep(delay)
 
 
@@ -173,6 +190,7 @@ def load_edge_list_with_retry(
     jitter: float = 0.5,
     sleep: Callable[[float], None] = time.sleep,
     seed: SeedLike = None,
+    max_total_wait: Optional[float] = 30.0,
     **kwargs,
 ) -> CSRGraph:
     """:func:`load_edge_list` with bounded retry on *transient* failures.
@@ -180,12 +198,16 @@ def load_edge_list_with_retry(
     Only errors whose chained cause is :class:`OSError` (vanished file,
     permission flap, network filesystem hiccup) are retried — up to
     ``retries`` extra attempts with exponential backoff ``backoff * 2^i``
-    scaled by a seeded jitter factor in ``[1, 1 + jitter]``.  Malformed
-    content fails immediately.  ``sleep`` is injectable so tests run
-    instantly.
+    scaled by a seeded jitter factor in ``[1, 1 + jitter]``, and never
+    sleeping more than ``max_total_wait`` seconds in total (``None``
+    removes the cap).  Malformed content fails immediately.  ``sleep`` is
+    injectable so tests run instantly.  A raised
+    :class:`GraphFormatError` carries ``attempts`` and ``total_wait``
+    attributes recording how hard the loader tried.
     """
     return _retry_load(
-        load_edge_list, path, retries, backoff, jitter, sleep, seed, kwargs
+        load_edge_list, path, retries, backoff, jitter, sleep, seed, kwargs,
+        max_total_wait=max_total_wait,
     )
 
 
@@ -196,10 +218,12 @@ def load_npz_with_retry(
     jitter: float = 0.5,
     sleep: Callable[[float], None] = time.sleep,
     seed: SeedLike = None,
+    max_total_wait: Optional[float] = 30.0,
     **kwargs,
 ) -> CSRGraph:
     """:func:`load_npz` with the same retry policy as
     :func:`load_edge_list_with_retry`."""
     return _retry_load(
-        load_npz, path, retries, backoff, jitter, sleep, seed, kwargs
+        load_npz, path, retries, backoff, jitter, sleep, seed, kwargs,
+        max_total_wait=max_total_wait,
     )

@@ -181,3 +181,32 @@ def lt_normalized_weights(graph: CSRGraph) -> CSRGraph:
         return probs / scale
 
     return reweight(graph, fn, f"lt:{graph.weight_model}")
+
+
+def apply_scheme(graph: CSRGraph, scheme: str, seed: SeedLike = None) -> CSRGraph:
+    """Apply a weight scheme named like ``"wc"``, ``"wc-variant:2.5"``,
+    ``"uniform:0.01"``.
+
+    This is the string form the CLI and the serving layer's graph registry
+    share: a scheme name, optionally followed by ``:<parameter>``.  Raises
+    :class:`~repro.utils.exceptions.ConfigurationError` for unknown names.
+    """
+    name, _, arg = scheme.partition(":")
+    if name == "wc":
+        return wc_weights(graph)
+    if name == "wc-variant":
+        return wc_variant_weights(graph, float(arg))
+    if name == "uniform":
+        return uniform_weights(graph, float(arg))
+    if name == "exponential":
+        return exponential_weights(graph, seed=seed)
+    if name == "weibull":
+        return weibull_weights(graph, seed=seed)
+    if name == "trivalency":
+        return trivalency_weights(graph, seed=seed)
+    if name == "lt":
+        return lt_normalized_weights(graph)
+    raise ConfigurationError(
+        f"unknown weight scheme {scheme!r}; use wc, wc-variant:<theta>, "
+        "uniform:<p>, exponential, weibull, trivalency, or lt"
+    )

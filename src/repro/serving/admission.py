@@ -1,0 +1,100 @@
+"""Admission control: load shedding driven by the Budget machinery.
+
+Two gates stand in front of the dispatch queue:
+
+* **Queue pressure** — the dispatch queue is bounded by
+  ``ServerConfig.max_pending``; a request that finds it full is shed
+  immediately (HTTP 429) instead of waiting.  That check lives in the
+  server (it is the queue itself); the controller here only accounts for
+  it.
+* **Lifetime spend** — :class:`AdmissionController` accumulates the
+  machine-independent cost counters of every completed query
+  (``edges_examined``, ``num_rr_sets``, RR node mass) and compares them
+  against the server's declarative
+  :class:`~repro.runtime.budget.Budget`.  Once any capped axis is
+  exhausted, *new* requests are shed with a ``budget_exhausted`` reason —
+  queries already running are never interrupted by this gate.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.core.results import IMResult
+from repro.observability.registry import MetricsRegistry
+from repro.runtime.budget import Budget
+
+
+class AdmissionController:
+    """Sheds new work once the server's lifetime budget is spent."""
+
+    def __init__(
+        self, budget: Budget, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.budget = budget
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._edges_examined = 0
+        self._rr_sets = 0
+        self._rr_nodes = 0
+
+    # ------------------------------------------------------------------
+    def check(self) -> Optional[str]:
+        """The axis name blocking admission, or None when clear.
+
+        ``wall_clock_seconds`` is a per-query concept (it maps to request
+        deadlines), so only the three spend axes participate here.
+        """
+        with self._lock:
+            if (
+                self.budget.max_edges_examined is not None
+                and self._edges_examined >= self.budget.max_edges_examined
+            ):
+                return "edges_examined"
+            if (
+                self.budget.max_rr_sets is not None
+                and self._rr_sets >= self.budget.max_rr_sets
+            ):
+                return "rr_sets"
+            if (
+                self.budget.max_rr_nodes is not None
+                and self._rr_nodes >= self.budget.max_rr_nodes
+            ):
+                return "rr_nodes"
+        return None
+
+    def admit(self) -> Optional[str]:
+        """Gate one request: count it and return a shed reason or None."""
+        blocked = self.check()
+        if blocked is None:
+            self.metrics.inc("serving.admitted")
+            return None
+        self.metrics.inc("serving.shed")
+        self.metrics.inc("serving.shed_budget")
+        return blocked
+
+    def record_queue_shed(self) -> None:
+        """Account for a request shed by the bounded dispatch queue."""
+        self.metrics.inc("serving.shed")
+        self.metrics.inc("serving.shed_queue")
+
+    # ------------------------------------------------------------------
+    def record_spend(self, result: IMResult) -> None:
+        """Fold one finished query's cost into the lifetime spend."""
+        rr_nodes = int(round(result.average_rr_size * result.num_rr_sets))
+        with self._lock:
+            self._edges_examined += int(result.edges_examined)
+            self._rr_sets += int(result.num_rr_sets)
+            self._rr_nodes += rr_nodes
+        self.metrics.inc("serving.spend_edges", int(result.edges_examined))
+        self.metrics.inc("serving.spend_rr_sets", int(result.num_rr_sets))
+
+    def spend(self) -> Dict[str, int]:
+        """Current lifetime spend (for ``/report``)."""
+        with self._lock:
+            return {
+                "edges_examined": self._edges_examined,
+                "rr_sets": self._rr_sets,
+                "rr_nodes": self._rr_nodes,
+            }

@@ -1,0 +1,74 @@
+"""Small stdlib client for the query daemon.
+
+:class:`ServeClient` speaks the daemon's JSON protocol over
+``http.client`` — no third-party HTTP stack.  Every call returns
+``(status_code, payload)``; interpreting shed (429) or degraded responses
+is the caller's business, because reacting to them *is* the protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+Response = Tuple[int, Dict[str, Any]]
+
+
+class ServeClient:
+    """One-connection-per-call JSON client for :class:`QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Response:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"error": raw.decode("utf-8", errors="replace")}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        graph: str,
+        k: int,
+        tenant: str = "default",
+        eps: Optional[float] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> Response:
+        """Submit one ``maximize(k, eps)`` query for ``tenant``."""
+        body: Dict[str, Any] = {"graph": graph, "k": int(k), "tenant": tenant}
+        if eps is not None:
+            body["eps"] = float(eps)
+        if deadline_seconds is not None:
+            body["deadline_seconds"] = float(deadline_seconds)
+        return self._request("POST", "/query", body)
+
+    def health(self) -> Response:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Response:
+        return self._request("GET", "/metrics")
+
+    def report(self) -> Response:
+        return self._request("GET", "/report")

@@ -1,0 +1,126 @@
+"""Server-side chaos: fault axes for the serving layer.
+
+:class:`ServerFaultInjector` extends the runtime
+:class:`~repro.runtime.faults.FaultInjector` with three serving axes:
+
+* ``at_request`` — fires in the HTTP handler before dispatch.  With
+  ``mode="delay"`` this is the *slow handler* fault (the handler stalls
+  long enough for the request deadline to pass); with ``mode="raise"``
+  it simulates a handler crash.
+* ``at_worker`` — fires when a worker picks the Nth job up, simulating a
+  worker dying between dequeue and query execution.  (A crash *mid*
+  query is the inherited ``at_rr_set`` / ``at_edge`` axis: the server
+  forwards the injector into ``session.maximize``.)
+* ``at_snapshot`` — fires at the Nth session snapshot *write* and,
+  instead of raising, truncates the snapshot file to
+  ``snapshot_truncate_bytes`` bytes — the crash-during-checkpoint
+  scenario the recovery path must refuse to load.
+
+Counting stays event-driven and the injector fires each axis exactly
+once, so a chaos test with a fixed seed hits its faults at identical
+points every run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.runtime.faults import FaultInjector
+from repro.utils.exceptions import ConfigurationError
+
+_SERVER_KINDS = ("request", "worker", "snapshot")
+
+
+class ServerFaultInjector(FaultInjector):
+    """Deterministic fault injection for the query server."""
+
+    def __init__(
+        self,
+        at_rr_set: Optional[int] = None,
+        at_edge: Optional[int] = None,
+        at_io: Optional[int] = None,
+        *,
+        at_request: Optional[int] = None,
+        at_worker: Optional[int] = None,
+        at_snapshot: Optional[int] = None,
+        snapshot_truncate_bytes: int = 64,
+        mode: str = "raise",
+        delay_seconds: float = 0.01,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        kwargs = {} if sleep is None else {"sleep": sleep}
+        super().__init__(
+            at_rr_set=at_rr_set,
+            at_edge=at_edge,
+            at_io=at_io,
+            mode=mode,
+            delay_seconds=delay_seconds,
+            jitter=jitter,
+            seed=seed,
+            **kwargs,
+        )
+        for name, value in (
+            ("at_request", at_request),
+            ("at_worker", at_worker),
+            ("at_snapshot", at_snapshot),
+        ):
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1 when given, got {value}"
+                )
+        if snapshot_truncate_bytes < 0:
+            raise ConfigurationError(
+                "snapshot_truncate_bytes must be >= 0, got "
+                f"{snapshot_truncate_bytes}"
+            )
+        self.snapshot_truncate_bytes = int(snapshot_truncate_bytes)
+        self.targets.update(
+            {"request": at_request, "worker": at_worker, "snapshot": at_snapshot}
+        )
+        self.counts.update(dict.fromkeys(_SERVER_KINDS, 0))
+        self.fired.update(dict.fromkeys(_SERVER_KINDS, False))
+        # The base class drew its per-kind delay factors from a seeded
+        # stream; extend the table for the server kinds from a disjoint
+        # stream of the same seed so delays stay reproducible.
+        rng = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(1,))
+        )
+        self._delays.update(
+            {
+                kind: delay_seconds * (1.0 + jitter * float(rng.random()))
+                for kind in _SERVER_KINDS
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def on_request(self) -> None:
+        """Record one HTTP request reaching the handler."""
+        self._event("request", 1)
+
+    def on_worker(self) -> None:
+        """Record one job picked up by a query worker."""
+        self._event("worker", 1)
+
+    def on_snapshot(self, path: "os.PathLike[str] | str") -> None:
+        """Record one snapshot write; the fault truncates the file.
+
+        Unlike the raising axes this one corrupts state on disk — the
+        scenario is a crash mid-checkpoint, and the assertion under test
+        is that recovery *refuses* the truncated file and cold-starts
+        rather than loading garbage.
+        """
+        kind = "snapshot"
+        before = self.counts[kind]
+        self.counts[kind] = before + 1
+        target = self.targets[kind]
+        if target is None or self.fired[kind]:
+            return
+        if before < target <= self.counts[kind]:
+            self.fired[kind] = True
+            with open(path, "r+b") as handle:
+                handle.truncate(self.snapshot_truncate_bytes)

@@ -1,0 +1,122 @@
+"""Named graph registry with resilient lazy loading.
+
+The daemon serves queries against *named* graphs.  A name maps either to
+an already-built :class:`~repro.graphs.csr.CSRGraph` (registered
+in-process, e.g. by tests and the load harness) or to a path loaded
+lazily on first use.  Loads go through the shared
+:class:`~repro.serving.retry.RetryPolicy` (transient filesystem faults
+are retried with jittered, capped backoff) and a per-name
+:class:`~repro.serving.retry.CircuitBreaker` (a persistently failing
+path fails fast with a retry-after instead of stalling a worker per
+request).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs import io, weights
+from repro.graphs.csr import CSRGraph
+from repro.serving.retry import CircuitBreaker, RetryPolicy
+from repro.utils.exceptions import ConfigurationError, GraphFormatError
+
+
+def _transient_load_failure(exc: BaseException) -> bool:
+    """The ``graphs.io`` error contract: only OSError causes are transient."""
+    return isinstance(exc, GraphFormatError) and isinstance(
+        exc.__cause__, OSError
+    )
+
+
+class GraphRegistry:
+    """Thread-safe name -> graph mapping with lazy, guarded loading."""
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+    ) -> None:
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._graphs: Dict[str, CSRGraph] = {}
+        self._paths: Dict[str, Tuple[str, Optional[str], int]] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def add_graph(self, name: str, graph: CSRGraph) -> None:
+        """Register an already-built graph under ``name``."""
+        with self._lock:
+            self._graphs[name] = graph
+            self._paths.pop(name, None)
+
+    def add_path(
+        self,
+        name: str,
+        path: str,
+        weight_scheme: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        """Register a graph file to be loaded lazily on first use.
+
+        ``weight_scheme`` (e.g. ``"wc"``, ``"uniform:0.01"``) is applied
+        after loading with :func:`repro.graphs.weights.apply_scheme`.
+        """
+        with self._lock:
+            self._paths[name] = (path, weight_scheme, seed)
+            self._graphs.pop(name, None)
+            self._breakers[name] = CircuitBreaker(
+                threshold=self._breaker_threshold,
+                cooldown=self._breaker_cooldown,
+                name=f"graph {name!r}",
+            )
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(set(self._graphs) | set(self._paths))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._graphs or name in self._paths
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> CSRGraph:
+        """The named graph, loading (with retry + breaker) if needed.
+
+        Raises :class:`ConfigurationError` for unknown names,
+        :class:`~repro.serving.retry.CircuitOpenError` while the name's
+        breaker is open, and :class:`GraphFormatError` when loading
+        ultimately fails.
+        """
+        with self._lock:
+            graph = self._graphs.get(name)
+            if graph is not None:
+                return graph
+            spec = self._paths.get(name)
+            breaker = self._breakers.get(name)
+        if spec is None:
+            raise ConfigurationError(f"unknown graph {name!r}")
+        path, scheme, seed = spec
+
+        def load() -> CSRGraph:
+            return self._retry.call(
+                lambda: self._load(path, scheme, seed),
+                transient=_transient_load_failure,
+            )
+
+        graph = breaker.call(load) if breaker is not None else load()
+        with self._lock:
+            # Another thread may have raced the load; first write wins so
+            # every caller sees one graph object (and one sampler cache).
+            return self._graphs.setdefault(name, graph)
+
+    @staticmethod
+    def _load(path: str, scheme: Optional[str], seed: int) -> CSRGraph:
+        loader = io.load_npz if path.endswith(".npz") else io.load_edge_list
+        graph = loader(path)
+        if scheme:
+            graph = weights.apply_scheme(graph, scheme, seed=seed)
+        return graph

@@ -265,3 +265,108 @@ class TestParser:
     def test_algorithm_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "g", "--algorithm", "x", "--k", "1"])
+
+
+class TestInterrupt:
+    """Ctrl-C during ``run`` degrades to a partial result + exit 130."""
+
+    def _stub_algorithm(self, monkeypatch, behavior):
+        class Stub:
+            def run(self, k, **kwargs):
+                return behavior(k, kwargs)
+
+        monkeypatch.setattr(
+            "repro.cli.get_algorithm", lambda *a, **kw: Stub()
+        )
+
+    def test_sigint_prints_partial_and_exits_130(
+        self, weighted_npz, monkeypatch, capsys
+    ):
+        import signal as signal_module
+
+        from repro.core.results import IMResult
+        from repro.utils.exceptions import CancelledError
+
+        def behavior(k, kwargs):
+            token = kwargs["cancel"]
+            assert token is not None and not token.cancelled
+            # Simulate Ctrl-C mid-run: the CLI's handler must cancel the
+            # token instead of letting KeyboardInterrupt unwind the stack.
+            signal_module.raise_signal(signal_module.SIGINT)
+            assert token.cancelled
+            try:
+                token.raise_if_cancelled()
+            except CancelledError:
+                pass
+            return IMResult(
+                algorithm="subsim", seeds=[1, 2], k=k, eps=0.3, delta=0.01,
+                runtime_seconds=0.1, lower_bound=10.0, upper_bound=40.0,
+                status="partial", stop_reason="cancelled",
+            )
+
+        self._stub_algorithm(monkeypatch, behavior)
+        rc = main(["run", weighted_npz, "--algorithm", "subsim", "--k", "2"])
+        captured = capsys.readouterr()
+        assert rc == 130
+        payload = json.loads(captured.out)
+        assert payload["status"] == "partial"
+        assert payload["stop_reason"] == "cancelled"
+        assert payload["certificate"]["complete"] is False
+        assert payload["certificate"]["ratio"] == 0.25
+        assert "partial results" in captured.err
+
+    def test_hard_keyboard_interrupt_exits_130_without_traceback(
+        self, weighted_npz, monkeypatch, capsys
+    ):
+        def behavior(k, kwargs):
+            raise KeyboardInterrupt
+
+        self._stub_algorithm(monkeypatch, behavior)
+        rc = main(["run", weighted_npz, "--algorithm", "subsim", "--k", "2"])
+        assert rc == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_budget_partial_keeps_exit_zero(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "5",
+            "--eps", "0.4", "--max-edges", "1",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "partial"
+        assert payload["certificate"]["complete"] is False
+
+
+class TestServeCli:
+    def test_query_subcommand_against_live_server(self, capsys):
+        from repro.graphs.generators import preferential_attachment
+        from repro.serving import GraphRegistry, QueryServer, ServerConfig
+
+        graph = wc_weights(
+            preferential_attachment(120, 3, seed=1, reciprocal=0.3)
+        )
+        registry = GraphRegistry()
+        registry.add_graph("pa", graph)
+        with QueryServer(
+            ServerConfig(eps=0.4, seed=3), registry=registry
+        ) as server:
+            host, port = server.address
+            rc = main([
+                "query", "--host", host, "--port", str(port),
+                "--graph", "pa", "--k", "3", "--tenant", "cli",
+            ])
+            out = json.loads(capsys.readouterr().out)
+            assert rc == 0
+            assert out["status"] == "complete"
+            assert len(out["seeds"]) == 3
+
+            rc = main([
+                "query", "--host", host, "--port", str(port),
+                "--graph", "ghost", "--k", "3",
+            ])
+            assert rc == 2
+
+    def test_bad_graph_spec_rejected(self, capsys):
+        rc = main(["serve", "--graph", "no-equals-sign"])
+        assert rc == 2
+        assert "NAME=PATH" in capsys.readouterr().err

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.graphs.generators import preferential_attachment
-from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.io import (
+    load_edge_list,
+    load_edge_list_with_retry,
+    load_npz,
+    load_npz_with_retry,
+    save_edge_list,
+    save_npz,
+)
 from repro.graphs.weights import exponential_weights
 from repro.utils.exceptions import GraphFormatError
 
@@ -76,3 +83,78 @@ class TestNpz:
         loaded = load_npz(path)
         assert np.array_equal(loaded.in_indices, graph.in_indices)
         assert np.array_equal(loaded.in_probs, graph.in_probs)
+
+
+class TestRetry:
+    def test_transient_failure_eventually_loads(self, graph, tmp_path):
+        # The file appears after two attempts (flaky mount simulation):
+        # materialize it from inside the injected sleep.
+        path = tmp_path / "late.npz"
+        sleeps = []
+
+        def sleep(delay):
+            sleeps.append(delay)
+            if len(sleeps) == 2:
+                save_npz(graph, path)
+
+        loaded = load_npz_with_retry(path, retries=3, sleep=sleep, seed=0)
+        assert loaded == graph
+        assert len(sleeps) == 2
+
+    def test_format_error_not_retried(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("garbage line here\n")
+        sleeps = []
+        with pytest.raises(GraphFormatError) as info:
+            load_edge_list_with_retry(path, retries=5, sleep=sleeps.append)
+        assert sleeps == []
+        assert info.value.attempts == 1
+        assert info.value.total_wait == 0.0
+
+    def test_exhausted_retries_surface_attempts(self, tmp_path):
+        sleeps = []
+        with pytest.raises(GraphFormatError) as info:
+            load_npz_with_retry(
+                tmp_path / "absent.npz", retries=3, backoff=0.25,
+                jitter=0.0, sleep=sleeps.append, max_total_wait=None,
+            )
+        assert info.value.attempts == 4  # first try + 3 retries
+        assert info.value.total_wait == pytest.approx(sum(sleeps))
+        assert len(sleeps) == 3
+
+    def test_max_total_wait_caps_cumulative_sleep(self, tmp_path):
+        sleeps = []
+        with pytest.raises(GraphFormatError) as info:
+            load_edge_list_with_retry(
+                tmp_path / "absent.txt", retries=50, backoff=1.0,
+                jitter=0.0, sleep=sleeps.append, max_total_wait=5.0,
+            )
+        # Backoffs 1, 2 fit (3s total); the next (4s) would blow the cap.
+        assert sleeps == [1.0, 2.0]
+        assert info.value.attempts == 3
+        assert info.value.total_wait == pytest.approx(3.0)
+
+    def test_jitter_is_seeded_and_bounded(self, tmp_path):
+        def delays(seed):
+            sleeps = []
+            with pytest.raises(GraphFormatError):
+                load_npz_with_retry(
+                    tmp_path / "absent.npz", retries=3, backoff=0.1,
+                    jitter=0.5, sleep=sleeps.append, seed=seed,
+                )
+            return sleeps
+
+        first = delays(7)
+        assert first == delays(7)
+        assert first != delays(8)
+        for i, delay in enumerate(first):
+            base = 0.1 * 2.0 ** i
+            assert base <= delay <= base * 1.5
+
+    def test_negative_retries_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_npz_with_retry(tmp_path / "x.npz", retries=-1)
+        with pytest.raises(GraphFormatError):
+            load_npz_with_retry(
+                tmp_path / "x.npz", retries=1, max_total_wait=-1.0
+            )

@@ -268,3 +268,68 @@ class TestBankStateRoundTrip:
         fresh = _bank(wc_graph, reusable=True)
         with pytest.raises(CheckpointError):
             fresh.restore_state(payload, _filled(wc_graph, 3))
+
+
+class TestCorruptedCheckpoints:
+    """Persisted bank state must be refused — never half-loaded — when the
+    file on disk is truncated or corrupted (the torn-write crash case)."""
+
+    def _saved_session(self, wc_graph, path):
+        from repro.engine.session import QuerySession
+
+        session = QuerySession(wc_graph, "subsim", seed=17)
+        session.maximize(5, eps=0.4)
+        session.save(path)
+        return session
+
+    def test_truncated_checkpoint_refused(self, wc_graph, tmp_path):
+        from repro.engine.session import QuerySession
+
+        path = tmp_path / "session.npz"
+        self._saved_session(wc_graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        fresh = QuerySession(wc_graph, "subsim", seed=17)
+        with pytest.raises(CheckpointError):
+            fresh.restore(path)
+
+    def test_garbage_bytes_refused(self, wc_graph, tmp_path):
+        from repro.engine.session import QuerySession
+
+        path = tmp_path / "session.npz"
+        path.write_bytes(b"\x00" * 256)
+        fresh = QuerySession(wc_graph, "subsim", seed=17)
+        with pytest.raises(CheckpointError):
+            fresh.restore(path)
+
+    def test_cold_start_after_refusal_is_bit_identical(self, wc_graph, tmp_path):
+        from repro.engine.session import QuerySession
+
+        path = tmp_path / "session.npz"
+        reference = QuerySession(wc_graph, "subsim", seed=17)
+        first = reference.maximize(5, eps=0.4)
+        reference.save(path)
+        second = reference.maximize(8, eps=0.4)
+        path.write_bytes(b"not a checkpoint")
+
+        fresh = QuerySession(wc_graph, "subsim", seed=17)
+        with pytest.raises(CheckpointError):
+            fresh.restore(path)
+        # The refused restore leaves the session untouched: cold-starting
+        # regenerates the identical prefix and answers bit-identically.
+        assert fresh.maximize(5, eps=0.4).seeds == first.seeds
+        assert fresh.maximize(8, eps=0.4).seeds == second.seeds
+        assert fresh.queries_served == 2
+
+    def test_byte_capped_session_serves_through_eviction(self, wc_graph):
+        from repro.engine.session import QuerySession
+
+        capped = QuerySession(wc_graph, "subsim", seed=17, byte_cap=1)
+        uncapped = QuerySession(wc_graph, "subsim", seed=17)
+        for k in (5, 8, 5):
+            a = capped.maximize(k, eps=0.4)
+            b = uncapped.maximize(k, eps=0.4)
+            # Eviction between queries never changes answers, only cost.
+            assert a.seeds == b.seeds
+        assert capped.metrics.value("bank.evictions") >= 2
+        assert uncapped.metrics.value("bank.evictions") == 0
