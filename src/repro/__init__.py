@@ -34,6 +34,7 @@ from repro.graphs.generators import (
 from repro.graphs.io import (
     load_edge_list,
     load_edge_list_with_retry,
+    load_graph_auto,
     load_npz,
     load_npz_with_retry,
     save_edge_list,
@@ -98,6 +99,7 @@ __all__ = [
     "get_algorithm",
     "load_edge_list",
     "load_edge_list_with_retry",
+    "load_graph_auto",
     "load_npz",
     "load_npz_with_retry",
     "lt_normalized_weights",

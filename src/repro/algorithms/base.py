@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional, Type, Union
+from typing import TYPE_CHECKING, Optional, Type, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rrsets.shardpool import ShardPool
 
 import numpy as np
 
@@ -53,6 +56,9 @@ class IMAlgorithm:
     name = "base"
     #: set False for algorithms that do not generate RR sets (heuristics)
     uses_rr_sets = True
+    #: set False for algorithms incompatible with the sharded worker
+    #: runtime (cursor-style ``take()`` consumers, non-RR heuristics)
+    supports_shards = True
 
     def __init__(
         self,
@@ -90,6 +96,8 @@ class IMAlgorithm:
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
         banks: Optional[BankProvider] = None,
+        shards: Union[None, int, "ShardPool"] = None,
+        spill_dir: Optional[str] = None,
     ) -> IMResult:
         """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
 
@@ -136,6 +144,16 @@ class IMAlgorithm:
           and the run replays the historical RNG schedule bit-identically.
           Incompatible with ``checkpoint``/``resume`` — session durability
           goes through ``QuerySession.save``.
+        * ``shards`` — run RR generation and seed selection on a persistent
+          sharded worker runtime: an integer spins up a private
+          :class:`~repro.rrsets.shardpool.ShardPool` for this run (torn
+          down afterwards), a ready pool is reused as-is.  The RR pools
+          stay resident in the workers; selection is scatter-gather with a
+          provably identical seed sequence.  Incompatible with
+          ``workers``/``checkpoint``/``resume``/``banks`` (sharded
+          *sessions* are built through ``QuerySession(shards=...)``).
+        * ``spill_dir`` — directory for worker pool spill and crash-recovery
+          checkpoints (only with an integer ``shards``).
         """
         n = self.graph.n
         if not 1 <= k <= n:
@@ -186,6 +204,31 @@ class IMAlgorithm:
                 "the recorded sequential RNG schedule, which multiprocess "
                 "fan-out streams do not follow; rerun with workers=1"
             )
+        if shards is not None:
+            if not self.supports_shards:
+                raise ConfigurationError(
+                    f"{self.name} does not support the sharded worker "
+                    "runtime (shards=None required)"
+                )
+            if banks is not None:
+                raise ConfigurationError(
+                    "shards cannot be combined with a session bank "
+                    "provider; build the session with "
+                    "QuerySession(shards=...) instead"
+                )
+            if store is not None or resume:
+                raise ConfigurationError(
+                    "shards cannot be combined with checkpoint/resume: "
+                    "shard workers keep their own crash-recovery "
+                    "checkpoints (spill_dir)"
+                )
+            if workers > 1:
+                raise ConfigurationError(
+                    "shards and workers are alternative execution "
+                    "strategies; pick one"
+                )
+        elif spill_dir is not None:
+            raise ConfigurationError("spill_dir requires shards")
         run_metrics = metrics if metrics is not None else MetricsRegistry()
         tracer = PhaseTracer(run_metrics) if trace else None
         control = RunControl(
@@ -215,9 +258,22 @@ class IMAlgorithm:
             self._resume_state = (meta, pools)
 
         rng = as_generator(seed)
-        provider = (
-            banks if banks is not None else BankProvider.transient(self.graph, rng)
-        )
+        own_pool = None
+        if banks is not None:
+            provider = banks
+        elif shards is not None:
+            from repro.rrsets.shardpool import ShardPool
+
+            if isinstance(shards, ShardPool):
+                pool = shards
+            else:
+                own_pool = pool = ShardPool(
+                    self.graph, int(shards), spill_dir=spill_dir,
+                    metrics=run_metrics,
+                )
+            provider = BankProvider(self.graph, rng=rng, shard_pool=pool)
+        else:
+            provider = BankProvider.transient(self.graph, rng)
         provider.begin_query(control)
         self._banks = provider
         control.start()
@@ -239,6 +295,8 @@ class IMAlgorithm:
             )
         finally:
             provider.end_query()
+            if own_pool is not None:
+                own_pool.close()
             self._banks = None
             self._resume_state = None
             self._control = None

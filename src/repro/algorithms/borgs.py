@@ -35,6 +35,8 @@ class BorgsRIS(IMAlgorithm):
     """Reverse Influence Sampling with the edge-budget stopping rule."""
 
     name = "borgs-ris"
+    #: cursor-style take() consumes sets one at a time — not shardable
+    supports_shards = False
 
     def __init__(
         self,

@@ -27,6 +27,7 @@ class GreedyMonteCarlo(IMAlgorithm):
 
     name = "greedy-mc"
     uses_rr_sets = False
+    supports_shards = False
 
     def __init__(
         self,

@@ -21,6 +21,7 @@ class DegreeTopK(IMAlgorithm):
 
     name = "degree"
     uses_rr_sets = False
+    supports_shards = False
 
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator
@@ -46,6 +47,7 @@ class DegreeDiscount(IMAlgorithm):
 
     name = "degree-discount"
     uses_rr_sets = False
+    supports_shards = False
 
     def __init__(self, graph, p: float = None) -> None:  # type: ignore[assignment]
         super().__init__(graph)
@@ -91,6 +93,7 @@ class RandomSeeds(IMAlgorithm):
 
     name = "random"
     uses_rr_sets = False
+    supports_shards = False
 
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator

@@ -69,6 +69,7 @@ class PageRankSeeds(IMAlgorithm):
 
     name = "pagerank"
     uses_rr_sets = False
+    supports_shards = False
 
     def __init__(self, graph: CSRGraph, damping: float = 0.85) -> None:
         super().__init__(graph)

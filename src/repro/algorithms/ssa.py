@@ -33,6 +33,8 @@ class SSA(IMAlgorithm):
     """Stop-and-Stare with the [24] fix."""
 
     name = "ssa"
+    #: cursor-style take() consumes sets one at a time — not shardable
+    supports_shards = False
 
     def _select(
         self, k: int, eps: float, delta: float, rng: np.random.Generator

@@ -66,14 +66,26 @@ _FIGURES = {
 
 
 def _load(path: str, retries: int = 0) -> CSRGraph:
-    """Load a graph file; transient I/O failures retry when ``retries`` > 0."""
-    if path.endswith(".npz"):
-        if retries:
-            return io.load_npz_with_retry(path, retries=retries)
-        return io.load_npz(path)
-    if retries:
-        return io.load_edge_list_with_retry(path, retries=retries)
-    return io.load_edge_list(path)
+    """Load a graph file; transient I/O failures retry when ``retries`` > 0.
+
+    Text edge lists go through :func:`repro.graphs.io.load_graph_auto`,
+    which prefers (and maintains) a fresh ``<path>.graph.npz`` binary
+    sidecar — repeat CLI invocations on large text graphs skip the parse.
+    """
+    return io.load_graph_auto(path, retries=retries)
+
+
+def _make_shard_pool(args, graph: CSRGraph, metrics):
+    """One warm :class:`ShardPool` shared by every query of a ``--ks`` run."""
+    if args.shards is None:
+        if args.spill_dir:
+            raise ReproError("--spill-dir requires --shards")
+        return None
+    from repro.rrsets.shardpool import ShardPool
+
+    return ShardPool(
+        graph, args.shards, spill_dir=args.spill_dir, metrics=metrics
+    )
 
 
 def _write_json(path: str, payload) -> None:
@@ -266,51 +278,63 @@ def cmd_run(args) -> int:
                 from repro.engine.session import QuerySession
 
                 session = QuerySession(
-                    graph, args.algorithm, seed=args.seed, **kwargs
+                    graph, args.algorithm, seed=args.seed,
+                    shards=args.shards, spill_dir=args.spill_dir, **kwargs
                 )
-                for k in ks:
-                    result = session.maximize(
-                        k,
-                        eps=args.eps,
-                        budget=make_budget(),
-                        cancel=interrupt.token,
-                        batch_size=args.batch_size,
-                        workers=args.workers,
-                        batched_mode=batched_mode,
-                        metrics=metrics,
-                    )
-                    entry = _run_payload(result, args, graph)
-                    entry["k"] = k
-                    entry["session"] = result.extras.get("session")
-                    queries.append(entry)
-                    if interrupt.token.cancelled:
-                        cancelled = True
-                        break
-                session_block = {
-                    "reuse_pool": True,
-                    "sets_generated": session.metrics.value("bank.sets_generated"),
-                    "sets_reused": session.metrics.value("bank.sets_reused"),
-                }
+                try:
+                    for k in ks:
+                        result = session.maximize(
+                            k,
+                            eps=args.eps,
+                            budget=make_budget(),
+                            cancel=interrupt.token,
+                            batch_size=args.batch_size,
+                            workers=args.workers,
+                            batched_mode=batched_mode,
+                            metrics=metrics,
+                        )
+                        entry = _run_payload(result, args, graph)
+                        entry["k"] = k
+                        entry["session"] = result.extras.get("session")
+                        queries.append(entry)
+                        if interrupt.token.cancelled:
+                            cancelled = True
+                            break
+                    session_block = {
+                        "reuse_pool": True,
+                        "sets_generated": session.metrics.value(
+                            "bank.sets_generated"
+                        ),
+                        "sets_reused": session.metrics.value("bank.sets_reused"),
+                    }
+                finally:
+                    session.close()
             else:
                 algo = get_algorithm(args.algorithm, graph, **kwargs)
-                for k in ks:
-                    result = algo.run(
-                        k,
-                        eps=args.eps,
-                        seed=args.seed,
-                        budget=make_budget(),
-                        cancel=interrupt.token,
-                        batch_size=args.batch_size,
-                        workers=args.workers,
-                        batched_mode=batched_mode,
-                        metrics=metrics,
-                    )
-                    entry = _run_payload(result, args, graph)
-                    entry["k"] = k
-                    queries.append(entry)
-                    if interrupt.token.cancelled:
-                        cancelled = True
-                        break
+                pool = _make_shard_pool(args, graph, metrics)
+                try:
+                    for k in ks:
+                        result = algo.run(
+                            k,
+                            eps=args.eps,
+                            seed=args.seed,
+                            budget=make_budget(),
+                            cancel=interrupt.token,
+                            batch_size=args.batch_size,
+                            workers=args.workers,
+                            batched_mode=batched_mode,
+                            metrics=metrics,
+                            shards=pool,
+                        )
+                        entry = _run_payload(result, args, graph)
+                        entry["k"] = k
+                        queries.append(entry)
+                        if interrupt.token.cancelled:
+                            cancelled = True
+                            break
+                finally:
+                    if pool is not None:
+                        pool.close()
                 session_block = {"reuse_pool": False}
         if args.metrics_out:
             _write_json(args.metrics_out, metrics.snapshot())
@@ -336,6 +360,8 @@ def cmd_run(args) -> int:
             batched_mode=batched_mode,
             metrics=metrics,
             trace=want_trace,
+            shards=args.shards,
+            spill_dir=args.spill_dir,
         )
     if args.metrics_out:
         _write_json(args.metrics_out, metrics.snapshot())
@@ -521,6 +547,8 @@ def cmd_serve(args) -> int:
         query_retries=args.query_retries,
         snapshot_dir=args.snapshot_dir,
         snapshot_every=args.snapshot_every,
+        shards=args.shards,
+        spill_dir=args.spill_dir,
     )
     registry = GraphRegistry()
     for name, path in _parse_graph_specs(args.graph):
@@ -649,6 +677,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1, metavar="W",
                    help="shard RR generation across W processes "
                         "(incompatible with --resume)")
+    p.add_argument("--shards", type=int, default=None, metavar="S",
+                   help="run on a persistent pool of S shard workers "
+                        "(shared-memory graph, shard-resident RR banks, "
+                        "scatter-gather selection); incompatible with "
+                        "--workers > 1 and --checkpoint/--resume")
+    p.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="spill cold shard-resident RR pools (and shard "
+                        "checkpoints) to this directory; requires --shards")
     p.add_argument("--batched-mode", default="auto",
                    choices=["auto", "ic", "subsim", "lt"],
                    help="vectorized kernel for the batched engine: auto "
@@ -758,6 +794,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot-dir", default=None,
                    help="session snapshot directory (enables crash recovery)")
     p.add_argument("--snapshot-every", type=int, default=1)
+    p.add_argument("--shards", type=int, default=None, metavar="S",
+                   help="back every tenant session with a persistent pool "
+                        "of S shard workers (incompatible with "
+                        "--snapshot-dir)")
+    p.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="root directory for shard spill/checkpoint files; "
+                        "requires --shards")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("query", help="send one query to a running daemon")

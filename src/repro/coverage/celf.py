@@ -49,6 +49,17 @@ def celf_max_coverage(
     the one-at-a-time count: a wave can refresh entries a sequential pop
     order would never have reached that round).
     """
+    if getattr(collection, "is_sharded", False):
+        from repro.coverage.sharded import sharded_celf_max_coverage
+
+        return sharded_celf_max_coverage(
+            collection,
+            select,
+            out_degree=out_degree,
+            initial_covered=initial_covered,
+            metrics=metrics,
+            batch=batch,
+        )
     n = collection.n
     if not 1 <= select <= n:
         raise ConfigurationError(f"select must lie in [1, {n}], got {select}")

@@ -89,6 +89,21 @@ def max_coverage_greedy(
         when given, records ``coverage.selections`` and the decremental
         maintenance mass ``coverage.gain_decrements``.
     """
+    if getattr(collection, "is_sharded", False):
+        # Shard-resident pool: scatter-gather selection (identical seed
+        # sequence; see repro.coverage.sharded).
+        from repro.coverage.sharded import sharded_max_coverage_greedy
+
+        return sharded_max_coverage_greedy(
+            collection,
+            select,
+            topk=topk,
+            out_degree=out_degree,
+            initial_covered=initial_covered,
+            track_upper_bound=track_upper_bound,
+            excluded=excluded,
+            metrics=metrics,
+        )
     n = collection.n
     excluded = excluded or []
     if not 1 <= select <= n - len(set(excluded)):

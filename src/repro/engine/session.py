@@ -71,6 +71,7 @@ class BankProvider:
         reuse: bool = False,
         byte_cap: Optional[int] = None,
         session_metrics: Optional[MetricsRegistry] = None,
+        shard_pool: Optional[Any] = None,
     ) -> None:
         if (rng is None) == (entropy is None):
             raise ConfigurationError(
@@ -82,10 +83,13 @@ class BankProvider:
         self.byte_cap = byte_cap
         self.metrics = session_metrics
         self.entropy = entropy
+        #: when set, every bank this provider hands out is shard-resident
+        #: (a :class:`~repro.engine.shards.ShardedRRBank` over this pool)
+        self.shard_pool = shard_pool
         self._shared_rng = rng
-        self._banks: Dict[str, RRBank] = {}
+        self._banks: Dict[str, Any] = {}
         self._staged: Dict[str, Tuple[Dict[str, Any], RRCollection]] = {}
-        self._active: List[RRBank] = []
+        self._active: List[Any] = []
         self._control: Optional[Any] = None
         self._run_metrics: Optional[MetricsRegistry] = None
 
@@ -142,6 +146,8 @@ class BankProvider:
         """
         if self._shared_rng is not None:
             gen = make_generator()
+            if self.shard_pool is not None:
+                return self._sharded_transient(role, gen, stop_mask)
             return RRBank(
                 self.graph,
                 gen,
@@ -154,15 +160,33 @@ class BankProvider:
         bank = self._banks.get(role) if persistent else None
         if bank is None:
             gen = make_generator()
-            bank = RRBank(
-                self.graph,
-                gen,
-                self._stream(role),
-                role=role,
-                stop_mask=stop_mask,
-                reusable=persistent,
-                byte_cap=self.byte_cap,
-            )
+            if self.shard_pool is not None:
+                from repro.engine.shards import ShardedRRBank
+
+                # Non-persistent roles re-start from their seed origin
+                # every query; clear any shards a previous query left.
+                if not persistent:
+                    self.shard_pool.reset_role(role)
+                bank = ShardedRRBank(
+                    self.graph,
+                    gen,
+                    self.shard_pool,
+                    role=role,
+                    entropy=self.entropy,
+                    stop_mask=stop_mask,
+                    reusable=persistent,
+                    byte_cap=self.byte_cap,
+                )
+            else:
+                bank = RRBank(
+                    self.graph,
+                    gen,
+                    self._stream(role),
+                    role=role,
+                    stop_mask=stop_mask,
+                    reusable=persistent,
+                    byte_cap=self.byte_cap,
+                )
             if persistent:
                 staged = self._staged.pop(role, None)
                 if staged is not None:
@@ -186,6 +210,28 @@ class BankProvider:
         self._active.append(bank)
         return bank
 
+    def _sharded_transient(self, role, gen, stop_mask):
+        """A fresh single-run sharded bank keyed by one draw of run entropy.
+
+        The draw is accounted exactly like the per-call fan-out's parent
+        draw, so a sharded run's RNG schedule is a deterministic function
+        of (seed, bank creation order).
+        """
+        from repro.engine.shards import ShardedRRBank
+
+        gen.counters.rng_draws += 1
+        entropy = int(self._shared_rng.integers(0, 2**63 - 1))
+        self.shard_pool.reset_role(role)
+        return ShardedRRBank(
+            self.graph,
+            gen,
+            self.shard_pool,
+            role=role,
+            entropy=entropy,
+            stop_mask=stop_mask,
+            reusable=False,
+        )
+
     def _stream(self, role: str) -> np.random.Generator:
         # The stream depends only on (entropy, role) — not on creation
         # order or query index — so a role re-created for a later query
@@ -208,6 +254,11 @@ class BankProvider:
         self, mapping: Dict[str, Tuple[Dict[str, Any], RRCollection]]
     ) -> None:
         """Install warm-start payloads, now or when the role is first used."""
+        if self.shard_pool is not None:
+            raise ConfigurationError(
+                "sharded sessions cannot restore warm-start state; "
+                "restore into a session with shards=None"
+            )
         for role, (payload, pool) in mapping.items():
             bank = self._banks.get(role)
             if bank is not None:
@@ -235,6 +286,8 @@ class QuerySession:
         *,
         seed: Any = None,
         byte_cap: Optional[int] = None,
+        shards: Optional[int] = None,
+        spill_dir: Optional[str] = None,
         **algorithm_kwargs: Any,
     ) -> None:
         self.graph = graph
@@ -242,18 +295,45 @@ class QuerySession:
         self.algorithm_kwargs = dict(algorithm_kwargs)
         #: session-lifetime registry accumulating ``bank.*`` counters
         self.metrics = MetricsRegistry()
+        self._shard_pool = None
+        if shards is not None:
+            from repro.rrsets.shardpool import ShardPool
+
+            # The session owns the worker runtime: one graph share, one set
+            # of resident workers, reused by every query it serves.
+            self._shard_pool = ShardPool(
+                graph, int(shards), spill_dir=spill_dir, metrics=self.metrics
+            )
+        elif spill_dir is not None:
+            raise ConfigurationError("spill_dir requires shards")
         self.provider = BankProvider(
             graph,
             entropy=_session_entropy(seed),
             reuse=True,
             byte_cap=byte_cap,
             session_metrics=self.metrics,
+            shard_pool=self._shard_pool,
         )
         self.queries_served = 0
 
     @property
     def entropy(self) -> int:
         return int(self.provider.entropy)
+
+    @property
+    def shard_pool(self):
+        return self._shard_pool
+
+    def close(self) -> None:
+        """Release the shard workers (no-op for unsharded sessions)."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def maximize(
@@ -324,6 +404,11 @@ class QuerySession:
     # ------------------------------------------------------------------
     def save(self, path: Any) -> None:
         """Persist the reusable banks for a later process to warm-start."""
+        if self._shard_pool is not None:
+            raise ConfigurationError(
+                "sharded sessions cannot be saved: the RR pools are "
+                "worker-resident (use spill_dir for on-disk shards instead)"
+            )
         store: CheckpointStore = coerce_store(path)
         banks = self.provider.persistent_banks()
         meta = {

@@ -11,7 +11,13 @@ from repro.graphs.generators import (
     stochastic_block_model,
     watts_strogatz,
 )
-from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graphs.io import (
+    load_edge_list,
+    load_graph_auto,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
 from repro.graphs.stats import (
     GraphSummary,
     degree_histogram,
@@ -63,6 +69,7 @@ __all__ = [
     "induced_subgraph",
     "largest_scc_subgraph",
     "load_edge_list",
+    "load_graph_auto",
     "load_npz",
     "lt_normalized_weights",
     "path_graph",

@@ -164,6 +164,23 @@ class CSRGraph:
             self._cache[key] = entry
         return entry[1]
 
+    def to_shared(self):
+        """Pack this graph into a shared-memory block (see
+        :func:`repro.graphs.shared.share_graph`).  Returns
+        ``(handle, shm)``; the caller owns the block's lifetime."""
+        from repro.graphs.shared import share_graph
+
+        return share_graph(self)
+
+    @staticmethod
+    def from_shared(handle) -> "CSRGraph":
+        """Attach a graph previously shared with :meth:`to_shared`
+        (zero-copy read-only views; see
+        :func:`repro.graphs.shared.attach_graph`)."""
+        from repro.graphs.shared import attach_graph
+
+        return attach_graph(handle)
+
     def __getstate__(self) -> Dict[str, Any]:
         # Exclude the preprocessing cache: worker processes rebuild what
         # they need, and shipping alias/segment tables would bloat every

@@ -136,6 +136,64 @@ def load_npz(path: PathLike) -> CSRGraph:
 
 
 # ----------------------------------------------------------------------
+# sidecar cache
+# ----------------------------------------------------------------------
+
+def sidecar_path(path: PathLike) -> str:
+    """The binary sidecar a text edge list is cached under."""
+    return f"{os.fspath(path)}.graph.npz"
+
+
+def load_graph_auto(
+    path: PathLike,
+    retries: int = 0,
+    use_sidecar: bool = True,
+) -> CSRGraph:
+    """Load a graph file, preferring a fresh binary sidecar for text input.
+
+    ``.npz`` paths load directly.  For a text edge list the loader first
+    looks for ``<path>.graph.npz``: a sidecar at least as new as the text
+    file (by mtime) is trusted and loaded — an order of magnitude faster
+    than re-parsing at n >= 10^6 — while a stale or unreadable sidecar is
+    ignored and the text re-parsed.  After a successful parse the sidecar
+    is (re)written atomically via a temp file + ``os.replace``; a failure
+    to write it (read-only directory, quota) is silently ignored — the
+    cache is an optimization, never a correctness requirement.
+
+    ``retries`` forwards to the ``*_with_retry`` loaders (0 = no retry).
+    """
+    text_path = os.fspath(path)
+    if text_path.endswith(".npz"):
+        if retries:
+            return load_npz_with_retry(text_path, retries=retries)
+        return load_npz(text_path)
+    cache = sidecar_path(text_path)
+    if use_sidecar:
+        try:
+            if os.path.getmtime(cache) >= os.path.getmtime(text_path):
+                return load_npz(cache)
+        except (OSError, GraphFormatError):
+            pass  # missing, unreadable, or corrupt sidecar: re-parse
+    if retries:
+        graph = load_edge_list_with_retry(text_path, retries=retries)
+    else:
+        graph = load_edge_list(text_path)
+    if use_sidecar:
+        # np.savez appends ".npz" to names lacking it — keep the suffix so
+        # the temp file lands where we expect to replace from.
+        tmp = f"{cache}.{os.getpid()}.tmp.npz"
+        try:
+            save_npz(graph, tmp)
+            os.replace(tmp, cache)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+    return graph
+
+
+# ----------------------------------------------------------------------
 # retry wrappers
 # ----------------------------------------------------------------------
 

@@ -17,7 +17,8 @@ code written against the original list-of-arrays interface.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +27,20 @@ from repro.rrsets.base import RRGenerator
 #: dtype of the flat node pool; int32 halves memory vs. int64 and covers
 #: every graph this library can hold in RAM.
 NODE_DTYPE = np.int32
+
+
+def _pow2_capacity(need: int, floor: int) -> int:
+    """Smallest power of two >= ``max(need, floor)``.
+
+    Growing to the next power of two (instead of ``max(need, 2 * cap)``)
+    keeps growth geometric even when a single ``add_batch`` overshoots the
+    doubled capacity: the old policy then landed at *exactly* ``need``, so
+    the very next append reallocated again.  Power-of-two capacities also
+    make successive doubling-schedule extensions land on shared buffer
+    sizes, which is what the ``realloc_count`` micro-benchmark measures.
+    """
+    need = max(int(need), int(floor))
+    return 1 << (need - 1).bit_length()
 
 
 def _segment_uncovered(
@@ -230,6 +245,13 @@ class RRCollection:
         self._inv_indptr: Optional[np.ndarray] = None
         self._inv_rrs: Optional[np.ndarray] = None
         self._inv_num_rr = -1
+        #: number of buffer reallocations (node pool + offsets) performed
+        #: by :meth:`_reserve` — the quantity the growth-policy
+        #: micro-benchmark compares across policies.
+        self.realloc_count = 0
+        #: when spilled, the ``prefix`` passed to :meth:`spill_to` (the
+        #: node pool and offsets live in disk-backed memory maps there).
+        self._spill_prefix: Optional[str] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -272,8 +294,15 @@ class RRCollection:
         return np.diff(self.rr_indptr)
 
     def nbytes(self) -> int:
-        """Resident bytes of the pool buffers (nodes, offsets, indexes)."""
-        total = self._nodes.nbytes + self._indptr.nbytes + self._counts.nbytes
+        """Resident bytes of the pool buffers (nodes, offsets, indexes).
+
+        Disk-backed (spilled) buffers are excluded: the figure tracks RSS
+        pressure, and memory-mapped pages are reclaimable by the OS.
+        """
+        total = self._counts.nbytes
+        for buf in (self._nodes, self._indptr):
+            if not isinstance(buf, np.memmap):
+                total += buf.nbytes
         if self._inv_rrs is not None:
             total += self._inv_rrs.nbytes + self._inv_indptr.nbytes
         return total
@@ -284,16 +313,20 @@ class RRCollection:
     def _reserve(self, extra_nodes: int, extra_sets: int) -> None:
         need = self.total_size + extra_nodes
         if need > len(self._nodes):
-            capacity = max(need, 2 * len(self._nodes))
-            grown = np.empty(capacity, dtype=NODE_DTYPE)
+            grown = np.empty(_pow2_capacity(need, 1024), dtype=NODE_DTYPE)
             grown[: self.total_size] = self._nodes[: self.total_size]
             self._nodes = grown
+            self.realloc_count += 1
+            # Growth promotes a spilled pool back to RAM implicitly: the
+            # copy above reads the memory map once and the fresh buffer is
+            # ordinary writable memory.
+            self._spill_prefix = None
         need = self._num_rr + extra_sets + 1
         if need > len(self._indptr):
-            capacity = max(need, 2 * len(self._indptr))
-            grown = np.zeros(capacity, dtype=np.int64)
+            grown = np.zeros(_pow2_capacity(need, 256), dtype=np.int64)
             grown[: self._num_rr + 1] = self._indptr[: self._num_rr + 1]
             self._indptr = grown
+            self.realloc_count += 1
 
     def add(self, rr: Sequence[int]) -> int:
         """Store one RR set; returns its id.
@@ -501,6 +534,68 @@ class RRCollection:
         if self._num_rr == 0:
             raise ValueError("cannot estimate influence from an empty pool")
         return self.n * self.coverage(seeds) / self._num_rr
+
+    # ------------------------------------------------------------------
+    # mmap spill
+    # ------------------------------------------------------------------
+    @property
+    def is_spilled(self) -> bool:
+        """True while the node pool lives in disk-backed memory maps."""
+        return self._spill_prefix is not None
+
+    def spill_to(self, prefix: str) -> Dict[str, str]:
+        """Move the node pool and offsets to disk-backed memory maps.
+
+        Writes ``{prefix}.nodes.npy`` / ``{prefix}.indptr.npy`` and rebinds
+        the buffers to read-only ``np.memmap`` views, dropping the inverted
+        index (it is rebuilt lazily — and deterministically, so a reloaded
+        pool serves bit-identical queries).  The per-node coverage counts
+        stay resident: they are O(n), not O(pool).  Every read path
+        (coverage, prefix views, per-set sums, the inverted index) works
+        unchanged on the mapped buffers; the first *append* after a spill
+        promotes the pool back to RAM via the ordinary growth copy.
+
+        Returns the written paths.  A spilled pool reports only its
+        resident buffers through :meth:`nbytes`, which is what lets a
+        shard runtime bound RSS while the on-disk pool keeps growing.
+        """
+        nodes_path = f"{prefix}.nodes.npy"
+        indptr_path = f"{prefix}.indptr.npy"
+        if self.total_size == 0:
+            # Nothing to map (and zero-length memory maps are not portable);
+            # an empty pool is already as small as it gets.
+            return {}
+        np.save(nodes_path, self._nodes[: self.total_size])
+        np.save(indptr_path, self._indptr[: self._num_rr + 1])
+        self._nodes = np.load(nodes_path, mmap_mode="r")
+        self._indptr = np.load(indptr_path, mmap_mode="r")
+        self._inv_indptr = None
+        self._inv_rrs = None
+        self._inv_num_rr = -1
+        self._spill_prefix = str(prefix)
+        return {"nodes": nodes_path, "indptr": indptr_path}
+
+    @classmethod
+    def from_spill(cls, n: int, prefix: str) -> "RRCollection":
+        """Reopen a pool previously :meth:`spill_to`-ed under ``prefix``.
+
+        The node pool and offsets stay memory-mapped; the coverage counts
+        are recomputed with one ``bincount`` pass over the map (exactly the
+        values incremental maintenance would have accumulated).
+        """
+        coll = cls(int(n))
+        nodes_path = f"{prefix}.nodes.npy"
+        indptr_path = f"{prefix}.indptr.npy"
+        if not (os.path.exists(nodes_path) and os.path.exists(indptr_path)):
+            raise FileNotFoundError(f"no spilled pool under {prefix!r}")
+        coll._nodes = np.load(nodes_path, mmap_mode="r")
+        coll._indptr = np.load(indptr_path, mmap_mode="r")
+        coll._num_rr = len(coll._indptr) - 1
+        coll.total_size = int(coll._indptr[-1])
+        counts = np.bincount(coll._nodes[: coll.total_size], minlength=coll.n)
+        coll._counts = counts.astype(np.int64, copy=False)
+        coll._spill_prefix = str(prefix)
+        return coll
 
     # ------------------------------------------------------------------
     # prefix views

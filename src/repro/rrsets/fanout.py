@@ -130,7 +130,12 @@ def generate_multiprocess(
     if effective <= 1:
         # Not enough work to amortise process startup: stay in-process but
         # keep the same derived stream so results depend only on (seed,
-        # workers), not on the degradation decision path.
+        # workers), not on the degradation decision path.  The degradation
+        # is *not* silent: requesting ``workers > 1`` and running on one
+        # process is a surprise worth surfacing, so it lands in the run
+        # report as a ``generation.fanout_degraded`` counter.
+        if want_metrics:
+            gen.metrics.inc("generation.fanout_degraded")
         child = np.random.SeedSequence(entropy).spawn(1)[0]
         args = (
             type(gen), gen.graph, count, batch_size, child, stop_mask,

@@ -1,0 +1,842 @@
+"""Persistent sharded worker runtime for RR-set generation and coverage.
+
+The per-call fan-out (:mod:`repro.rrsets.fanout`) pays ``Pool`` spawn, a
+full graph pickle, and a sampler-table rebuild on **every** generate call,
+and merges every shard back into one parent-resident pool.  A
+:class:`ShardPool` removes all three costs:
+
+* **Spawn once** — workers are long-lived processes created at pool
+  construction; each attaches the graph from one shared-memory block
+  (:mod:`repro.graphs.shared`) and keeps its generator — and therefore the
+  per-graph sampler tables cached on the attached graph — resident across
+  requests.
+* **Shard-resident pools** — each worker permanently owns its shard of
+  every role's RR pool (an ordinary :class:`~repro.rrsets.collection
+  .RRCollection`) plus the lazily built inverted index.  Nothing is merged
+  back to the parent; coverage runs *where the data lives* and only
+  per-node gain vectors travel.
+* **Spill** — with a ``spill_dir``, worker shards can spill their pools to
+  disk-backed memory maps (:meth:`RRCollection.spill_to`) and the worker
+  checkpoints its state through the :class:`~repro.runtime.checkpoint
+  .CheckpointStore` after mutating commands.
+
+**Determinism and crash recovery.**  Every mutating command carries a
+monotone per-worker sequence number and (for generation) a self-contained
+``SeedSequence`` spec, so a worker's entire pool state is a pure function
+of the command journal the parent keeps.  When a worker dies mid-request
+the parent respawns it, restores the newest checkpoint (if any), replays
+the journal suffix — bit-identical, because requests are independently
+seeded — re-establishes any in-progress selection state, and re-issues the
+in-flight request.  A worker that already applied a replayed sequence
+number answers from its cached reply instead of re-executing, so recovery
+is idempotent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.shared import unlink_shared
+from repro.rrsets.collection import RRCollection
+from repro.utils.exceptions import ReproError
+
+
+class ShardPoolError(ReproError):
+    """A shard worker reported an error or could not be recovered."""
+
+
+#: recv/send failure modes that mean "the worker process is gone".
+_LINK_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+class _RoleState:
+    """One role's resident shard inside a worker: pool + generator."""
+
+    __slots__ = ("pool", "generator")
+
+    def __init__(self, pool: RRCollection, generator) -> None:
+        self.pool = pool
+        self.generator = generator
+
+
+class _Selection:
+    """Worker-side state of one in-progress scatter-gather selection."""
+
+    __slots__ = ("limit", "covered")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = int(limit)
+        self.covered = np.zeros(self.limit, dtype=bool)
+
+
+class _ShardWorker:
+    """State machine executed by one worker process."""
+
+    def __init__(
+        self,
+        rank: int,
+        graph: CSRGraph,
+        spill_dir: Optional[str],
+        checkpoint_every: int,
+    ) -> None:
+        self.rank = rank
+        self.graph = graph
+        self.spill_dir = spill_dir
+        self.checkpoint_every = int(checkpoint_every)
+        self.roles: Dict[str, _RoleState] = {}
+        self.selections: Dict[str, _Selection] = {}
+        self.seq = 0
+        self.last_reply: Optional[Tuple[int, Any]] = None
+        self.crash_next = False
+        self.spilled_roles: set = set()
+        self._dirty = False
+
+    # -- durability ----------------------------------------------------
+    def _store(self):
+        from repro.runtime.checkpoint import CheckpointStore
+
+        if self.spill_dir is None:
+            return None
+        path = os.path.join(self.spill_dir, f"shard{self.rank}.ckpt.npz")
+        return CheckpointStore(path)
+
+    def restore(self) -> None:
+        """Reload the newest checkpoint (respawn path); best effort."""
+        from repro.runtime.checkpoint import counters_from_dict
+        from repro.utils.exceptions import CheckpointError
+
+        store = self._store()
+        if store is None or not store.exists():
+            return
+        try:
+            meta, pools = store.load()
+        except CheckpointError:
+            # A torn checkpoint is refused, never half-loaded: replay from
+            # the journal origin reproduces the same state.
+            return
+        self.seq = int(meta["seq"])
+        for role, payload in meta["roles"].items():
+            state = self._role(
+                role, _import_class(payload["generator_cls"]), None, 1
+            )
+            state.pool = pools[role]
+            state.generator.counters = counters_from_dict(payload["counters"])
+            state.generator._reported_edges = 0
+        for role in meta.get("spilled", []):
+            self.spilled_roles.add(role)
+            self._spill_role(role)
+
+    def discard_checkpoint(self) -> None:
+        """Delete any checkpoint left in ``spill_dir`` by a prior process.
+
+        A *fresh* pool starts from an empty journal, so a checkpoint found
+        at spawn time can only belong to an earlier pool that shared the
+        directory.  Adopting it would leave ``seq`` ahead of the new
+        parent's journal and every journaled command would look like a
+        replay.
+        """
+        store = self._store()
+        if store is not None:
+            store.clear()
+
+    def checkpoint(self) -> None:
+        from repro.runtime.checkpoint import counters_to_dict
+
+        store = self._store()
+        if store is None or self.checkpoint_every <= 0:
+            return
+        if self.seq % self.checkpoint_every != 0:
+            return
+        meta = {
+            "seq": self.seq,
+            "spilled": sorted(self.spilled_roles),
+            "roles": {
+                role: {
+                    "generator_cls": _class_path(type(state.generator)),
+                    "counters": counters_to_dict(state.generator.counters),
+                }
+                for role, state in self.roles.items()
+            },
+        }
+        store.save(meta, {role: s.pool for role, s in self.roles.items()})
+
+    # -- role plumbing -------------------------------------------------
+    def _role(
+        self, role: str, generator_cls, batched_mode, batch_size
+    ) -> _RoleState:
+        state = self.roles.get(role)
+        if state is None:
+            state = _RoleState(
+                RRCollection(self.graph.n), generator_cls(self.graph)
+            )
+            self.roles[role] = state
+        gen = state.generator
+        if batched_mode is not None:
+            gen.batched_mode = batched_mode
+        gen.batch_size = int(batch_size)
+        return state
+
+    def _view(self, role: str, limit: int):
+        state = self.roles.get(role)
+        pool = state.pool if state is not None else RRCollection(self.graph.n)
+        return pool.prefix(min(int(limit), pool.num_rr))
+
+    # -- command dispatch ----------------------------------------------
+    def dispatch(self, cmd: str, payload: Dict[str, Any]):
+        handler = getattr(self, f"_cmd_{cmd}", None)
+        if handler is None:
+            raise ShardPoolError(f"unknown shard command {cmd!r}")
+        mutating = cmd in _MUTATING_COMMANDS
+        if mutating:
+            seq = int(payload["seq"])
+            if seq < self.seq:
+                # A retried send reached a command this worker already
+                # applied: answer idempotently from the cached reply.
+                # Checkpoints are taken *after* the reply ships, so only
+                # the immediately preceding command can ever be re-sent —
+                # anything else means the journal and worker disagree.
+                if self.last_reply is not None and self.last_reply[0] == seq:
+                    return self.last_reply[1]
+                raise ShardPoolError(
+                    f"shard {self.rank}: replayed seq {seq} predates worker "
+                    f"seq {self.seq} and no cached reply exists (stale "
+                    "checkpoint or journal mismatch)"
+                )
+        reply = handler(payload)
+        if mutating:
+            self.seq += 1
+            self.last_reply = (int(payload["seq"]), reply)
+            self._dirty = True
+        return reply
+
+    def maybe_checkpoint(self) -> None:
+        """Checkpoint after the reply has shipped, if state changed.
+
+        Ordering matters: persisting *before* replying would let a crash
+        land between the two, leaving a checkpoint whose sequence number
+        covers a reply the parent never received — replay would then skip
+        the command instead of re-answering it.
+        """
+        if self._dirty:
+            self._dirty = False
+            self.checkpoint()
+
+    def _cmd_hello(self, payload):
+        return {
+            "seq": self.seq,
+            "roles": {role: s.pool.num_rr for role, s in self.roles.items()},
+        }
+
+    def _cmd_generate(self, payload):
+        from repro.observability.registry import MetricsRegistry
+
+        state = self._role(
+            payload["role"],
+            payload["generator_cls"],
+            payload.get("batched_mode"),
+            payload.get("batch_size", 1),
+        )
+        gen = state.generator
+        gen.metrics = MetricsRegistry() if payload.get("want_metrics") else None
+        before = _counter_tuple(gen.counters)
+        rng = np.random.default_rng(payload["seed"])
+        stop_mask = payload.get("stop_mask")
+        count = int(payload["count"])
+        batch = max(1, int(payload.get("batch_size", 1)))
+        sizes_chunks: List[np.ndarray] = []
+        remaining = count
+        midpoint = count // 2
+        while remaining > 0:
+            b = min(batch, remaining)
+            nodes, sizes = gen.generate_batch(rng, b, stop_mask=stop_mask)
+            state.pool.add_batch(nodes, sizes)
+            sizes_chunks.append(sizes)
+            remaining -= len(sizes)
+            if self.crash_next and count - remaining >= midpoint:
+                # Chaos hook: die mid-generate with the pool half-advanced
+                # and no reply sent — exactly the failure recovery must
+                # absorb.  ``os._exit`` skips every cleanup path.
+                os._exit(17)
+        sizes = (
+            np.concatenate(sizes_chunks)
+            if sizes_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        after = _counter_tuple(gen.counters)
+        delta = tuple(a - b for a, b in zip(after, before))
+        metrics_payload = (
+            gen.metrics.snapshot() if gen.metrics is not None else None
+        )
+        gen.metrics = None
+        return {
+            "sizes": sizes,
+            "totals": delta,
+            "metrics": metrics_payload,
+            "num_rr": state.pool.num_rr,
+        }
+
+    def _cmd_adopt(self, payload):
+        state = self._role(payload["role"], payload["generator_cls"], None, 1)
+        nodes = payload["nodes"]
+        sizes = payload["sizes"]
+        if len(sizes):
+            state.pool.add_batch(nodes, sizes)
+        return {"num_rr": state.pool.num_rr}
+
+    def _cmd_reset_role(self, payload):
+        state = self.roles.get(payload["role"])
+        if state is not None:
+            state.pool = RRCollection(self.graph.n)
+        self.spilled_roles.discard(payload["role"])
+        return {"num_rr": 0}
+
+    def _spill_role(self, role: str) -> int:
+        state = self.roles.get(role)
+        if state is None or self.spill_dir is None:
+            return 0
+        safe = role.replace("/", "_")
+        state.pool.spill_to(
+            os.path.join(self.spill_dir, f"shard{self.rank}.{safe}")
+        )
+        return state.pool.nbytes()
+
+    def _cmd_spill(self, payload):
+        if self.spill_dir is None:
+            raise ShardPoolError("spill requested but the pool has no spill_dir")
+        roles = (
+            [payload["role"]] if payload.get("role") else list(self.roles)
+        )
+        resident = {}
+        for role in roles:
+            resident[role] = self._spill_role(role)
+            self.spilled_roles.add(role)
+        return {"resident_bytes": resident}
+
+    def _cmd_stats(self, payload):
+        return {
+            role: {
+                "num_rr": s.pool.num_rr,
+                "nbytes": s.pool.nbytes(),
+                "spilled": s.pool.is_spilled,
+                "realloc_count": s.pool.realloc_count,
+            }
+            for role, s in self.roles.items()
+        }
+
+    def _cmd_crash_next(self, payload):
+        self.crash_next = True
+        return {}
+
+    def _cmd_coverage_counts(self, payload):
+        view = self._view(payload["role"], payload["limit"])
+        return {"counts": view.coverage_counts(), "num_rr": view.num_rr}
+
+    def _cmd_coverage(self, payload):
+        view = self._view(payload["role"], payload["limit"])
+        return {"covered": view.coverage(payload["seeds"])}
+
+    def _cmd_per_set_sums(self, payload):
+        view = self._view(payload["role"], payload["limit"])
+        return {"sums": view.per_set_sums(payload["values"])}
+
+    def _cmd_select_begin(self, payload):
+        self.selections[payload["role"]] = _Selection(payload["limit"])
+        return {}
+
+    def _cmd_select_mark(self, payload):
+        role = payload["role"]
+        sel = self.selections[role]
+        view = self._view(role, sel.limit)
+        containing = view.rrs_containing(int(payload["node"]))
+        newly = containing[~sel.covered[containing]]
+        sel.covered[newly] = True
+        reply: Dict[str, Any] = {"newly": len(newly)}
+        if payload.get("want_decrements"):
+            reply["members"] = view.nodes_of_sets(newly)
+        return reply
+
+    def _cmd_select_uncovered(self, payload):
+        role = payload["role"]
+        sel = self.selections[role]
+        view = self._view(role, sel.limit)
+        return {
+            "counts": view.uncovered_counts(payload["nodes"], sel.covered)
+        }
+
+    def _cmd_select_covered(self, payload):
+        return {"covered": self.selections[payload["role"]].covered}
+
+    def _cmd_select_end(self, payload):
+        self.selections.pop(payload["role"], None)
+        return {}
+
+
+#: commands that advance worker state; they carry ``seq``, are journaled by
+#: the parent, and are replayed verbatim after a crash.
+_MUTATING_COMMANDS = frozenset(
+    {"generate", "adopt", "reset_role", "spill"}
+)
+
+
+def _counter_tuple(c) -> Tuple[int, int, int, int, int]:
+    return (
+        c.edges_examined, c.rng_draws, c.nodes_added,
+        c.sets_generated, c.sentinel_hits,
+    )
+
+
+def _class_path(cls) -> str:
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _import_class(path: str):
+    import importlib
+
+    module, _, name = path.partition(":")
+    obj = importlib.import_module(module)
+    for part in name.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _shard_worker_main(rank, conn, handle, spill_dir, checkpoint_every,
+                       restore):
+    """Worker process entry point: attach the graph, serve commands.
+
+    ``restore`` is True only on a crash-recovery respawn: the checkpoint
+    then belongs to this pool and resuming from it shortens journal
+    replay.  On a fresh spawn any checkpoint in ``spill_dir`` is a
+    leftover from a *previous* process and is discarded instead — the new
+    pool's journal starts at zero and must stay in lockstep with ``seq``.
+    """
+    graph = CSRGraph.from_shared(handle)
+    worker = _ShardWorker(rank, graph, spill_dir, checkpoint_every)
+    if restore:
+        worker.restore()
+    else:
+        worker.discard_checkpoint()
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except _LINK_ERRORS:  # parent is gone
+            break
+        if cmd == "shutdown":
+            try:
+                conn.send(("ok", None))
+            except _LINK_ERRORS:  # pragma: no cover - teardown race
+                pass
+            break
+        try:
+            reply = worker.dispatch(cmd, payload)
+        except ShardPoolError as exc:
+            conn.send(("error", str(exc)))
+            continue
+        except Exception as exc:  # surface, don't die silently
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            continue
+        conn.send(("ok", reply))
+        worker.maybe_checkpoint()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+class ShardPool:
+    """A fixed set of long-lived worker processes owning RR-pool shards.
+
+    The pool is role-multiplexed: any number of RR banks (``"opimc.r1"``,
+    ``"sentinel.r2"``, ...) share the same workers, each role owning one
+    resident :class:`RRCollection` shard per worker.  All communication is
+    strict request/reply over per-worker pipes, gathered in rank order.
+
+    ``spill_dir`` enables both spill-to-disk for cold shards and the
+    per-worker checkpoint that shortens crash-recovery replay; without it,
+    recovery replays the full journal (still bit-identical — just slower).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        shards: int,
+        *,
+        spill_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        mp_context: Optional[str] = None,
+        metrics=None,
+    ) -> None:
+        if shards < 1:
+            raise ShardPoolError(f"shards must be >= 1, got {shards}")
+        self.graph = graph
+        self.shards = int(shards)
+        self.spill_dir = os.fspath(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            os.makedirs(self.spill_dir, exist_ok=True)
+        self.checkpoint_every = int(checkpoint_every)
+        self.metrics = metrics
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._handle, self._shm = graph.to_shared()
+        self._conns: List[Any] = [None] * self.shards
+        self._procs: List[Any] = [None] * self.shards
+        self._journal: List[List[Tuple[str, dict]]] = [
+            [] for _ in range(self.shards)
+        ]
+        #: parent mirror of live selections: role -> (per-rank limits,
+        #: [marked nodes]) — enough to rebuild worker selection state.
+        self._selections: Dict[str, Tuple[List[int], List[int]]] = {}
+        self._closed = False
+        try:
+            for rank in range(self.shards):
+                self._spawn(rank)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut workers down and release the shared graph block."""
+        if self._closed:
+            return
+        self._closed = True
+        for rank in range(self.shards):
+            conn = self._conns[rank]
+            if conn is not None:
+                try:
+                    conn.send(("shutdown", {}))
+                    conn.recv()
+                except _LINK_ERRORS:
+                    pass
+                conn.close()
+                self._conns[rank] = None
+        for rank in range(self.shards):
+            proc = self._procs[rank]
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+                self._procs[rank] = None
+        if self._shm is not None:
+            unlink_shared(self._shm)
+            self._shm = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- spawn / recovery ----------------------------------------------
+    def _spawn(self, rank: int, *, restore: bool = False) -> int:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                rank, child_conn, self._handle, self.spill_dir,
+                self.checkpoint_every, restore,
+            ),
+            daemon=True,
+            name=f"repro-shard-{rank}",
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[rank] = parent_conn
+        self._procs[rank] = proc
+        reply = self._exchange(rank, "hello", {})
+        return int(reply["seq"])
+
+    def _exchange(self, rank: int, cmd: str, payload: dict):
+        """One raw request/reply on an assumed-healthy link (may raise)."""
+        conn = self._conns[rank]
+        conn.send((cmd, payload))
+        status, reply = conn.recv()
+        if status == "error":
+            raise ShardPoolError(f"shard {rank}: {reply}")
+        return reply
+
+    def _recover(self, rank: int) -> None:
+        """Respawn a dead worker and replay its journal suffix."""
+        if self.metrics is not None:
+            self.metrics.inc("shardpool.worker_crashes")
+        proc = self._procs[rank]
+        if proc is not None:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        conn = self._conns[rank]
+        if conn is not None:
+            conn.close()
+        restored = self._spawn(rank, restore=True)
+        for cmd, payload in self._journal[rank][restored:]:
+            self._exchange(rank, cmd, payload)
+        # Selection state is not journaled (it is transient and cheap to
+        # rebuild): re-open each live selection and re-mark its seeds.
+        for role, (limits, marked) in self._selections.items():
+            self._exchange(
+                rank, "select_begin", {"role": role, "limit": limits[rank]}
+            )
+            for node in marked:
+                self._exchange(
+                    rank,
+                    "select_mark",
+                    {"role": role, "node": node, "want_decrements": False},
+                )
+
+    def _request(self, rank: int, cmd: str, payload: dict, journal: bool):
+        if self._closed:
+            raise ShardPoolError("shard pool is closed")
+        if journal:
+            payload = dict(payload, seq=len(self._journal[rank]))
+            self._journal[rank].append((cmd, payload))
+        for attempt in (0, 1):
+            try:
+                return self._exchange(rank, cmd, payload)
+            except _LINK_ERRORS:
+                if attempt:
+                    raise ShardPoolError(
+                        f"shard {rank} died twice on {cmd!r}; giving up"
+                    )
+                # _recover replays the journal, which now *includes* the
+                # failed command — the retry send then answers from the
+                # worker's cached reply (idempotent seq guard).
+                self._recover(rank)
+        raise AssertionError("unreachable")
+
+    def _request_all(
+        self,
+        cmd: str,
+        payloads: Sequence[dict],
+        journal: bool = False,
+    ) -> List[Any]:
+        """Broadcast one command; gather replies in rank order.
+
+        Sends are pipelined so multi-core hosts overlap worker execution;
+        any link failure routes that rank through single-request recovery.
+        """
+        if self._closed:
+            raise ShardPoolError("shard pool is closed")
+        staged: List[dict] = []
+        pending: List[bool] = []
+        for rank in range(self.shards):
+            payload = payloads[rank]
+            if journal:
+                payload = dict(payload, seq=len(self._journal[rank]))
+                self._journal[rank].append((cmd, payload))
+            staged.append(payload)
+            try:
+                self._conns[rank].send((cmd, payload))
+                pending.append(True)
+            except _LINK_ERRORS:
+                pending.append(False)
+        replies: List[Any] = []
+        for rank in range(self.shards):
+            reply = None
+            failed = not pending[rank]
+            if pending[rank]:
+                try:
+                    status, reply = self._conns[rank].recv()
+                    if status == "error":
+                        raise ShardPoolError(f"shard {rank}: {reply}")
+                except _LINK_ERRORS:
+                    failed = True
+            if failed:
+                # The journal already holds this command (when journaled),
+                # so recovery replays it; non-journaled commands are
+                # re-issued directly after the respawn.
+                self._recover(rank)
+                if journal:
+                    reply = self._journal_tail_reply(rank, cmd)
+                else:
+                    reply = self._exchange(rank, cmd, staged[rank])
+            replies.append(reply)
+        return replies
+
+    def _journal_tail_reply(self, rank: int, cmd: str):
+        tail_cmd, tail_payload = self._journal[rank][-1]
+        assert tail_cmd == cmd
+        return self._exchange(rank, cmd, tail_payload)
+
+    # -- generation ----------------------------------------------------
+    def generate(
+        self,
+        role: str,
+        counts: Sequence[int],
+        seeds: Sequence[np.random.SeedSequence],
+        *,
+        generator_cls,
+        batched_mode: Optional[str],
+        batch_size: int,
+        stop_mask: Optional[np.ndarray] = None,
+        want_metrics: bool = False,
+    ) -> List[dict]:
+        """Broadcast one generate request; per-rank replies in rank order.
+
+        Each reply carries ``sizes`` (per-set sizes, local order),
+        ``totals`` (the counter delta tuple) and optionally a serialized
+        metrics snapshot.  Counts of zero still round-trip so every rank's
+        journal advances in lockstep.
+        """
+        payloads = [
+            {
+                "role": role,
+                "count": int(counts[rank]),
+                "seed": seeds[rank],
+                "generator_cls": generator_cls,
+                "batched_mode": batched_mode,
+                "batch_size": int(batch_size),
+                "stop_mask": stop_mask,
+                "want_metrics": bool(want_metrics),
+            }
+            for rank in range(self.shards)
+        ]
+        return self._request_all("generate", payloads, journal=True)
+
+    def adopt(self, role: str, shards_data, generator_cls) -> None:
+        """Scatter pre-generated ``(nodes, sizes)`` pairs into the shards
+        (equivalence tests and benchmarks; journaled like any mutation)."""
+        payloads = [
+            {
+                "role": role,
+                "nodes": nodes,
+                "sizes": sizes,
+                "generator_cls": generator_cls,
+            }
+            for nodes, sizes in shards_data
+        ]
+        self._request_all("adopt", payloads, journal=True)
+
+    def reset_role(self, role: str) -> None:
+        """Drop every shard of ``role`` (journaled)."""
+        self._request_all(
+            "reset_role", [{"role": role}] * self.shards, journal=True
+        )
+
+    def spill(self, role: Optional[str] = None) -> List[dict]:
+        """Spill ``role`` (or all roles) to disk on every shard."""
+        return self._request_all(
+            "spill", [{"role": role}] * self.shards, journal=True
+        )
+
+    def stats(self) -> List[dict]:
+        return self._request_all("stats", [{}] * self.shards)
+
+    def crash_next_generate(self, rank: int) -> None:
+        """Arm the chaos hook: ``rank`` dies mid-way through its next
+        generate request (test-only)."""
+        self._request(rank, "crash_next", {}, journal=False)
+
+    # -- coverage (scatter-gather) -------------------------------------
+    def coverage_counts(self, role: str, limits: Sequence[int]) -> np.ndarray:
+        replies = self._request_all(
+            "coverage_counts",
+            [{"role": role, "limit": int(limits[r])} for r in range(self.shards)],
+        )
+        total = np.zeros(self.graph.n, dtype=np.int64)
+        for reply in replies:
+            total += reply["counts"]
+        return total
+
+    def coverage(self, role: str, limits: Sequence[int], seeds) -> int:
+        seeds = list(seeds)
+        replies = self._request_all(
+            "coverage",
+            [
+                {"role": role, "limit": int(limits[r]), "seeds": seeds}
+                for r in range(self.shards)
+            ],
+        )
+        return int(sum(reply["covered"] for reply in replies))
+
+    def per_set_sums(
+        self, role: str, limits: Sequence[int], values: np.ndarray
+    ) -> List[np.ndarray]:
+        replies = self._request_all(
+            "per_set_sums",
+            [
+                {"role": role, "limit": int(limits[r]), "values": values}
+                for r in range(self.shards)
+            ],
+        )
+        return [reply["sums"] for reply in replies]
+
+    # -- selection sessions --------------------------------------------
+    def select_begin(self, role: str, limits: Sequence[int]) -> None:
+        if role in self._selections:
+            raise ShardPoolError(f"selection already active for {role!r}")
+        limits = [int(limits[r]) for r in range(self.shards)]
+        self._request_all(
+            "select_begin",
+            [{"role": role, "limit": lim} for lim in limits],
+        )
+        self._selections[role] = (limits, [])
+
+    def select_mark(
+        self, role: str, node: int, want_decrements: bool = True
+    ) -> Tuple[int, np.ndarray]:
+        """Mark ``node`` selected on every shard.
+
+        Returns ``(newly_covered_total, members)`` where ``members`` is the
+        concatenation of every newly covered set's nodes across shards
+        (multiplicities preserved — the decrement mass).  Addition over
+        shards is exact because the sets are partitioned.
+        """
+        replies = self._request_all(
+            "select_mark",
+            [
+                {
+                    "role": role,
+                    "node": int(node),
+                    "want_decrements": want_decrements,
+                }
+            ]
+            * self.shards,
+        )
+        self._selections[role][1].append(int(node))
+        newly = sum(r["newly"] for r in replies)
+        if want_decrements:
+            chunks = [r["members"] for r in replies if len(r["members"])]
+            members = (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty(0, dtype=np.int64)
+            )
+        else:
+            members = np.empty(0, dtype=np.int64)
+        return int(newly), members
+
+    def select_uncovered(self, role: str, nodes: np.ndarray) -> np.ndarray:
+        replies = self._request_all(
+            "select_uncovered",
+            [{"role": role, "nodes": nodes}] * self.shards,
+        )
+        total = np.zeros(len(nodes), dtype=np.int64)
+        for reply in replies:
+            total += reply["counts"]
+        return total
+
+    def select_covered(self, role: str) -> List[np.ndarray]:
+        replies = self._request_all(
+            "select_covered", [{"role": role}] * self.shards
+        )
+        return [reply["covered"] for reply in replies]
+
+    def select_end(self, role: str) -> None:
+        self._selections.pop(role, None)
+        if not self._closed:
+            self._request_all("select_end", [{"role": role}] * self.shards)

@@ -115,8 +115,9 @@ class GraphRegistry:
 
     @staticmethod
     def _load(path: str, scheme: Optional[str], seed: int) -> CSRGraph:
-        loader = io.load_npz if path.endswith(".npz") else io.load_edge_list
-        graph = loader(path)
+        # load_graph_auto prefers (and maintains) a binary sidecar for
+        # text edge lists, so a restarted server skips the re-parse.
+        graph = io.load_graph_auto(path)
         if scheme:
             graph = weights.apply_scheme(graph, scheme, seed=seed)
         return graph

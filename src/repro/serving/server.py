@@ -251,6 +251,7 @@ class QueryServer:
             worker.join(timeout=30.0)
         self._workers = []
         self.sessions.snapshot_all()
+        self.sessions.close_all()
         self._started = False
 
     def __enter__(self) -> "QueryServer":

@@ -42,6 +42,15 @@ from repro.utils.exceptions import CheckpointError
 Key = Tuple[str, str]
 
 
+def _safe(text: str) -> str:
+    # Human-readable prefix + crc suffix so distinct tenants that
+    # sanitize to the same string cannot share a file.
+    return (
+        re.sub(r"[^A-Za-z0-9_.-]", "_", text)[:40]
+        + f"-{zlib.crc32(text.encode('utf-8')):08x}"
+    )
+
+
 def tenant_entropy(server_seed: int, tenant: str, graph_name: str) -> int:
     """Deterministic session entropy for ``(server seed, tenant, graph)``.
 
@@ -88,17 +97,16 @@ class SessionManager:
     def snapshot_path(self, tenant: str, graph_name: str) -> Optional[str]:
         if not self.config.snapshot_dir:
             return None
-
-        def safe(text: str) -> str:
-            # Human-readable prefix + crc suffix so distinct tenants that
-            # sanitize to the same string cannot share a snapshot file.
-            return (
-                re.sub(r"[^A-Za-z0-9_.-]", "_", text)[:40]
-                + f"-{zlib.crc32(text.encode('utf-8')):08x}"
-            )
-
-        name = f"{safe(tenant)}__{safe(graph_name)}.session.npz"
+        name = f"{_safe(tenant)}__{_safe(graph_name)}.session.npz"
         return os.path.join(self.config.snapshot_dir, name)
+
+    def spill_path(self, tenant: str, graph_name: str) -> Optional[str]:
+        """Per-session shard spill directory (tenants never share files)."""
+        if not self.config.spill_dir:
+            return None
+        return os.path.join(
+            self.config.spill_dir, f"{_safe(tenant)}__{_safe(graph_name)}"
+        )
 
     # ------------------------------------------------------------------
     def _build(self, tenant: str, graph_name: str, graph: CSRGraph) -> SessionEntry:
@@ -107,6 +115,8 @@ class SessionManager:
             self.config.algorithm,
             seed=tenant_entropy(self.config.seed, tenant, graph_name),
             byte_cap=self.config.byte_cap,
+            shards=self.config.shards,
+            spill_dir=self.spill_path(tenant, graph_name),
         )
         entry = SessionEntry((tenant, graph_name), session)
         path = self.snapshot_path(tenant, graph_name)
@@ -168,6 +178,7 @@ class SessionManager:
         with self._lock:
             dropped = self._entries.pop((tenant, graph_name), None)
         if dropped is not None:
+            dropped.session.close()
             self.metrics.inc("serving.sessions_invalidated")
 
     def snapshot_all(self) -> int:
@@ -194,6 +205,15 @@ class SessionManager:
                     self.metrics.inc("serving.snapshots")
                     saved += 1
         return saved
+
+    def close_all(self) -> None:
+        """Release session resources (shard pools, shared memory) at shutdown."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            with entry.lock:
+                entry.session.close()
 
     # ------------------------------------------------------------------
     def entries(self) -> List[SessionEntry]:

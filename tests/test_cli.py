@@ -370,3 +370,41 @@ class TestServeCli:
         rc = main(["serve", "--graph", "no-equals-sign"])
         assert rc == 2
         assert "NAME=PATH" in capsys.readouterr().err
+
+
+class TestShardsFlag:
+    def test_run_with_shards(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "3",
+            "--eps", "0.4", "--seed", "3", "--shards", "2",
+            "--batch-size", "16",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "complete"
+        assert len(payload["seeds"]) == 3
+
+    def test_ks_share_one_warm_pool(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim",
+            "--ks", "2,3", "--eps", "0.4", "--seed", "3",
+            "--shards", "2", "--batch-size", "16",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [q["k"] for q in payload["queries"]] == [2, 3]
+
+    def test_spill_dir_without_shards_rejected(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--k", "3", "--seed", "1",
+            "--spill-dir", "/tmp/nope",
+        ])
+        assert rc == 2
+        assert "spill" in capsys.readouterr().err.lower()
+
+    def test_workers_and_shards_conflict(self, weighted_npz, capsys):
+        rc = main([
+            "run", weighted_npz, "--algorithm", "subsim", "--k", "3",
+            "--seed", "1", "--shards", "2", "--workers", "2",
+        ])
+        assert rc == 2

@@ -1,5 +1,7 @@
 """Tests for graph persistence."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,10 +9,12 @@ from repro.graphs.generators import preferential_attachment
 from repro.graphs.io import (
     load_edge_list,
     load_edge_list_with_retry,
+    load_graph_auto,
     load_npz,
     load_npz_with_retry,
     save_edge_list,
     save_npz,
+    sidecar_path,
 )
 from repro.graphs.weights import exponential_weights
 from repro.utils.exceptions import GraphFormatError
@@ -158,3 +162,61 @@ class TestRetry:
             load_npz_with_retry(
                 tmp_path / "x.npz", retries=1, max_total_wait=-1.0
             )
+
+
+def _graphs_equal(a, b) -> bool:
+    # weight_model is a label the text format does not carry; equality of
+    # the structural arrays is what cache correctness means here.
+    return (
+        a.n == b.n
+        and np.array_equal(a.out_indptr, b.out_indptr)
+        and np.array_equal(a.out_indices, b.out_indices)
+        and np.array_equal(a.out_probs, b.out_probs)
+    )
+
+
+class TestSidecarCache:
+    def test_text_load_writes_sidecar(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path)
+        loaded = load_graph_auto(path)
+        assert _graphs_equal(loaded, graph)
+        assert os.path.exists(sidecar_path(path))
+        # Second load comes from the sidecar and is identical.
+        assert _graphs_equal(load_graph_auto(path), graph)
+
+    def test_stale_sidecar_ignored_and_refreshed(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path)
+        load_graph_auto(path)
+        # Rewrite the text with a different graph, newer than the sidecar.
+        other = exponential_weights(
+            preferential_attachment(30, 2, seed=9), seed=3
+        )
+        save_edge_list(other, path)
+        future = os.path.getmtime(sidecar_path(path)) + 10
+        os.utime(path, (future, future))
+        assert _graphs_equal(load_graph_auto(path), other)
+
+    def test_corrupt_sidecar_falls_back_to_text(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path)
+        with open(sidecar_path(path), "wb") as handle:
+            handle.write(b"not a zip")
+        future = os.path.getmtime(path) + 10
+        os.utime(sidecar_path(path), (future, future))
+        assert _graphs_equal(load_graph_auto(path), graph)
+
+    def test_npz_path_loads_directly(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert _graphs_equal(load_graph_auto(path), graph)
+        assert not os.path.exists(sidecar_path(path))
+
+    def test_use_sidecar_false_skips_cache(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(graph, path)
+        assert _graphs_equal(
+            load_graph_auto(path, use_sidecar=False), graph
+        )
+        assert not os.path.exists(sidecar_path(path))

@@ -254,3 +254,25 @@ class TestAlgorithmsUnderBatching:
         for i, rr in enumerate(expected):
             assert np.array_equal(pool.set_nodes(i), rr)
         assert gen.counters.rng_draws == gen2.counters.rng_draws
+
+
+class TestFanoutDegradeCounter:
+    def test_degradation_increments_counter(self, wc_graph):
+        # Too little work for 4 workers: the fan-out stays in-process and
+        # must say so in the metrics (generation.fanout_degraded).
+        from repro.observability import MetricsRegistry
+
+        gen = VanillaICGenerator(wc_graph)
+        gen.batch_size = 8
+        gen.metrics = MetricsRegistry()
+        generate_multiprocess(gen, 6, np.random.default_rng(2), workers=4)
+        assert gen.metrics.value("generation.fanout_degraded") == 1
+
+    def test_real_fanout_does_not_count(self, wc_graph):
+        from repro.observability import MetricsRegistry
+
+        gen = VanillaICGenerator(wc_graph)
+        gen.batch_size = 8
+        gen.metrics = MetricsRegistry()
+        generate_multiprocess(gen, 200, np.random.default_rng(2), workers=2)
+        assert gen.metrics.value("generation.fanout_degraded") == 0

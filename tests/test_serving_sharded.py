@@ -1,0 +1,101 @@
+"""Sharded tenant sessions behind the query server.
+
+Config validation, per-tenant spill isolation, repeat-query determinism
+through the session manager, and resource release on invalidate/close.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import wc_weights
+from repro.serving.config import ServerConfig
+from repro.serving.sessions import SessionManager
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wc_weights(erdos_renyi(150, 4.0, seed=23))
+
+
+class TestConfigValidation:
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(shards=0)
+
+    def test_spill_dir_requires_shards(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(spill_dir=str(tmp_path))
+
+    def test_shards_and_snapshot_dir_conflict(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(shards=2, snapshot_dir=str(tmp_path))
+
+
+class TestShardedSessions:
+    def _manager(self, tmp_path=None):
+        return SessionManager(
+            ServerConfig(
+                algorithm="subsim",
+                eps=0.4,
+                seed=7,
+                shards=2,
+                spill_dir=str(tmp_path) if tmp_path else None,
+            )
+        )
+
+    def test_repeat_queries_identical(self, graph):
+        manager = self._manager()
+        try:
+            answers = []
+            for _ in range(2):
+                with manager.lease("t1", "g", graph) as session:
+                    result = session.maximize(4, eps=0.4, batch_size=16)
+                    answers.append(result.seeds)
+            assert answers[0] == answers[1]
+            assert (
+                manager.metrics.value("serving.sessions_created") == 1
+            )
+        finally:
+            manager.close_all()
+
+    def test_tenants_get_isolated_spill_dirs(self, graph, tmp_path):
+        manager = self._manager(tmp_path)
+        try:
+            with manager.lease("alice", "g", graph) as session:
+                session.maximize(3, eps=0.4, batch_size=16)
+            with manager.lease("bob", "g", graph) as session:
+                session.maximize(3, eps=0.4, batch_size=16)
+            dirs = sorted(os.listdir(tmp_path))
+            assert len(dirs) == 2
+            assert manager.spill_path("alice", "g") != manager.spill_path(
+                "bob", "g"
+            )
+        finally:
+            manager.close_all()
+
+    def test_invalidate_closes_shard_pool(self, graph):
+        manager = self._manager()
+        try:
+            with manager.lease("t1", "g", graph) as session:
+                session.maximize(3, eps=0.4, batch_size=16)
+                pool = session.shard_pool
+            manager.invalidate("t1", "g")
+            assert pool._closed
+            assert (
+                manager.metrics.value("serving.sessions_invalidated") == 1
+            )
+        finally:
+            manager.close_all()
+
+    def test_close_all_idempotent(self, graph):
+        manager = self._manager()
+        with manager.lease("t1", "g", graph) as session:
+            session.maximize(3, eps=0.4, batch_size=16)
+        manager.close_all()
+        manager.close_all()
+        assert manager.entries() == []
