@@ -1,0 +1,313 @@
+"""Dynamic-graph benchmark: warm-bank repair vs. cold regeneration.
+
+Materialises a warm RR bank, applies a ~1% edge delta (mixed deletes,
+reweights, and inserts) through :meth:`CSRGraph.apply_delta`, and compares
+two ways of making the bank consistent with the mutated graph:
+
+* **repair** — :meth:`RRBank.repair` resamples only the *dirty* sets
+  (those containing a touched node; only their walks could have traversed
+  a changed in-adjacency block), keeping every clean set verbatim.
+* **cold** — regenerate the full pool from scratch on the mutated graph,
+  which is what discarding the bank on every delta would cost.
+
+Two statistical checks accompany the timings:
+
+* **KS equivalence** — a two-sample Kolmogorov-Smirnov test (pure numpy,
+  alpha = 0.01) comparing the repaired pool's RR-set size distribution
+  against an independently seeded cold pool on the mutated graph.  Repair
+  must be distributionally indistinguishable from resampling everything.
+* **zero-dirty bit-identity** — a delta touching only nodes that no
+  stored set contains must leave the pool *bit-identical* to a cold bank
+  built on the mutated graph from the same stream origin (the coupling
+  argument behind prefix-stable repair).
+
+Results go to ``benchmarks/results/BENCH_dynamic.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py            # full (n=10^4)
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --quick    # CI smoke
+
+``--quick`` shrinks the graph and pool; quick results carry
+``"quick": true`` and are written to ``BENCH_dynamic_quick.json`` so a
+smoke run never overwrites the committed full-size numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.dynamic import GraphDelta
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.rrsets.bank import RRBank
+from repro.rrsets.subsim import SubsimICGenerator
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_dynamic.json"
+#: ``--quick`` runs land here so a CI smoke run can never clobber the
+#: committed full-size numbers in BENCH_dynamic.json
+QUICK_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_dynamic_quick.json"
+)
+
+#: asymptotic two-sided Kolmogorov-Smirnov critical coefficient at
+#: alpha = 0.01: reject when D > c * sqrt((n1 + n2) / (n1 * n2)).
+KS_ALPHA = 0.01
+KS_COEFF = 1.628
+
+
+def make_graph(n: int, degree: int = 3, seed: int = 1) -> CSRGraph:
+    return wc_weights(
+        preferential_attachment(n, degree, seed=seed, reciprocal=0.3)
+    )
+
+
+def make_bank(graph: CSRGraph, entropy: int, role: str = "bench") -> RRBank:
+    seq = np.random.SeedSequence(entropy, spawn_key=(1,))
+    return RRBank(
+        graph,
+        SubsimICGenerator(graph),
+        np.random.default_rng(seq),
+        role=role,
+        reusable=True,
+        entropy=entropy,
+    )
+
+
+def make_delta(
+    graph: CSRGraph, fraction: float, seed: int = 11
+) -> GraphDelta:
+    """A burst-churn delta over ~``fraction`` of the edges.
+
+    Streaming updates concentrate per user rather than spraying uniformly
+    over edges, so the workload picks ``budget / 4`` affected users
+    (uniformly over nodes, not in-degree-biased) and gives each a burst:
+    lose one follower (delete), one tie reweighted (update), gain two new
+    followers (inserts).  The touched-node set — what decides which RR
+    sets go dirty — is therefore the affected users, each charged four
+    edge changes.
+    """
+    rng = np.random.default_rng(seed)
+    budget = max(4, int(round(graph.m * fraction)))
+    n_users = max(1, budget // 4)
+
+    indeg = np.diff(graph.in_indptr)
+    users = rng.choice(
+        np.flatnonzero(indeg >= 2), n_users, replace=False
+    )
+    srcs = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.out_indptr)
+    )
+    existing = set(
+        zip(srcs.tolist(), graph.out_indices.astype(np.int64).tolist())
+    )
+    deletes, updates, inserts = [], [], []
+    for v in users:
+        v = int(v)
+        block = graph.in_indices[graph.in_indptr[v]:graph.in_indptr[v + 1]]
+        lost, reweighted = rng.choice(len(block), 2, replace=False)
+        deletes.append((int(block[lost]), v))
+        updates.append((int(block[reweighted]), v, float(rng.uniform(0.01, 0.5))))
+        gained = 0
+        while gained < 2:
+            u = int(rng.integers(0, graph.n))
+            if u == v or (u, v) in existing:
+                continue
+            existing.add((u, v))
+            inserts.append((u, v, float(rng.uniform(0.01, 0.5))))
+            gained += 1
+    return GraphDelta(inserts=inserts, deletes=deletes, updates=updates)
+
+
+def ks_two_sample(a: np.ndarray, b: np.ndarray) -> dict:
+    """Two-sample KS test statistic + alpha = 0.01 decision (pure numpy)."""
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / len(a)
+    cdf_b = np.searchsorted(b, grid, side="right") / len(b)
+    statistic = float(np.abs(cdf_a - cdf_b).max())
+    critical = KS_COEFF * float(
+        np.sqrt((len(a) + len(b)) / (len(a) * len(b)))
+    )
+    return {
+        "statistic": round(statistic, 6),
+        "critical": round(critical, 6),
+        "alpha": KS_ALPHA,
+        "n1": int(len(a)),
+        "n2": int(len(b)),
+        "pass": statistic <= critical,
+    }
+
+
+def _zero_dirty_check(n: int, theta: int, entropy: int) -> dict:
+    """Delta touching only uncovered nodes => pool bit-identical to cold."""
+    graph = make_graph(n)
+    bank = make_bank(graph, entropy)
+    bank.ensure(theta)
+    coverage = bank.pool.coverage_counts()
+    edge = None
+    for v in np.flatnonzero(coverage == 0):
+        start, end = graph.in_indptr[v], graph.in_indptr[v + 1]
+        if end > start:
+            edge = (int(graph.in_indices[start]), int(v))
+            break
+    if edge is None:
+        return {"checked": False, "reason": "no uncovered node with in-edges"}
+    touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+    stats = bank.repair(touched)
+
+    cold_graph = make_graph(n)
+    cold_graph.apply_delta(GraphDelta(deletes=[edge]))
+    cold = make_bank(cold_graph, entropy)
+    cold.ensure(theta)
+    identical = bool(
+        np.array_equal(bank.pool.rr_nodes, cold.pool.rr_nodes)
+        and np.array_equal(bank.pool.rr_indptr, cold.pool.rr_indptr)
+    )
+    return {
+        "checked": True,
+        "num_dirty": int(stats["num_dirty"]),
+        "bit_identical": identical,
+    }
+
+
+def run_benchmark(
+    n: int = 10_000,
+    degree: int = 3,
+    theta: int = 30_000,
+    delta_fraction: float = 0.01,
+    seed: int = 7,
+    repeats: int = 3,
+    quick: bool = False,
+) -> dict:
+    """Repair-vs-cold timings plus the KS and zero-dirty checks."""
+    if quick:
+        n, theta, repeats = 1_500, 4_000, 1
+    entropy = seed
+
+    graph = make_graph(n, degree)
+    delta = make_delta(graph, delta_fraction)
+
+    # Warm bank, mutate, repair — repeated on fresh state each time so the
+    # measured repair is always delta -> repair on an untouched warm pool.
+    repair_seconds = []
+    repair_stats = None
+    for _ in range(repeats):
+        warm_graph = make_graph(n, degree)
+        warm = make_bank(warm_graph, entropy)
+        warm.ensure(theta)
+        touched = warm_graph.apply_delta(delta)
+        start = time.perf_counter()
+        repair_stats = warm.repair(touched)
+        repair_seconds.append(time.perf_counter() - start)
+    repaired_sizes = np.diff(warm.pool.rr_indptr)
+
+    # Cold baseline: regenerate the full pool on the mutated graph.
+    cold_seconds = []
+    for _ in range(repeats):
+        cold_graph = make_graph(n, degree)
+        cold_graph.apply_delta(delta)
+        cold = make_bank(cold_graph, entropy)
+        start = time.perf_counter()
+        cold.ensure(theta)
+        cold_seconds.append(time.perf_counter() - start)
+
+    # Independent sample for the KS check: different entropy, same graph.
+    ks_graph = make_graph(n, degree)
+    ks_graph.apply_delta(delta)
+    independent = make_bank(ks_graph, entropy + 1)
+    independent.ensure(theta)
+    ks = ks_two_sample(repaired_sizes, np.diff(independent.pool.rr_indptr))
+
+    zero_dirty = _zero_dirty_check(n, min(theta, 2_000), entropy + 2)
+
+    t_repair = min(repair_seconds)
+    t_cold = min(cold_seconds)
+    return {
+        "benchmark": "dynamic",
+        "quick": quick,
+        "graph": {"model": "pa+wc", "n": graph.n, "m": graph.m},
+        "theta": theta,
+        "seed": seed,
+        "delta": {
+            "fraction_of_m": delta_fraction,
+            "inserts": int(len(delta.insert_src)),
+            "deletes": int(len(delta.delete_src)),
+            "updates": int(len(delta.update_src)),
+            "touched_nodes": int(len(delta.touched_nodes())),
+        },
+        "repair": {
+            "wall_seconds": round(t_repair, 6),
+            "num_dirty": int(repair_stats["num_dirty"]),
+            "dirty_fraction": round(repair_stats["dirty_fraction"], 6),
+        },
+        "cold": {"wall_seconds": round(t_cold, 6)},
+        "repair_speedup": round(t_cold / t_repair, 4),
+        "ks": ks,
+        "zero_dirty": zero_dirty,
+    }
+
+
+def write_report(report: dict, path: Path = RESULTS_PATH) -> Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph; for CI smoke runs")
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--theta", type=int, default=30_000,
+                        help="warm-pool size (RR sets)")
+    parser.add_argument("--delta-fraction", type=float, default=0.01,
+                        help="fraction of edges changed by the delta")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (minimum is reported)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="result file (default: BENCH_dynamic.json, or "
+                             "BENCH_dynamic_quick.json with --quick)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = QUICK_RESULTS_PATH if args.quick else RESULTS_PATH
+
+    report = run_benchmark(
+        n=args.n, theta=args.theta, delta_fraction=args.delta_fraction,
+        seed=args.seed, repeats=args.repeats, quick=args.quick,
+    )
+    path = write_report(report, args.output)
+    repair, cold = report["repair"], report["cold"]
+    print(
+        f"delta: {report['delta']['inserts']} ins / "
+        f"{report['delta']['deletes']} del / "
+        f"{report['delta']['updates']} upd "
+        f"({report['delta']['fraction_of_m'] * 100:.1f}% of m)"
+    )
+    print(
+        f"repair: {repair['wall_seconds']:.3f}s "
+        f"({repair['num_dirty']:,} dirty of {report['theta']:,}, "
+        f"{repair['dirty_fraction'] * 100:.1f}%)"
+    )
+    print(f"cold:   {cold['wall_seconds']:.3f}s")
+    print(f"repair speedup: {report['repair_speedup']:.2f}x")
+    ks = report["ks"]
+    print(
+        f"KS: D={ks['statistic']:.4f} vs critical {ks['critical']:.4f} "
+        f"(alpha={ks['alpha']}) -> {'pass' if ks['pass'] else 'FAIL'}"
+    )
+    print(f"zero-dirty bit-identity: {report['zero_dirty']}")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ from repro.engine.schedule import SamplingSchedule
 from repro.engine.session import QuerySession
 from repro.estimation.montecarlo import estimate_spread
 from repro.graphs.csr import CSRGraph, build_graph
+from repro.graphs.dynamic import GraphDelta
 from repro.graphs.generators import (
     erdos_renyi,
     preferential_attachment,

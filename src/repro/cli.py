@@ -591,6 +591,47 @@ def cmd_query(args) -> int:
     return 2
 
 
+def _parse_edge_spec(text: str, with_prob: bool):
+    parts = text.split(":")
+    want = 3 if with_prob else 2
+    if len(parts) != want:
+        shape = "SRC:DST:PROB" if with_prob else "SRC:DST"
+        raise ReproError(f"edge spec {text!r} must look like {shape}")
+    try:
+        if with_prob:
+            return [int(parts[0]), int(parts[1]), float(parts[2])]
+        return [int(parts[0]), int(parts[1])]
+    except ValueError as exc:
+        raise ReproError(f"invalid edge spec {text!r}: {exc}") from None
+
+
+def cmd_delta(args) -> int:
+    from repro.serving import ServeClient
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+        if not isinstance(spec, dict):
+            raise ReproError("--file must hold a JSON object")
+        inserts = spec.get("inserts")
+        deletes = spec.get("deletes")
+        updates = spec.get("updates")
+    else:
+        inserts = [_parse_edge_spec(s, True) for s in args.insert or []]
+        deletes = [_parse_edge_spec(s, False) for s in args.delete or []]
+        updates = [_parse_edge_spec(s, True) for s in args.update or []]
+    if not (inserts or deletes or updates):
+        raise ReproError(
+            "nothing to apply: give --insert/--delete/--update or --file"
+        )
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    status_code, payload = client.delta(
+        args.graph, inserts=inserts, deletes=deletes, updates=updates
+    )
+    print(json.dumps(payload, indent=2, default=float))
+    return 0 if status_code == 200 else 2
+
+
 def cmd_stability(args) -> int:
     from repro.experiments.stability import stability_report
 
@@ -814,6 +855,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=60.0,
                    help="client-side HTTP timeout")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "delta", help="stream an edge delta to a running daemon"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337)
+    p.add_argument("--graph", required=True)
+    p.add_argument("--insert", action="append", metavar="SRC:DST:PROB",
+                   help="insert one edge (repeatable)")
+    p.add_argument("--delete", action="append", metavar="SRC:DST",
+                   help="delete one edge (repeatable)")
+    p.add_argument("--update", action="append", metavar="SRC:DST:PROB",
+                   help="reweight one edge (repeatable)")
+    p.add_argument("--file", default=None, metavar="JSON",
+                   help="JSON file with inserts/deletes/updates lists "
+                        "(overrides the per-edge flags)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="client-side HTTP timeout")
+    p.set_defaults(func=cmd_delta)
 
     p = sub.add_parser("stability", help="seed-set stability across runs")
     p.add_argument("graph")

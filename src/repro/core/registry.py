@@ -16,9 +16,9 @@ from repro.algorithms.dssa import DSSA
 from repro.algorithms.greedy_mc import GreedyMonteCarlo
 from repro.algorithms.heuristics import DegreeDiscount, DegreeTopK, RandomSeeds
 from repro.algorithms.hist import HIST
-from repro.algorithms.pagerank import PageRankSeeds
 from repro.algorithms.imm import IMM
 from repro.algorithms.opimc import OPIMC
+from repro.algorithms.pagerank import PageRankSeeds
 from repro.algorithms.ssa import SSA
 from repro.algorithms.tim import TIMPlus
 from repro.graphs.csr import CSRGraph

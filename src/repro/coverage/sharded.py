@@ -27,9 +27,8 @@ meaning for a distributed pool and are rejected.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 import heapq
+from typing import List, Optional
 
 import numpy as np
 

@@ -186,6 +186,7 @@ class BankProvider:
                     stop_mask=stop_mask,
                     reusable=persistent,
                     byte_cap=self.byte_cap,
+                    entropy=self.entropy,
                 )
             if persistent:
                 staged = self._staged.pop(role, None)
@@ -388,6 +389,50 @@ class QuerySession:
             "sets_reused": self.metrics.value("bank.sets_reused") - reused0,
         }
         return result
+
+    # ------------------------------------------------------------------
+    # streaming graph updates
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, delta: Any, *, graph_mutated: bool = False
+    ) -> Dict[str, Any]:
+        """Apply a :class:`~repro.graphs.dynamic.GraphDelta` and repair
+        the warm banks in place instead of discarding them.
+
+        The graph is mutated (unless the caller already did it —
+        ``graph_mutated=True`` is the serving layer's path, where several
+        sessions share one registry graph object and the delta must be
+        applied exactly once), the delta is broadcast to the shard workers
+        when the session is sharded, and every persistent bank resamples
+        just the sets whose walks could have traversed a changed edge.
+        The next :meth:`maximize` reuses the repaired banks; any saved
+        session snapshot predating the delta is invalidated automatically
+        (snapshots embed the graph fingerprint, which the delta advances).
+        """
+        touched = delta.touched_nodes()
+        if not graph_mutated:
+            self.graph.apply_delta(delta)
+        if self._shard_pool is not None:
+            self._shard_pool.apply_delta(delta)
+        bank_stats: Dict[str, Any] = {}
+        total = dirty = 0
+        for role, bank in self.provider.persistent_banks().items():
+            stats = bank.repair(touched)
+            bank_stats[role] = stats
+            total += stats["num_rr"]
+            dirty += stats["num_dirty"]
+        fraction = dirty / total if total else 0.0
+        self.metrics.inc("generation.repaired", dirty)
+        self.metrics.set_gauge("generation.dirty_fraction", fraction)
+        return {
+            "num_changes": int(delta.num_changes),
+            "touched_nodes": int(len(touched)),
+            "delta_epoch": int(self.graph.delta_epoch),
+            "sets_total": int(total),
+            "sets_repaired": int(dirty),
+            "dirty_fraction": fraction,
+            "banks": bank_stats,
+        }
 
     def _query_rng(self) -> np.random.Generator:
         # The run-level RNG: RR generation never touches it in session mode

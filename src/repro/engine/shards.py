@@ -162,6 +162,7 @@ class ShardedRRBank:
         self._used = 0
         self._query_base = 0
         self._reuse_counted = 0
+        self._repair_epoch = 0
         self._dirty = False
 
     # ------------------------------------------------------------------
@@ -366,6 +367,40 @@ class ShardedRRBank:
     @property
     def over_cap(self) -> bool:
         return self.byte_cap is not None and self.nbytes() > self.byte_cap
+
+    # ------------------------------------------------------------------
+    # incremental repair
+    # ------------------------------------------------------------------
+    def repair(self, dirty_nodes: np.ndarray) -> Dict[str, Any]:
+        """Resample the shard-resident sets a graph delta invalidated.
+
+        The counterpart of :meth:`RRBank.repair
+        <repro.rrsets.bank.RRBank.repair>`: each worker finds its own
+        dirty local ids and reseeds them in place (the repair command is
+        journaled, so crash recovery replays it bit-identically).  The
+        caller must broadcast the delta itself with
+        :meth:`ShardPool.apply_delta` first — the parent-side generator
+        here only mirrors counters and needs no graph refresh.
+        """
+        if not self.reusable:
+            raise ConfigurationError("only reusable banks can be repaired")
+        self._repair_epoch += 1
+        num_rr = self.num_rr
+        replies = self.shard_pool.repair(
+            self.role,
+            np.asarray(dirty_nodes, dtype=np.int64),
+            entropy=self.entropy,
+            role_key=self._role_key,
+            epoch=self._repair_epoch,
+        )
+        num_dirty = int(sum(r["num_dirty"] for r in replies))
+        return {
+            "num_rr": int(num_rr),
+            "num_dirty": num_dirty,
+            "dirty_fraction": num_dirty / num_rr if num_rr else 0.0,
+            "repair_epoch": int(self._repair_epoch),
+            "repair_counters": _zero_mark(),
+        }
 
     # ------------------------------------------------------------------
     # query lifecycle

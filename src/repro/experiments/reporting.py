@@ -7,10 +7,8 @@ figures report; these helpers keep that output aligned and diff-friendly.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Mapping, Optional, Sequence
-
-
 import math
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 
 def format_float(value: float, digits: int = 3) -> str:

@@ -1,6 +1,7 @@
 """Graph substrate: CSR digraphs, builders, generators, weights, and I/O."""
 
 from repro.graphs.csr import CSRGraph, build_graph
+from repro.graphs.dynamic import GraphDelta
 from repro.graphs.generators import (
     complete_graph,
     cycle_graph,
@@ -51,6 +52,7 @@ from repro.graphs.weights import (
 
 __all__ = [
     "CSRGraph",
+    "GraphDelta",
     "GraphSummary",
     "build_graph",
     "complete_graph",

@@ -22,7 +22,15 @@ ArrayLike = Union[np.ndarray, Iterable[int], Iterable[float]]
 
 
 class CSRGraph:
-    """An immutable weighted digraph in dual-CSR form.
+    """A weighted digraph in dual-CSR form.
+
+    The arrays are treated as immutable by every reader — samplers cache
+    preprocessing keyed on :meth:`fingerprint` — but the graph itself can
+    evolve through :meth:`apply_delta`, which rewrites only the adjacency
+    blocks a :class:`~repro.graphs.dynamic.GraphDelta` touches and advances
+    :attr:`delta_epoch`.  :meth:`compact` periodically re-derives the whole
+    layout through :func:`build_graph` (automatic every
+    :attr:`COMPACT_EVERY` deltas).
 
     Attributes
     ----------
@@ -44,7 +52,13 @@ class CSRGraph:
     weight_model:
         Free-form tag recording how probabilities were assigned (e.g. "wc",
         "uniform:0.01"); informational only.
+    delta_epoch:
+        Number of :meth:`apply_delta` batches applied since construction;
+        monotone even across :meth:`compact`.
     """
+
+    #: automatic :meth:`compact` after this many uncompacted deltas
+    COMPACT_EVERY = 64
 
     __slots__ = (
         "n",
@@ -58,6 +72,8 @@ class CSRGraph:
         "in_prob_sums",
         "uniform_in",
         "weight_model",
+        "delta_epoch",
+        "_uncompacted",
         "_fingerprint",
         "_cache",
     )
@@ -82,6 +98,15 @@ class CSRGraph:
         self.in_indices = in_indices
         self.in_probs = in_probs
         self.weight_model = weight_model
+        self._derive_in_stats()
+        self.delta_epoch = 0
+        self._uncompacted = 0
+        self._fingerprint: Optional[str] = None
+        self._cache: Dict[str, Tuple[str, Any]] = {}
+
+    def _derive_in_stats(self) -> None:
+        """(Re)compute the per-node reductions over the reverse CSR."""
+        in_indptr, in_probs = self.in_indptr, self.in_probs
         self.in_prob_sums = np.add.reduceat(
             np.concatenate([in_probs, [0.0]]), in_indptr[:-1]
         ) if self.m else np.zeros(self.n)
@@ -91,8 +116,6 @@ class CSRGraph:
         if empty.any():
             self.in_prob_sums[empty] = 0.0
         self.uniform_in = _uniform_in_flags(in_indptr, in_probs)
-        self._fingerprint: Optional[str] = None
-        self._cache: Dict[str, Tuple[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -134,8 +157,9 @@ class CSRGraph:
         SHA-256 over ``n`` and the reverse-CSR arrays — the representation
         RR generation actually walks — so two graphs with the same
         fingerprint produce identical RR-set distributions and identical
-        deterministic counters.  Cached after the first call (the graph is
-        immutable).
+        deterministic counters.  Cached after the first call and
+        invalidated by :meth:`apply_delta`, so the fingerprint advances
+        with every delta that changes the arrays.
         """
         if self._fingerprint is None:
             import hashlib
@@ -195,6 +219,71 @@ class CSRGraph:
         for slot, value in state.items():
             setattr(self, slot, value)
         self._cache = {}
+
+    # ------------------------------------------------------------------
+    # incremental mutation
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: Any, auto_compact: bool = True) -> np.ndarray:
+        """Apply a :class:`~repro.graphs.dynamic.GraphDelta` in place.
+
+        Only the adjacency blocks of touched endpoints are rewritten (and
+        re-sorted to the canonical per-block order); every other block is
+        carried over as a contiguous slice, so the patched arrays stay
+        bit-identical to a from-scratch :func:`build_graph`.  The cached
+        fingerprint is dropped — it advances with the content — which also
+        invalidates every :meth:`cached` sampler table.  Returns the
+        delta's touched destination nodes (the dirty-node set RR repair
+        keys on).
+
+        With ``auto_compact`` (default), every :attr:`COMPACT_EVERY`-th
+        delta triggers :meth:`compact`.
+        """
+        from repro.graphs.dynamic import delta_edits, patch_blocks
+
+        delta.validate_against(self)
+        touched = delta.touched_nodes()
+        if delta.num_changes == 0:
+            return touched
+        rem_src, rem_dst, add_src, add_dst, add_prob = delta_edits(delta)
+        self.in_indptr, self.in_indices, self.in_probs = patch_blocks(
+            self.in_indptr, self.in_indices, self.in_probs,
+            rem_dst, rem_src, add_dst, add_src, add_prob, order="in",
+        )
+        self.out_indptr, self.out_indices, self.out_probs = patch_blocks(
+            self.out_indptr, self.out_indices, self.out_probs,
+            rem_src, rem_dst, add_src, add_dst, add_prob, order="out",
+        )
+        self.m = int(len(self.out_indices))
+        self._derive_in_stats()
+        self._fingerprint = None
+        self.delta_epoch += 1
+        self._uncompacted += 1
+        if auto_compact and self._uncompacted >= self.COMPACT_EVERY:
+            self.compact()
+        return touched
+
+    def compact(self) -> None:
+        """Re-derive the CSR layout from scratch through :func:`build_graph`.
+
+        Because :meth:`apply_delta` keeps every block canonically ordered,
+        compaction does not change content — it re-validates the edge-set
+        invariants, drops any buffer slack the surgery left behind, and
+        resets the auto-compaction counter.  :attr:`delta_epoch` is
+        preserved.
+        """
+        src, dst, prob = self.edges()
+        rebuilt = build_graph(
+            self.n, src, dst, prob, weight_model=self.weight_model
+        )
+        for slot in (
+            "out_indptr", "out_indices", "out_probs",
+            "in_indptr", "in_indices", "in_probs",
+            "in_prob_sums", "uniform_in",
+        ):
+            setattr(self, slot, getattr(rebuilt, slot))
+        self.m = rebuilt.m
+        self._fingerprint = None
+        self._uncompacted = 0
 
     # ------------------------------------------------------------------
     # transforms

@@ -32,6 +32,7 @@ so the next query regenerates the identical prefix from scratch.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
@@ -48,9 +49,90 @@ from repro.utils.exceptions import (
 
 PoolLike = Union[RRCollection, RRPrefixView]
 
+#: spawn-key tag separating repair streams from every other stream derived
+#: from the session entropy (role streams use ``(crc32(role),)``; repair
+#: fallback seeds are ``(crc32(role), REPAIR_KEY, epoch, set_id)``).
+REPAIR_KEY = 0x5250
+
 
 def _zero_mark() -> Dict[str, int]:
     return counters_to_dict(GenerationCounters())
+
+
+def replay_units(
+    journal: list,
+    dirty_ids: np.ndarray,
+    repair_gen: RRGenerator,
+) -> Tuple[list, list, list, list]:
+    """Regenerate every journaled unit containing a dirty set.
+
+    Each journal entry records the RNG bit-generator state captured before
+    one generation unit (a single sequential ``generate`` call or one
+    ``generate_batch`` chunk — see :meth:`RRCollection.extend`).  Replaying
+    a dirty unit's *original* state on the mutated graph is the exact
+    coupling: the replacement is distributed precisely as a cold sample on
+    the new graph, and a unit none of whose walks read a changed
+    in-adjacency block replays bit-identically (which is why clean units
+    can be kept verbatim in the first place).  Resampling with *fresh*
+    seeds instead would bias the pool — kept sets are conditioned on
+    avoiding the touched nodes, so touched-node membership would fall from
+    ``p`` to roughly ``p**2``.
+
+    Returns ``(ids, node_chunks, sizes, uncovered)`` where ``uncovered``
+    lists the dirty set ids no replayable unit covers (adopted sets,
+    under-delivered chunks, pre-journal snapshots); the caller decides how
+    to resample those.
+    """
+    dirty_ids = np.asarray(dirty_ids, dtype=np.int64)
+    if len(journal):
+        starts = np.array([e["start"] for e in journal], dtype=np.int64)
+        counts = np.array([e["count"] for e in journal], dtype=np.int64)
+        replayable = np.array(
+            [
+                e["count"] == e["requested"] and e.get("state") is not None
+                for e in journal
+            ],
+            dtype=bool,
+        )
+        unit_of = np.searchsorted(starts, dirty_ids, side="right") - 1
+        covered = (unit_of >= 0) & (
+            dirty_ids < starts[unit_of] + counts[unit_of]
+        ) & replayable[unit_of]
+    else:
+        unit_of = np.full(len(dirty_ids), -1, dtype=np.int64)
+        covered = np.zeros(len(dirty_ids), dtype=bool)
+    uncovered = [int(i) for i in dirty_ids[~covered]]
+    ids: list = []
+    chunks: list = []
+    sizes: list = []
+    # One Generator per bit-generator class, re-stated per unit:
+    # construction dominates replay overhead for single-set units.
+    rng_pool: Dict[str, np.random.Generator] = {}
+    for unit in np.unique(unit_of[covered]):
+        entry = journal[int(unit)]
+        state = entry["state"]
+        rng = rng_pool.get(state["bit_generator"])
+        if rng is None:
+            bitgen_cls = getattr(np.random, state["bit_generator"])
+            rng = np.random.Generator(bitgen_cls())
+            rng_pool[state["bit_generator"]] = rng
+        rng.bit_generator.state = state
+        if entry["mode"] == "seq":
+            rr = np.asarray(repair_gen.generate(rng), dtype=np.int64)
+            ids.append(int(entry["start"]))
+            chunks.append(rr)
+            sizes.append(len(rr))
+        else:
+            nodes, unit_sizes = repair_gen.generate_batch(rng, entry["count"])
+            if len(unit_sizes) != entry["count"]:
+                raise ConfigurationError(
+                    f"repair replay of unit at {entry['start']} delivered "
+                    f"{len(unit_sizes)} sets, expected {entry['count']}"
+                )
+            ids.extend(range(entry["start"], entry["start"] + entry["count"]))
+            chunks.append(np.asarray(nodes, dtype=np.int64))
+            sizes.extend(int(s) for s in unit_sizes)
+    return ids, chunks, sizes, uncovered
 
 
 class RRBank:
@@ -66,6 +148,7 @@ class RRBank:
         stop_mask: Optional[np.ndarray] = None,
         reusable: bool = False,
         byte_cap: Optional[int] = None,
+        entropy: Optional[int] = None,
     ) -> None:
         if reusable and stop_mask is not None:
             raise ConfigurationError(
@@ -79,6 +162,14 @@ class RRBank:
         self.stop_mask = stop_mask
         self.reusable = reusable
         self.byte_cap = byte_cap
+        #: session entropy the bank's streams derive from; required only by
+        #: :meth:`repair`'s fresh-seed fallback for sets the unit journal
+        #: does not cover.
+        self.entropy = entropy
+        self._repair_epoch = 0
+        #: per-unit RNG states captured during generation (reusable banks
+        #: only) — the seed specs :meth:`repair` replays.
+        self._journal: list = []
         self.pool = RRCollection(graph.n)
         # The stream origin: eviction rewinds here so the regenerated
         # prefix is identical to the evicted one.
@@ -110,7 +201,13 @@ class RRBank:
         have = self.pool.num_rr
         if theta > have:
             try:
-                self.pool.extend(theta - have, self.generator, self.rng, mask)
+                self.pool.extend(
+                    theta - have,
+                    self.generator,
+                    self.rng,
+                    mask,
+                    journal=self._journal if self.reusable else None,
+                )
             except ExecutionInterrupted:
                 self._dirty = True
                 raise
@@ -139,12 +236,21 @@ class RRBank:
                 raise IndexError(
                     f"take({index}) skips sets: pool holds {self.pool.num_rr}"
                 )
+            state = self.rng.bit_generator.state if self.reusable else None
             try:
                 rr = self.generator.generate(self.rng, stop_mask=self.stop_mask)
             except ExecutionInterrupted:
                 self._dirty = True
                 raise
             self.pool.add(rr)
+            if self.reusable:
+                self._journal.append({
+                    "start": index,
+                    "count": 1,
+                    "requested": 1,
+                    "mode": "seq",
+                    "state": state,
+                })
             generated = 1
             if self.reusable:
                 self._marks[self.pool.num_rr] = counters_to_dict(
@@ -226,6 +332,120 @@ class RRBank:
         return self.byte_cap is not None and self.nbytes() > self.byte_cap
 
     # ------------------------------------------------------------------
+    # incremental repair
+    # ------------------------------------------------------------------
+    def _fresh_generator(self) -> RRGenerator:
+        """A new generator instance with this bank's model configuration.
+
+        Construction re-derives every graph-dependent cache (e.g. SUBSIM's
+        per-node rate arrays are fingerprint-keyed), so a generator built
+        after :meth:`CSRGraph.apply_delta` samples from the mutated graph.
+        """
+        cls = type(self.generator)
+        mode = getattr(self.generator, "general_mode", None)
+        gen = cls(self.graph, mode) if mode is not None else cls(self.graph)
+        gen.batched_mode = self.generator.batched_mode
+        gen.batch_size = self.generator.batch_size
+        gen.workers = self.generator.workers
+        return gen
+
+    def repair(self, dirty_nodes: np.ndarray) -> Dict[str, Any]:
+        """Resample the stored sets a graph delta invalidated, in place.
+
+        ``dirty_nodes`` are the delta's touched nodes (destinations of
+        changed edges).  Generation only examines the in-adjacency blocks
+        of nodes it activates, so a stored set containing no touched node
+        would replay bit-identically on the mutated graph — those sets are
+        kept verbatim and the pool's prefix stability survives.  Dirty
+        sets are regenerated by :func:`replay_units`: each owning
+        generation unit replays its journaled RNG state on the mutated
+        graph, the exact coupling under which the repaired pool is
+        distributed precisely as a cold pool on the new graph.  Dirty sets
+        the journal cannot replay (adopted pools, pre-journal snapshots)
+        fall back to fresh per-set seeds ``SeedSequence(entropy,
+        spawn_key=(crc32(role), REPAIR_KEY, repair_epoch, set_id))``.
+
+        The bank's growth generator is also rebuilt (its construction-time
+        caches described the pre-delta graph).  Resampling runs on a
+        separate fresh generator so the cumulative counters — and the
+        marks recorded from them — keep describing the prefix's own
+        generation cost; the repair cost is returned, not mixed in.
+        """
+        if not self.reusable:
+            raise ConfigurationError("only reusable banks can be repaired")
+        dirty_nodes = np.asarray(dirty_nodes, dtype=np.int64)
+        self._repair_epoch += 1
+        num_rr = self.pool.num_rr
+        dirty_ids = self.pool.sets_touching(dirty_nodes)
+
+        old = self.generator
+        fresh = self._fresh_generator()
+        fresh.counters = old.counters
+        fresh.control = old.control
+        fresh.metrics = old.metrics
+        fresh._reported_edges = old._reported_edges
+        self.generator = fresh
+
+        num_resampled = 0
+        num_fallback = 0
+        if len(dirty_ids):
+            repair_gen = self._fresh_generator()
+            ids, chunks, sizes, uncovered = replay_units(
+                self._journal, dirty_ids, repair_gen
+            )
+            num_fallback = len(uncovered)
+            if uncovered:
+                if self.entropy is None:
+                    raise ConfigurationError(
+                        f"bank {self.role!r} has no entropy: "
+                        f"{num_fallback} dirty sets are outside the unit "
+                        "journal and need fallback reseed specs"
+                    )
+                role_key = zlib.crc32(self.role.encode("utf-8"))
+                for set_id in uncovered:
+                    seq = np.random.SeedSequence(
+                        self.entropy,
+                        spawn_key=(
+                            role_key,
+                            REPAIR_KEY,
+                            self._repair_epoch,
+                            int(set_id),
+                        ),
+                    )
+                    rr = np.asarray(
+                        repair_gen.generate(np.random.default_rng(seq)),
+                        dtype=np.int64,
+                    )
+                    ids.append(int(set_id))
+                    chunks.append(rr)
+                    sizes.append(len(rr))
+            order = np.argsort(np.asarray(ids, dtype=np.int64))
+            flat = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+            sizes_arr = np.asarray(sizes, dtype=np.int64)
+            bounds = np.concatenate(([0], np.cumsum(sizes_arr)))
+            reordered = [flat[bounds[i]:bounds[i + 1]] for i in order]
+            self.pool.replace_sets(
+                np.asarray(ids, dtype=np.int64)[order],
+                np.concatenate(reordered),
+                sizes_arr[order],
+            )
+            num_resampled = len(ids)
+            repair_counters = counters_to_dict(repair_gen.counters)
+        else:
+            repair_counters = _zero_mark()
+        return {
+            "num_rr": int(num_rr),
+            "num_dirty": int(len(dirty_ids)),
+            "num_resampled": int(num_resampled),
+            "num_fallback": int(num_fallback),
+            "dirty_fraction": (
+                len(dirty_ids) / num_rr if num_rr else 0.0
+            ),
+            "repair_epoch": int(self._repair_epoch),
+            "repair_counters": repair_counters,
+        }
+
+    # ------------------------------------------------------------------
     # query lifecycle
     # ------------------------------------------------------------------
     def begin_query(self, sinks: Iterable[Any] = ()) -> None:
@@ -259,6 +479,7 @@ class RRBank:
         self.generator.counters = GenerationCounters()
         self.generator._reported_edges = 0
         self.rng.bit_generator.state = self._rng_state0
+        self._journal = []
         self._marks = {0: _zero_mark()}
         self._used = 0
         self._query_base = 0
@@ -313,6 +534,8 @@ class RRBank:
             },
             "rng_state": self.rng.bit_generator.state,
             "rng_state0": self._rng_state0,
+            "repair_epoch": int(self._repair_epoch),
+            "journal": list(self._journal),
         }
 
     def restore_state(
@@ -340,4 +563,6 @@ class RRBank:
         }
         self._rng_state0 = payload["rng_state0"]
         self.rng.bit_generator.state = payload["rng_state"]
+        self._repair_epoch = int(payload.get("repair_epoch", 0))
+        self._journal = list(payload.get("journal", []))
         self._dirty = False

@@ -381,6 +381,7 @@ class RRCollection:
         generator: RRGenerator,
         rng: np.random.Generator,
         stop_mask: Optional[np.ndarray] = None,
+        journal: Optional[List[Dict]] = None,
     ) -> None:
         """Generate and store ``count`` fresh random RR sets.
 
@@ -389,6 +390,16 @@ class RRCollection:
         per-set loop bit-identically; ``batch_size > 1`` routes through the
         vectorized batched engine; ``workers > 1`` additionally shards
         batches across processes (see :mod:`repro.rrsets.fanout`).
+
+        ``journal``, when given, receives one appended entry per generation
+        *unit* (a single ``generate`` call, or one ``generate_batch``
+        chunk): ``{"start", "count", "requested", "mode", "state"}`` with
+        ``state`` the RNG bit-generator state captured *before* the unit's
+        draws.  Replaying a unit from its recorded state reproduces it
+        bit-identically, which is what lets :meth:`~repro.rrsets.bank.
+        RRBank.repair` resample exactly the sets a graph delta invalidated.
+        Fan-out generation (``workers > 1``) is not journaled — its draw
+        order is not a pure function of one recorded state.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
@@ -413,14 +424,38 @@ class RRCollection:
                 remaining = count
                 while remaining > 0:
                     b = min(batch_size, remaining)
+                    start = self._num_rr
+                    state = (
+                        rng.bit_generator.state if journal is not None else None
+                    )
                     nodes, sizes = generator.generate_batch(
                         rng, b, stop_mask=stop_mask
                     )
                     self.add_batch(nodes, sizes)
+                    if journal is not None:
+                        journal.append({
+                            "start": start,
+                            "count": int(len(sizes)),
+                            "requested": int(b),
+                            "mode": "batch",
+                            "state": state,
+                        })
                     remaining -= len(sizes)
                 return
             for _ in range(count):
+                start = self._num_rr
+                state = (
+                    rng.bit_generator.state if journal is not None else None
+                )
                 self.add(generator.generate(rng, stop_mask=stop_mask))
+                if journal is not None:
+                    journal.append({
+                        "start": start,
+                        "count": 1,
+                        "requested": 1,
+                        "mode": "seq",
+                        "state": state,
+                    })
         finally:
             metrics = getattr(generator, "metrics", None)
             if metrics is not None:
@@ -463,6 +498,113 @@ class RRCollection:
             raise IndexError(f"node {node} out of range [0, {self.n})")
         inv_indptr, inv_rrs = self._inverted()
         return inv_rrs[inv_indptr[node]: inv_indptr[node + 1]]
+
+    def sets_touching(self, nodes: np.ndarray) -> np.ndarray:
+        """Ids of the stored sets containing *any* of ``nodes`` (ascending).
+
+        One ragged gather over the inverted CSR — the dirty-set query of
+        incremental repair: ``nodes`` are the destinations of changed
+        edges, and the returned ids are exactly the sets whose sampled
+        walks could have traversed a changed in-adjacency block.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0 or self._num_rr == 0:
+            return np.empty(0, dtype=np.int64)
+        if nodes.min() < 0 or nodes.max() >= self.n:
+            raise IndexError(
+                f"node {int(nodes.min() if nodes.min() < 0 else nodes.max())}"
+                f" out of range [0, {self.n})"
+            )
+        inv_indptr, inv_rrs = self._inverted()
+        starts = inv_indptr[nodes]
+        lens = inv_indptr[nodes + 1] - starts
+        total = int(lens.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = np.repeat(np.cumsum(lens) - lens, lens)
+        flat = np.repeat(starts, lens) + np.arange(total, dtype=np.int64) - offsets
+        return np.unique(inv_rrs[flat]).astype(np.int64, copy=False)
+
+    def replace_sets(
+        self, rr_ids: np.ndarray, nodes: np.ndarray, sizes: np.ndarray
+    ) -> None:
+        """Replace the stored sets ``rr_ids`` in place with new contents.
+
+        ``nodes``/``sizes`` hold the replacements concatenated in
+        ``rr_ids`` order.  Set ids and count are preserved — only the
+        replaced sets' contents change — so prefix views, counter marks,
+        and every clean set's identity survive.  The coverage-count cache
+        is adjusted by the membership deltas; the inverted index is
+        dropped and rebuilt lazily.  A spilled pool is promoted back to
+        RAM (the rewrite touches the node pool).
+        """
+        rr_ids = np.asarray(rr_ids, dtype=np.int64)
+        nodes = np.asarray(nodes, dtype=NODE_DTYPE)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if len(rr_ids) == 0:
+            return
+        if len(rr_ids) != len(sizes):
+            raise ValueError(
+                f"{len(rr_ids)} set ids but {len(sizes)} replacement sizes"
+            )
+        if int(sizes.sum()) != len(nodes):
+            raise ValueError(
+                f"sizes sum to {int(sizes.sum())} but {len(nodes)} nodes given"
+            )
+        if len(np.unique(rr_ids)) != len(rr_ids):
+            raise ValueError("replacement set ids must be unique")
+        if rr_ids.min() < 0 or rr_ids.max() >= self._num_rr:
+            raise IndexError(
+                f"RR-set id {int(rr_ids.max())} out of range "
+                f"[0, {self._num_rr})"
+            )
+        old_sizes = self.set_sizes()
+        new_sizes = old_sizes.copy()
+        new_sizes[rr_ids] = sizes
+        new_indptr = np.zeros(self._num_rr + 1, dtype=np.int64)
+        np.cumsum(new_sizes, out=new_indptr[1:])
+        new_total = int(new_indptr[-1])
+        new_nodes = np.empty(
+            _pow2_capacity(new_total, 1024), dtype=NODE_DTYPE
+        )
+        # Coverage deltas: remove the replaced sets' old mass, add the new.
+        np.add.at(self._counts, self.nodes_of_sets(rr_ids), -1)
+        np.add.at(self._counts, nodes, 1)
+
+        def _scatter(ids, src_nodes, src_indptr_starts, src_sizes):
+            lens = src_sizes
+            total = int(lens.sum())
+            if total == 0:
+                return
+            ramp = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(lens) - lens, lens
+            )
+            flat_src = np.repeat(src_indptr_starts, lens) + ramp
+            flat_dst = np.repeat(new_indptr[ids], lens) + ramp
+            new_nodes[flat_dst] = src_nodes[flat_src]
+
+        unchanged = np.ones(self._num_rr, dtype=bool)
+        unchanged[rr_ids] = False
+        ids_u = np.flatnonzero(unchanged)
+        _scatter(
+            ids_u, self._nodes, self._indptr[ids_u], old_sizes[ids_u]
+        )
+        repl_starts = np.zeros(len(rr_ids), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=repl_starts[1:])
+        _scatter(rr_ids, nodes, repl_starts, sizes)
+
+        indptr_buf = np.zeros(
+            _pow2_capacity(self._num_rr + 1, 256), dtype=np.int64
+        )
+        indptr_buf[: self._num_rr + 1] = new_indptr
+        self._nodes = new_nodes
+        self._indptr = indptr_buf
+        self.total_size = new_total
+        self._spill_prefix = None
+        # Same set count, new contents: force the lazy rebuild explicitly.
+        self._inv_indptr = None
+        self._inv_rrs = None
+        self._inv_num_rr = -1
 
     def uncovered_counts(
         self, nodes: np.ndarray, covered: np.ndarray

@@ -59,13 +59,19 @@ _LINK_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
 # ----------------------------------------------------------------------
 
 class _RoleState:
-    """One role's resident shard inside a worker: pool + generator."""
+    """One role's resident shard inside a worker: pool + generator.
 
-    __slots__ = ("pool", "generator")
+    ``journal`` records the RNG state of every generation unit (see
+    :meth:`RRCollection.extend`); ``repair`` replays it so a graph delta
+    resamples exactly the invalidated sets.
+    """
+
+    __slots__ = ("pool", "generator", "journal")
 
     def __init__(self, pool: RRCollection, generator) -> None:
         self.pool = pool
         self.generator = generator
+        self.journal: list = []
 
 
 class _Selection:
@@ -98,6 +104,11 @@ class _ShardWorker:
         self.last_reply: Optional[Tuple[int, Any]] = None
         self.crash_next = False
         self.spilled_roles: set = set()
+        #: wire payloads of every graph delta applied, in order.  A respawn
+        #: attaches the *original* shared-memory graph, so the checkpoint
+        #: carries these and :meth:`restore` re-applies them before any
+        #: journal replay touches the graph.
+        self.deltas: List[dict] = []
         self._dirty = False
 
     # -- durability ----------------------------------------------------
@@ -124,6 +135,12 @@ class _ShardWorker:
             # the journal origin reproduces the same state.
             return
         self.seq = int(meta["seq"])
+        # Graph first: role generators built below derive caches from it.
+        from repro.graphs.dynamic import GraphDelta
+
+        for payload in meta.get("deltas", []):
+            self.graph.apply_delta(GraphDelta.from_payload(payload))
+            self.deltas.append(payload)
         for role, payload in meta["roles"].items():
             state = self._role(
                 role, _import_class(payload["generator_cls"]), None, 1
@@ -131,6 +148,7 @@ class _ShardWorker:
             state.pool = pools[role]
             state.generator.counters = counters_from_dict(payload["counters"])
             state.generator._reported_edges = 0
+            state.journal = list(payload.get("journal", []))
         for role in meta.get("spilled", []):
             self.spilled_roles.add(role)
             self._spill_role(role)
@@ -159,10 +177,12 @@ class _ShardWorker:
         meta = {
             "seq": self.seq,
             "spilled": sorted(self.spilled_roles),
+            "deltas": list(self.deltas),
             "roles": {
                 role: {
                     "generator_cls": _class_path(type(state.generator)),
                     "counters": counters_to_dict(state.generator.counters),
+                    "journal": list(state.journal),
                 }
                 for role, state in self.roles.items()
             },
@@ -257,8 +277,17 @@ class _ShardWorker:
         midpoint = count // 2
         while remaining > 0:
             b = min(batch, remaining)
+            start = state.pool.num_rr
+            rng_state = rng.bit_generator.state
             nodes, sizes = gen.generate_batch(rng, b, stop_mask=stop_mask)
             state.pool.add_batch(nodes, sizes)
+            state.journal.append({
+                "start": start,
+                "count": int(len(sizes)),
+                "requested": int(b),
+                "mode": "batch",
+                "state": rng_state,
+            })
             sizes_chunks.append(sizes)
             remaining -= len(sizes)
             if self.crash_next and count - remaining >= midpoint:
@@ -296,8 +325,87 @@ class _ShardWorker:
         state = self.roles.get(payload["role"])
         if state is not None:
             state.pool = RRCollection(self.graph.n)
+            state.journal = []
         self.spilled_roles.discard(payload["role"])
         return {"num_rr": 0}
+
+    def _cmd_apply_delta(self, payload):
+        from repro.graphs.dynamic import GraphDelta
+
+        delta = GraphDelta.from_payload(payload["delta"])
+        touched = self.graph.apply_delta(delta)
+        self.deltas.append(payload["delta"])
+        # Resident generators hold construction-time caches derived from
+        # the pre-delta graph (e.g. SUBSIM's per-node rate arrays): rebuild
+        # each one in place, carrying its cumulative counters.
+        for state in self.roles.values():
+            old = state.generator
+            gen = type(old)(self.graph)
+            gen.counters = old.counters
+            gen.batched_mode = old.batched_mode
+            gen.batch_size = old.batch_size
+            state.generator = gen
+        return {
+            "touched": int(len(touched)),
+            "delta_epoch": int(self.graph.delta_epoch),
+        }
+
+    def _cmd_repair(self, payload):
+        from repro.rrsets.bank import REPAIR_KEY, replay_units
+
+        role = payload["role"]
+        state = self.roles.get(role)
+        if state is None or state.pool.num_rr == 0:
+            return {"num_dirty": 0, "num_rr": 0, "num_resampled": 0}
+        pool = state.pool
+        dirty = pool.sets_touching(payload["nodes"])
+        num_resampled = 0
+        if len(dirty):
+            repair_gen = type(state.generator)(self.graph)
+            repair_gen.batched_mode = state.generator.batched_mode
+            ids, chunks, sizes, uncovered = replay_units(
+                state.journal, dirty, repair_gen
+            )
+            # Fresh per-set fallback seeds for dirty sets the journal
+            # cannot replay (adopted sets, pre-journal checkpoints); the
+            # rank is in the spawn key so shards never share a stream.
+            for local_id in uncovered:
+                seq = np.random.SeedSequence(
+                    payload["entropy"],
+                    spawn_key=(
+                        payload["role_key"],
+                        REPAIR_KEY,
+                        payload["epoch"],
+                        self.rank,
+                        int(local_id),
+                    ),
+                )
+                rr = np.asarray(
+                    repair_gen.generate(np.random.default_rng(seq)),
+                    dtype=np.int64,
+                )
+                ids.append(int(local_id))
+                chunks.append(rr)
+                sizes.append(len(rr))
+            order = np.argsort(np.asarray(ids, dtype=np.int64))
+            flat = np.concatenate(chunks)
+            sizes_arr = np.asarray(sizes, dtype=np.int64)
+            bounds = np.concatenate(([0], np.cumsum(sizes_arr)))
+            pool.replace_sets(
+                np.asarray(ids, dtype=np.int64)[order],
+                np.concatenate(
+                    [flat[bounds[i]:bounds[i + 1]] for i in order]
+                ),
+                sizes_arr[order],
+            )
+            num_resampled = len(ids)
+            # replace_sets promotes a spilled pool back to RAM.
+            self.spilled_roles.discard(role)
+        return {
+            "num_dirty": int(len(dirty)),
+            "num_rr": pool.num_rr,
+            "num_resampled": int(num_resampled),
+        }
 
     def _spill_role(self, role: str) -> int:
         state = self.roles.get(role)
@@ -383,7 +491,7 @@ class _ShardWorker:
 #: commands that advance worker state; they carry ``seq``, are journaled by
 #: the parent, and are replayed verbatim after a crash.
 _MUTATING_COMMANDS = frozenset(
-    {"generate", "adopt", "reset_role", "spill"}
+    {"generate", "adopt", "reset_role", "spill", "apply_delta", "repair"}
 )
 
 
@@ -725,6 +833,47 @@ class ShardPool:
         """Drop every shard of ``role`` (journaled)."""
         self._request_all(
             "reset_role", [{"role": role}] * self.shards, journal=True
+        )
+
+    def apply_delta(self, delta) -> List[dict]:
+        """Broadcast one graph delta to every worker (journaled).
+
+        Workers mutate their *private* graph state: block surgery replaces
+        the read-only shared-memory views with ordinary arrays, so the
+        parent's shared block — which a respawned worker re-attaches — is
+        never written.  The parent's own graph object is not touched here;
+        the session owns that mutation.
+        """
+        payload = {"delta": delta.to_payload()}
+        return self._request_all(
+            "apply_delta", [payload] * self.shards, journal=True
+        )
+
+    def repair(
+        self,
+        role: str,
+        nodes: np.ndarray,
+        *,
+        entropy: int,
+        role_key: int,
+        epoch: int,
+    ) -> List[dict]:
+        """Resample the dirty sets of ``role`` on every shard (journaled).
+
+        Each worker finds its own dirty local ids and reseeds them from
+        ``SeedSequence(entropy, spawn_key=(role_key, REPAIR_KEY, epoch,
+        rank, local_id))`` — deterministic per shard, so recovery replay
+        reproduces the repaired pools bit-identically.
+        """
+        payload = {
+            "role": role,
+            "nodes": np.asarray(nodes, dtype=np.int64),
+            "entropy": int(entropy),
+            "role_key": int(role_key),
+            "epoch": int(epoch),
+        }
+        return self._request_all(
+            "repair", [payload] * self.shards, journal=True
         )
 
     def spill(self, role: Optional[str] = None) -> List[dict]:

@@ -100,7 +100,9 @@ class BucketSampler:
         """
         size = len(bucket)
         q = bucket.q
-        position = (first_jump if first_jump is not None else geometric_jump(q, rng)) - 1
+        if first_jump is None:
+            first_jump = geometric_jump(q, rng)
+        position = first_jump - 1
         while position < size:
             p = bucket.probs[position]
             if p >= q or rng.random() < p / q:

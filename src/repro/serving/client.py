@@ -64,6 +64,32 @@ class ServeClient:
             body["deadline_seconds"] = float(deadline_seconds)
         return self._request("POST", "/query", body)
 
+    def delta(
+        self,
+        graph: str,
+        inserts: Optional[Any] = None,
+        deletes: Optional[Any] = None,
+        updates: Optional[Any] = None,
+    ) -> Response:
+        """Apply one edge delta to ``graph``; warm banks repair in place.
+
+        ``inserts``/``updates`` are ``(src, dst, prob)`` rows, ``deletes``
+        are ``(src, dst)`` rows — the wire shape of
+        :meth:`repro.graphs.dynamic.GraphDelta.to_payload`.
+        """
+        body: Dict[str, Any] = {"graph": graph}
+        if inserts:
+            body["inserts"] = [
+                [int(u), int(v), float(p)] for u, v, p in inserts
+            ]
+        if deletes:
+            body["deletes"] = [[int(u), int(v)] for u, v in deletes]
+        if updates:
+            body["updates"] = [
+                [int(u), int(v), float(p)] for u, v, p in updates
+            ]
+        return self._request("POST", "/delta", body)
+
     def health(self) -> Response:
         return self._request("GET", "/healthz")
 

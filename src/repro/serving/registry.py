@@ -13,6 +13,7 @@ request).
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, List, Optional, Tuple
 
@@ -43,6 +44,10 @@ class GraphRegistry:
         self._breaker_cooldown = breaker_cooldown
         self._graphs: Dict[str, CSRGraph] = {}
         self._paths: Dict[str, Tuple[str, Optional[str], int]] = {}
+        #: source-file mtime (ns) captured when a path-backed graph was
+        #: loaded; :meth:`get` re-stats on every access so a replaced file
+        #: is noticed instead of the stale cached graph being served forever.
+        self._mtimes: Dict[str, Optional[int]] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
 
@@ -86,6 +91,13 @@ class GraphRegistry:
     def get(self, name: str) -> CSRGraph:
         """The named graph, loading (with retry + breaker) if needed.
 
+        Path-backed names re-validate their source file on *every* access:
+        when the file has been replaced since the cached load (a different
+        ``st_mtime_ns``), the stale graph is dropped and the new file is
+        loaded — in-process mutations of a still-current graph (e.g. a
+        ``/delta`` application) are untouched, because those never change
+        the file.
+
         Raises :class:`ConfigurationError` for unknown names,
         :class:`~repro.serving.retry.CircuitOpenError` while the name's
         breaker is open, and :class:`GraphFormatError` when loading
@@ -93,25 +105,51 @@ class GraphRegistry:
         """
         with self._lock:
             graph = self._graphs.get(name)
-            if graph is not None:
-                return graph
             spec = self._paths.get(name)
             breaker = self._breakers.get(name)
+            known_mtime = self._mtimes.get(name)
+        if graph is not None:
+            if spec is None:
+                return graph
+            if self._stat_ns(spec[0]) == known_mtime:
+                return graph
+            with self._lock:
+                # Drop only the exact object we validated: a racing reload
+                # may already have installed the fresh graph.
+                if self._graphs.get(name) is graph:
+                    self._graphs.pop(name)
         if spec is None:
             raise ConfigurationError(f"unknown graph {name!r}")
         path, scheme, seed = spec
 
-        def load() -> CSRGraph:
-            return self._retry.call(
+        def load() -> Tuple[CSRGraph, Optional[int]]:
+            # Stat *before* reading: if the file is replaced mid-load the
+            # recorded mtime mismatches on the next access and the graph
+            # is reloaded then, rather than being trusted stale.
+            mtime = self._stat_ns(path)
+            loaded = self._retry.call(
                 lambda: self._load(path, scheme, seed),
                 transient=_transient_load_failure,
             )
+            return loaded, mtime
 
-        graph = breaker.call(load) if breaker is not None else load()
+        graph, mtime = breaker.call(load) if breaker is not None else load()
         with self._lock:
             # Another thread may have raced the load; first write wins so
             # every caller sees one graph object (and one sampler cache).
-            return self._graphs.setdefault(name, graph)
+            existing = self._graphs.get(name)
+            if existing is not None:
+                return existing
+            self._graphs[name] = graph
+            self._mtimes[name] = mtime
+            return graph
+
+    @staticmethod
+    def _stat_ns(path: str) -> Optional[int]:
+        try:
+            return os.stat(path).st_mtime_ns
+        except OSError:
+            return None
 
     @staticmethod
     def _load(path: str, scheme: Optional[str], seed: int) -> CSRGraph:

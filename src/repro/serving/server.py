@@ -281,7 +281,7 @@ class QueryServer:
         # Stamp arrival before anything can stall: the deadline contract is
         # end-to-end, so a slow handler burns the request's own deadline.
         arrived = time.monotonic()
-        if path != "/query":
+        if path not in ("/query", "/delta"):
             return 404, {"error": f"unknown path {path!r}"}
         if self.faults is not None:
             # Slow-handler / handler-crash axis; fires before admission so a
@@ -293,7 +293,90 @@ class QueryServer:
             return 400, {"error": f"invalid JSON body: {exc}"}
         if not isinstance(payload, dict):
             return 400, {"error": "request body must be a JSON object"}
+        if path == "/delta":
+            return self.apply_delta_request(payload)
         return self.submit(payload, arrived=arrived)
+
+    # ------------------------------------------------------------------
+    # streaming graph updates
+    # ------------------------------------------------------------------
+    def apply_delta_request(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Apply one edge delta to a named graph and repair its warm banks.
+
+        Runs in the handler thread (deltas are rare, administrative, and
+        must not compete with queries for worker slots).  Every session
+        entry serving the graph is locked — in sorted key order, so two
+        concurrent deltas cannot deadlock — for the whole mutation, which
+        keeps the graph change and each tenant's bank repair atomic with
+        respect to in-flight queries.  The graph object is shared by all
+        of a name's sessions, so it is mutated exactly once here and the
+        per-session repairs run with ``graph_mutated=True``.
+        """
+        from repro.graphs.dynamic import GraphDelta
+
+        graph_name = payload.get("graph")
+        if not isinstance(graph_name, str) or not graph_name:
+            return 400, {"error": "'graph' must be a non-empty string"}
+        if graph_name not in self.registry:
+            return 404, {"error": f"unknown graph {graph_name!r}"}
+        spec = {
+            key: payload[key]
+            for key in ("inserts", "deletes", "updates")
+            if key in payload
+        }
+        if not spec:
+            return 400, {
+                "error": "delta needs at least one of "
+                "'inserts', 'deletes', 'updates'"
+            }
+        try:
+            delta = GraphDelta.from_payload(spec)
+        except (GraphFormatError, ConfigurationError, TypeError, ValueError) as exc:
+            return 400, {"error": f"invalid delta: {exc}"}
+        try:
+            graph = self.registry.get(graph_name)
+        except CircuitOpenError as exc:
+            return 503, {"error": str(exc), "retry_after": exc.retry_after}
+        except GraphFormatError as exc:
+            self.metrics.inc("serving.graph_load_failures")
+            return 500, {"error": "graph_load_failed", "detail": str(exc)}
+
+        entries = sorted(
+            (e for e in self.sessions.entries() if e.key[1] == graph_name),
+            key=lambda e: e.key,
+        )
+        acquired = []
+        try:
+            for entry in entries:
+                entry.lock.acquire()
+                acquired.append(entry)
+            try:
+                touched = graph.apply_delta(delta)
+            except GraphFormatError as exc:
+                return 400, {"error": f"delta rejected: {exc}"}
+            sessions_block: Dict[str, Any] = {}
+            for entry in entries:
+                stats = entry.session.apply_delta(delta, graph_mutated=True)
+                sessions_block[entry.key[0]] = {
+                    "sets_total": stats["sets_total"],
+                    "sets_repaired": stats["sets_repaired"],
+                    "dirty_fraction": stats["dirty_fraction"],
+                }
+        finally:
+            for entry in reversed(acquired):
+                entry.lock.release()
+        self.metrics.inc("serving.deltas_applied")
+        return 200, {
+            "status": "ok",
+            "graph": graph_name,
+            "num_changes": int(delta.num_changes),
+            "touched_nodes": int(len(touched)),
+            "delta_epoch": int(graph.delta_epoch),
+            "fingerprint": graph.fingerprint(),
+            "sessions": sessions_block,
+        }
 
     # ------------------------------------------------------------------
     # admission + dispatch

@@ -21,7 +21,10 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List
 
+import numpy as np
+
 from repro.core.registry import get_algorithm
+from repro.graphs.dynamic import GraphDelta
 from repro.graphs.generators import preferential_attachment
 from repro.graphs.weights import uniform_weights, wc_weights
 from repro.observability import MetricsRegistry, build_run_report
@@ -48,6 +51,18 @@ WORKLOADS = [
     ("subsim/uniform/sequential", "subsim", "uniform", 1),
     ("subsim/uniform/batched", "subsim", "uniform", 64),
 ]
+
+#: (name, delta mix) — dynamic workloads: warm session, fixed-seed edge
+#: delta, in-place bank repair, second query.  Their counters pin down the
+#: whole repair pipeline (dirty-set detection, journal replay, post-delta
+#: generation) exactly.
+DYNAMIC_WORKLOADS = [
+    ("dynamic/insert-heavy", {"inserts": 12, "deletes": 2, "updates": 2}),
+    ("dynamic/delete-heavy", {"inserts": 2, "deletes": 12, "updates": 2}),
+]
+
+#: RNG seed for the dynamic workloads' delta construction
+DELTA_SEED = 23
 
 _UNIFORM_P = 0.05
 
@@ -101,12 +116,90 @@ def run_workload(algorithm: str, weight_scheme: str, batch_size: int) -> Dict[st
     return report.canonical()
 
 
+def _build_delta(graph, mix: Dict[str, int]) -> GraphDelta:
+    """A fixed-seed edge delta with the given insert/delete/update mix."""
+    rng = np.random.default_rng(DELTA_SEED)
+    indeg = np.diff(graph.in_indptr)
+    candidates = np.flatnonzero(indeg > 0)
+    picked = set()
+    deletes: List = []
+    updates: List = []
+    while len(deletes) < mix["deletes"] or len(updates) < mix["updates"]:
+        v = int(rng.choice(candidates))
+        offset = int(rng.integers(indeg[v]))
+        u = int(graph.in_indices[graph.in_indptr[v] + offset])
+        if (u, v) in picked:
+            continue
+        picked.add((u, v))
+        if len(deletes) < mix["deletes"]:
+            deletes.append((u, v))
+        else:
+            updates.append((u, v, float(rng.uniform(0.05, 0.3))))
+    srcs = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.out_indptr)
+    )
+    existing = set(
+        zip(srcs.tolist(), graph.out_indices.astype(np.int64).tolist())
+    )
+    inserts: List = []
+    while len(inserts) < mix["inserts"]:
+        u = int(rng.integers(0, graph.n))
+        v = int(rng.integers(0, graph.n))
+        if u == v or (u, v) in existing or (u, v) in picked:
+            continue
+        picked.add((u, v))
+        inserts.append((u, v, float(rng.uniform(0.05, 0.3))))
+    return GraphDelta(inserts=inserts, deletes=deletes, updates=updates)
+
+
+def run_dynamic_workload(mix: Dict[str, int]) -> Dict[str, Any]:
+    """Warm session -> fixed delta -> repair -> requery; exact counters."""
+    from repro.engine.session import QuerySession
+
+    graph = _build_graph("wc")
+    session = QuerySession(graph, "subsim", seed=QUERY["seed"])
+    session.maximize(QUERY["k"], eps=QUERY["eps"])
+    delta = _build_delta(graph, mix)
+    info = session.apply_delta(delta)
+    second = session.maximize(QUERY["k"], eps=QUERY["eps"])
+    return {
+        "delta": {
+            "inserts": len(delta.insert_src),
+            "deletes": len(delta.delete_src),
+            "updates": len(delta.update_src),
+            "touched_nodes": int(info["touched_nodes"]),
+        },
+        "repair": {
+            "sets_total": int(info["sets_total"]),
+            "sets_repaired": int(info["sets_repaired"]),
+            "banks": {
+                name: {
+                    "num_rr": int(stats["num_rr"]),
+                    "num_dirty": int(stats["num_dirty"]),
+                    "num_resampled": int(stats["num_resampled"]),
+                    "repair_counters": dict(stats["repair_counters"]),
+                }
+                for name, stats in sorted(info["banks"].items())
+            },
+        },
+        "second_query": {
+            "seeds": [int(s) for s in second.seeds],
+            "num_rr_sets": int(second.num_rr_sets),
+            "edges_examined": int(second.edges_examined),
+            "rng_draws": int(second.rng_draws),
+        },
+    }
+
+
 def collect_baseline() -> Dict[str, Any]:
     """Run every workload; returns the JSON-able baseline document."""
     workloads = {
         name: run_workload(algorithm, weights, batch_size)
         for name, algorithm, weights, batch_size in WORKLOADS
     }
+    workloads.update({
+        name: run_dynamic_workload(mix) for name, mix in DYNAMIC_WORKLOADS
+    })
     return {
         "baseline_schema_version": BASELINE_SCHEMA_VERSION,
         "graph": dict(GRAPH_SPEC),

@@ -1,0 +1,143 @@
+"""Unit tests for the nightly benchmark regression gate (tools/bench_compare.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def write_results(root, session=1.0, generalw=(10.0, 160.0), dynamic=8.0):
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "BENCH_session.json").write_text(
+        json.dumps({"second_query_reduction": session})
+    )
+    (root / "BENCH_generalw.json").write_text(json.dumps({
+        "workloads": {
+            "subsim-skewed": {"batched_speedup": generalw[0]},
+            "lt": {"batched_speedup": generalw[1]},
+        }
+    }))
+    (root / "BENCH_dynamic.json").write_text(
+        json.dumps({"repair_speedup": dynamic})
+    )
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    base = tmp_path / "baseline"
+    cur = tmp_path / "current"
+    write_results(base)
+    return base, cur
+
+
+class TestCompare:
+    def test_identical_results_pass(self, dirs, capsys):
+        base, cur = dirs
+        write_results(cur)
+        assert bench_compare.main(
+            ["--baseline-dir", str(base), "--current-dir", str(cur)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "within threshold" in out
+
+    def test_small_drift_tolerated(self, dirs):
+        base, cur = dirs
+        write_results(cur, session=0.9, generalw=(8.0, 130.0), dynamic=6.5)
+        assert bench_compare.main(
+            ["--baseline-dir", str(base), "--current-dir", str(cur)]
+        ) == 0
+
+    def test_large_regression_fails(self, dirs, capsys):
+        base, cur = dirs
+        write_results(cur, dynamic=2.0)  # 8.0 -> 2.0: way past 25%
+        assert bench_compare.main(
+            ["--baseline-dir", str(base), "--current-dir", str(cur)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "repair_speedup" in out
+
+    def test_wildcard_covers_each_workload(self, dirs, capsys):
+        base, cur = dirs
+        write_results(cur, generalw=(10.0, 40.0))  # only lt regresses
+        assert bench_compare.main(
+            ["--baseline-dir", str(base), "--current-dir", str(cur)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "workloads.lt.batched_speedup" in out
+        assert "FAIL" in out
+
+    def test_commit_message_waiver_downgrades_failure(self, dirs, capsys):
+        base, cur = dirs
+        write_results(cur, dynamic=2.0)
+        code = bench_compare.main([
+            "--baseline-dir", str(base),
+            "--current-dir", str(cur),
+            "--commit-message",
+            "tune repair path\n\nknown slowdown [bench-waiver]",
+        ])
+        assert code == 0
+        assert "WAIVED" in capsys.readouterr().out
+
+    def test_missing_files_are_skipped_not_failed(self, dirs, capsys):
+        base, cur = dirs
+        write_results(cur)
+        (cur / "BENCH_dynamic.json").unlink()  # not produced this run
+        assert bench_compare.main(
+            ["--baseline-dir", str(base), "--current-dir", str(cur)]
+        ) == 0
+        out = capsys.readouterr().out
+        # BENCH_rrgen.json has no committed baseline; BENCH_dynamic.json was
+        # not produced — both must be reported, neither may fail the gate
+        assert "BENCH_rrgen.json: no committed baseline" in out
+        assert "BENCH_dynamic.json: not produced" in out
+
+    def test_metric_vanishing_from_current_fails(self, dirs):
+        base, cur = dirs
+        write_results(cur)
+        (cur / "BENCH_generalw.json").write_text(
+            json.dumps({"workloads": {"lt": {"batched_speedup": 160.0}}})
+        )
+        assert bench_compare.main(
+            ["--baseline-dir", str(base), "--current-dir", str(cur)]
+        ) == 1
+
+
+class TestResolvePath:
+    def test_plain_path(self):
+        doc = {"a": {"b": 2.5}}
+        assert dict(bench_compare.resolve_path(doc, "a.b")) == {"a.b": 2.5}
+
+    def test_wildcard_is_sorted_and_numeric_only(self):
+        doc = {"w": {"y": {"m": 2.0}, "x": {"m": 1.0}, "z": {"m": "no"}}}
+        assert list(bench_compare.resolve_path(doc, "w.*.m")) == [
+            ("w.x.m", 1.0), ("w.y.m", 2.0),
+        ]
+
+    def test_missing_path_yields_nothing(self):
+        assert list(bench_compare.resolve_path({"a": 1}, "b.c")) == []
+
+    def test_headlines_cover_committed_results(self):
+        """Every committed full-size result file has a headline extractor."""
+        results = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        )
+        covered = {filename for filename, _, _ in bench_compare.HEADLINES}
+        for path in results.glob("BENCH_*.json"):
+            if path.name.endswith("_quick.json"):
+                continue
+            assert path.name in covered, f"no headline metric for {path.name}"
+            doc = json.loads(path.read_text())
+            dotted = next(
+                d for f, d, _ in bench_compare.HEADLINES if f == path.name
+            )
+            assert dict(bench_compare.resolve_path(doc, dotted)), (
+                f"{path.name}: headline path {dotted!r} resolves to nothing"
+            )

@@ -205,3 +205,111 @@ class TestSessionRunCheckpointConflict:
                 checkpoint=str(tmp_path / "run.npz"),
                 banks=session.provider,
             )
+
+
+class TestDynamicDeltas:
+    """QuerySession.apply_delta: in-place bank repair across queries."""
+
+    def _graph(self, n=300):
+        from repro.graphs.generators import preferential_attachment
+        from repro.graphs.weights import wc_weights
+
+        return wc_weights(
+            preferential_attachment(n, 3, seed=1, reciprocal=0.3)
+        )
+
+    def _uncovered_edge(self, session):
+        """An in-edge of a node that NO persistent bank's pool covers."""
+        banks = session.provider.persistent_banks().values()
+        coverage = sum(bank.pool.coverage_counts() for bank in banks)
+        graph = session.graph
+        for v in np.flatnonzero(coverage == 0):
+            lo, hi = graph.in_indptr[v], graph.in_indptr[v + 1]
+            if hi > lo:
+                return (int(graph.in_indices[lo]), int(v))
+        raise AssertionError("no uncovered node with in-edges")
+
+    def test_zero_dirty_delta_keeps_answers_seed_for_seed(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        # large enough that the warm pools leave some node uncovered
+        session = QuerySession(self._graph(n=2_000), "subsim", seed=11)
+        session.maximize(8, eps=0.4)
+        edge = self._uncovered_edge(session)
+        info = session.apply_delta(GraphDelta(deletes=[edge]))
+        assert info["sets_repaired"] == 0
+        warm = session.maximize(8, eps=0.4)
+
+        cold_graph = self._graph(n=2_000)
+        cold_graph.apply_delta(GraphDelta(deletes=[edge]))
+        cold = QuerySession(cold_graph, "subsim", seed=11).maximize(
+            8, eps=0.4
+        )
+        assert warm.seeds == cold.seeds
+        assert warm.num_rr_sets == cold.num_rr_sets
+        assert warm.rng_draws == cold.rng_draws
+
+    def test_dirty_delta_repairs_in_place_and_emits_metrics(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        session = QuerySession(self._graph(), "subsim", seed=11)
+        session.maximize(8, eps=0.4)
+        graph = session.graph
+        # the highest-coverage node guarantees dirty sets
+        banks = session.provider.persistent_banks().values()
+        coverage = sum(bank.pool.coverage_counts() for bank in banks)
+        v = int(np.argmax(coverage))
+        assert graph.in_indptr[v + 1] > graph.in_indptr[v]
+        u = int(graph.in_indices[graph.in_indptr[v]])
+        info = session.apply_delta(GraphDelta(deletes=[(u, v)]))
+        assert info["sets_repaired"] > 0
+        assert 0.0 < info["dirty_fraction"] <= 1.0
+        assert info["delta_epoch"] == 1
+        assert session.metrics.value("generation.repaired") == (
+            info["sets_repaired"]
+        )
+        assert session.metrics.gauge("generation.dirty_fraction") == (
+            pytest.approx(info["dirty_fraction"])
+        )
+        # the repaired session still answers queries
+        result = session.maximize(8, eps=0.4)
+        assert len(result.seeds) == 8
+
+    def test_delta_is_deterministic_across_identical_sessions(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        results = []
+        for _ in range(2):
+            session = QuerySession(self._graph(), "subsim", seed=11)
+            session.maximize(8, eps=0.4)
+            graph = session.graph
+            src, dst, _ = graph.edges()
+            delta = GraphDelta(deletes=[(int(src[0]), int(dst[0]))])
+            info = session.apply_delta(delta)
+            second = session.maximize(8, eps=0.4)
+            results.append((info["sets_repaired"], second.seeds,
+                            second.num_rr_sets, second.rng_draws))
+        assert results[0] == results[1]
+
+    def test_sharded_session_delta_is_deterministic(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        results = []
+        for _ in range(2):
+            session = QuerySession(
+                self._graph(), "subsim", seed=11, shards=2
+            )
+            try:
+                session.maximize(8, eps=0.4)
+                graph = session.graph
+                src, dst, _ = graph.edges()
+                delta = GraphDelta(deletes=[(int(src[0]), int(dst[0]))])
+                info = session.apply_delta(delta)
+                second = session.maximize(8, eps=0.4)
+                results.append(
+                    (info["sets_repaired"], second.seeds,
+                     second.num_rr_sets)
+                )
+            finally:
+                session.close()
+        assert results[0] == results[1]

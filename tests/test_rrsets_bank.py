@@ -333,3 +333,162 @@ class TestCorruptedCheckpoints:
             assert a.seeds == b.seeds
         assert capped.metrics.value("bank.evictions") >= 2
         assert uncapped.metrics.value("bank.evictions") == 0
+
+
+class TestRepair:
+    """In-place resampling of delta-invalidated sets (journal replay)."""
+
+    def _fresh(self, entropy=7, n=300, count=120):
+        from repro.graphs.generators import preferential_attachment
+        from repro.graphs.weights import wc_weights
+
+        graph = wc_weights(
+            preferential_attachment(n, 3, seed=1, reciprocal=0.3)
+        )
+        bank = RRBank(
+            graph,
+            VanillaICGenerator(graph),
+            np.random.default_rng(np.random.SeedSequence(entropy, spawn_key=(1,))),
+            role="r",
+            reusable=True,
+            entropy=entropy,
+        )
+        bank.ensure(count)
+        return graph, bank
+
+    def _uncovered_in_edge(self, graph, bank):
+        coverage = bank.pool.coverage_counts()
+        for v in np.flatnonzero(coverage == 0):
+            lo, hi = graph.in_indptr[v], graph.in_indptr[v + 1]
+            if hi > lo:
+                return (int(graph.in_indices[lo]), int(v))
+        raise AssertionError("no uncovered node with in-edges")
+
+    def _covered_in_edge(self, graph, bank):
+        coverage = bank.pool.coverage_counts()
+        order = np.argsort(coverage)[::-1]
+        for v in order:
+            lo, hi = graph.in_indptr[v], graph.in_indptr[v + 1]
+            if coverage[v] > 0 and hi > lo:
+                return (int(graph.in_indices[lo]), int(v))
+        raise AssertionError("no covered node with in-edges")
+
+    def test_transient_bank_cannot_repair(self, wc_graph):
+        with pytest.raises(ConfigurationError, match="reusable"):
+            _bank(wc_graph).repair(np.array([0]))
+
+    def test_zero_dirty_repair_is_bit_identical_to_cold(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        graph, bank = self._fresh()
+        edge = self._uncovered_in_edge(graph, bank)
+        touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+        stats = bank.repair(touched)
+        assert stats["num_dirty"] == 0
+        assert stats["num_resampled"] == 0
+
+        cold_graph, cold = self._fresh()
+        cold_graph.apply_delta(GraphDelta(deletes=[edge]))
+        # cold bank regenerated on the mutated graph from the same origin
+        cold.evict()
+        cold.ensure(bank.pool.num_rr)
+        np.testing.assert_array_equal(
+            bank.pool.rr_indptr, cold.pool.rr_indptr
+        )
+        np.testing.assert_array_equal(bank.pool.rr_nodes, cold.pool.rr_nodes)
+
+    def test_dirty_repair_is_deterministic(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        pools = []
+        infos = []
+        for _ in range(2):
+            graph, bank = self._fresh()
+            edge = self._covered_in_edge(graph, bank)
+            touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+            infos.append(bank.repair(touched))
+            pools.append(
+                (bank.pool.rr_indptr.copy(), bank.pool.rr_nodes.copy())
+            )
+        assert infos[0]["num_dirty"] == infos[1]["num_dirty"] > 0
+        assert infos[0]["num_resampled"] == infos[1]["num_resampled"]
+        assert infos[0]["num_fallback"] == 0
+        np.testing.assert_array_equal(pools[0][0], pools[1][0])
+        np.testing.assert_array_equal(pools[0][1], pools[1][1])
+
+    def test_repair_keeps_clean_sets_verbatim(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        graph, bank = self._fresh()
+        before = [
+            np.array(bank.pool.set_nodes(i))
+            for i in range(bank.pool.num_rr)
+        ]
+        edge = self._covered_in_edge(graph, bank)
+        touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+        dirty = set(bank.pool.sets_touching(touched).tolist())
+        bank.repair(touched)
+        for i in range(bank.pool.num_rr):
+            if i not in dirty:
+                np.testing.assert_array_equal(
+                    bank.pool.set_nodes(i), before[i]
+                )
+
+    def test_uncovered_dirty_sets_fall_back_to_fresh_seeds(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        graph, bank = self._fresh()
+        bank._journal.clear()  # simulate an adopted / pre-journal pool
+        edge = self._covered_in_edge(graph, bank)
+        touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+        stats = bank.repair(touched)
+        assert stats["num_fallback"] == stats["num_dirty"] > 0
+
+    def test_fallback_without_entropy_rejected(self):
+        from repro.graphs.dynamic import GraphDelta
+        from repro.graphs.generators import preferential_attachment
+        from repro.graphs.weights import wc_weights
+
+        graph = wc_weights(
+            preferential_attachment(300, 3, seed=1, reciprocal=0.3)
+        )
+        bank = RRBank(
+            graph,
+            VanillaICGenerator(graph),
+            np.random.default_rng(7),
+            reusable=True,
+        )
+        bank.ensure(120)
+        bank._journal.clear()
+        edge = self._covered_in_edge(graph, bank)
+        touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+        with pytest.raises(ConfigurationError, match="entropy"):
+            bank.repair(touched)
+
+    def test_state_dict_round_trips_journal(self):
+        from repro.graphs.dynamic import GraphDelta
+
+        graph_a, bank_a = self._fresh()
+        payload = bank_a.state_dict()
+        assert payload["journal"] == bank_a._journal
+
+        graph_b, bank_b = self._fresh()
+        bank_b._journal.clear()  # restore must bring the journal back
+        bank_b.restore_state(payload, bank_b.pool)
+        assert bank_b._journal == bank_a._journal
+        edge = self._covered_in_edge(graph_a, bank_a)
+        for graph, bank in ((graph_a, bank_a), (graph_b, bank_b)):
+            touched = graph.apply_delta(GraphDelta(deletes=[edge]))
+            stats = bank.repair(touched)
+            assert stats["num_fallback"] == 0
+        np.testing.assert_array_equal(
+            bank_a.pool.rr_nodes, bank_b.pool.rr_nodes
+        )
+
+    def test_evict_clears_journal(self):
+        graph, bank = self._fresh()
+        assert bank._journal
+        bank.evict()
+        assert bank._journal == []
+        bank.ensure(40)
+        assert len(bank._journal) == 40

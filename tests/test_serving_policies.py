@@ -344,3 +344,38 @@ class TestServerConfig:
             ServerConfig(snapshot_every=0)
         with pytest.raises(ConfigurationError):
             ServerConfig(default_deadline=0.0)
+
+
+class TestGraphRegistryStaleness:
+    """A replaced graph file must not keep serving the stale cached graph."""
+
+    def _graph(self, seed):
+        return wc_weights(
+            preferential_attachment(60, 3, seed=seed, reciprocal=0.3)
+        )
+
+    def test_replaced_file_reloads_fresh_graph(self, tmp_path):
+        import os
+
+        old, new = self._graph(1), self._graph(2)
+        path = tmp_path / "g.npz"
+        save_npz(old, path)
+        os.utime(path, ns=(1_000_000_000, 1_000_000_000))
+        registry = GraphRegistry()
+        registry.add_path("g", str(path))
+        assert registry.get("g").fingerprint() == old.fingerprint()
+
+        save_npz(new, path)
+        os.utime(path, ns=(2_000_000_000, 2_000_000_000))
+        reloaded = registry.get("g")
+        assert reloaded.fingerprint() == new.fingerprint()
+        # the fresh graph is cached under the new mtime
+        assert registry.get("g") is reloaded
+
+    def test_untouched_file_stays_cached(self, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(self._graph(1), path)
+        registry = GraphRegistry()
+        registry.add_path("g", str(path))
+        first = registry.get("g")
+        assert registry.get("g") is first

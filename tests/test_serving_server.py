@@ -237,3 +237,102 @@ class TestRecovery:
         assert client.query("pa", 3)[0] == 200
         server.stop()
         server.stop()  # second stop is a no-op
+
+
+class TestDeltaEndpoint:
+    """POST /delta: one graph mutation, every warm tenant repaired."""
+
+    def _private_graph(self):
+        # /delta mutates the registry graph in place, so these tests never
+        # share the module-scoped fixture
+        return wc_weights(
+            preferential_attachment(150, 3, seed=1, reciprocal=0.3)
+        )
+
+    def _an_edge(self, graph):
+        u = next(
+            i for i in range(graph.n)
+            if graph.out_indptr[i + 1] > graph.out_indptr[i]
+        )
+        return u, int(graph.out_indices[graph.out_indptr[u]])
+
+    def test_delta_repairs_warm_tenants(self):
+        graph = self._private_graph()
+        fingerprint_before = graph.fingerprint()
+        with make_server(graph) as server:
+            client = ServeClient(*server.address)
+            assert client.query("pa", 5, tenant="alice")[0] == 200
+            assert client.query("pa", 5, tenant="bob")[0] == 200
+            u, v = self._an_edge(graph)
+            status, payload = client.delta("pa", deletes=[(u, v)])
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["num_changes"] == 1
+            assert payload["touched_nodes"] == 1
+            assert payload["delta_epoch"] == 1
+            assert payload["fingerprint"] != fingerprint_before
+            assert set(payload["sessions"]) == {"alice", "bob"}
+            for stats in payload["sessions"].values():
+                assert stats["sets_total"] > 0
+            # queries keep flowing on the mutated graph
+            status, answer = client.query("pa", 5, tenant="alice")
+            assert status == 200
+            assert answer["status"] == "complete"
+            _, metrics = client.metrics()
+            assert metrics["counters"]["serving.deltas_applied"] == 1
+
+    def test_delta_on_cold_server_touches_no_sessions(self):
+        graph = self._private_graph()
+        with make_server(graph) as server:
+            client = ServeClient(*server.address)
+            u, v = self._an_edge(graph)
+            status, payload = client.delta("pa", deletes=[(u, v)])
+            assert status == 200
+            assert payload["sessions"] == {}
+
+    def test_delta_validation_errors(self):
+        graph = self._private_graph()
+        with make_server(graph) as server:
+            client = ServeClient(*server.address)
+            status, payload = client.delta("ghost", deletes=[(0, 1)])
+            assert status == 404
+            status, payload = client._request(
+                "POST", "/delta", {"graph": "pa"}
+            )
+            assert status == 400
+            assert "at least one" in payload["error"]
+            # deleting a non-edge is rejected atomically (graph unchanged)
+            epoch_before = graph.delta_epoch
+            status, payload = client.delta(
+                "pa", deletes=[(0, 0)]
+            )
+            assert status == 400
+            assert graph.delta_epoch == epoch_before
+
+    def test_delta_equivalent_to_direct_session_repair(self):
+        """The served answer after /delta matches an offline session that
+        applied the same delta — the endpoint adds routing, not behaviour."""
+        graph = self._private_graph()
+        u, v = self._an_edge(graph)
+        with make_server(graph) as server:
+            client = ServeClient(*server.address)
+            client.query("pa", 5, tenant="alice")
+            client.delta("pa", deletes=[(u, v)])
+            status, served = client.query("pa", 5, tenant="alice")
+            assert status == 200
+
+        from repro.engine.session import QuerySession
+        from repro.graphs.dynamic import GraphDelta
+        from repro.serving.sessions import tenant_entropy
+
+        offline_graph = wc_weights(
+            preferential_attachment(150, 3, seed=1, reciprocal=0.3)
+        )
+        entropy = tenant_entropy(server.config.seed, "alice", "pa")
+        session = QuerySession(
+            offline_graph, server.config.algorithm, seed=entropy
+        )
+        session.maximize(5, eps=server.config.eps)
+        session.apply_delta(GraphDelta(deletes=[(u, v)]))
+        offline = session.maximize(5, eps=server.config.eps)
+        assert served["seeds"] == offline.seeds
