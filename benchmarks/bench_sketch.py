@@ -1,0 +1,234 @@
+"""Sketch coverage backend benchmark: memory/accuracy frontier vs exact.
+
+Materialises a huge-theta RR pool on the paper's WC-weighted setting
+(n = 10^4 preferential-attachment, theta = 10^6 SUBSIM RR sets) and
+compares the two coverage backends selection can run on:
+
+* **exact** — the inverted-CSR index plus the per-node gain vector, the
+  structures whose resident bytes dominate memory at production theta;
+* **sketch** — per-node HyperLogLog register rows
+  (:mod:`repro.coverage.sketch`), ``n * 2^p`` uint8 bytes total, swept
+  across the precision ladder ``p in {6, 8, 10, 12}``.
+
+For every rung the benchmark records the coverage-structure bytes, the
+selection wall time, and the *exactly evaluated* coverage of the seeds the
+sketch picked, so the report is a memory/accuracy frontier: how much
+resident memory each extra bit of precision buys back in spread.  The
+headline ``memory_reduction`` is exact-bytes over default-precision sketch
+bytes (the gate asserts >= 4x at theta >= 10^6), and ``accuracy.pass``
+asserts the sketch seed set's estimated spread lands within the backend's
+certified epsilon of the exact seed set's.
+
+Results go to ``benchmarks/results/BENCH_sketch.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sketch.py            # full (theta=10^6)
+    PYTHONPATH=src python benchmarks/bench_sketch.py --quick    # CI smoke
+
+``--quick`` shrinks the graph and pool; quick results carry
+``"quick": true`` and are written to ``BENCH_sketch_quick.json`` so a
+smoke run never overwrites the committed full-size numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.coverage.greedy import max_coverage_greedy
+from repro.coverage.sketch import (
+    CoverageSketch,
+    exact_coverage_scan,
+    relative_std_error,
+    sketch_max_coverage,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import preferential_attachment
+from repro.graphs.weights import wc_weights
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.subsim import SubsimICGenerator
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_sketch.json"
+QUICK_RESULTS_PATH = (
+    Path(__file__).parent / "results" / "BENCH_sketch_quick.json"
+)
+
+#: the ladder rungs the frontier sweeps (register-index bits)
+PRECISIONS = (6, 8, 10, 12)
+#: the backend default — the rung the headline memory_reduction is taken at
+DEFAULT_PRECISION = 8
+#: sigma multiplier matching SketchBackend's certified band
+CONFIDENCE = 3.0
+
+
+def make_graph(n: int, degree: int = 3, seed: int = 1) -> CSRGraph:
+    return wc_weights(
+        preferential_attachment(n, degree, seed=seed, reciprocal=0.3)
+    )
+
+
+def make_pool(graph: CSRGraph, theta: int, seed: int) -> RRCollection:
+    pool = RRCollection(graph.n)
+    gen = SubsimICGenerator(graph)
+    gen.batch_size = 4096
+    pool.extend(theta, gen, np.random.default_rng(seed))
+    return pool
+
+
+def exact_structure_bytes(pool: RRCollection, k: int) -> int:
+    """Resident bytes of the exact selection structures at this theta.
+
+    The inverted CSR (``inv_indptr``/``inv_rrs``) plus the per-node gain
+    and coverage-count vectors greedy decrements — the footprint the
+    sketch rows replace.  (The flat node pool itself is common to both
+    backends and excluded.)
+    """
+    inv_indptr, inv_rrs = pool._inverted()
+    gains = pool.n * 8          # float64/int64 gain vector
+    counts = pool.n * 8         # per-node coverage counts
+    return int(inv_indptr.nbytes + inv_rrs.nbytes + gains + counts)
+
+
+def run_benchmark(
+    n: int = 10_000,
+    degree: int = 3,
+    theta: int = 1_000_000,
+    k: int = 50,
+    seed: int = 7,
+    quick: bool = False,
+) -> dict:
+    if quick:
+        n, theta, k = 1_500, 50_000, 8
+
+    graph = make_graph(n, degree)
+    t0 = time.perf_counter()
+    pool = make_pool(graph, theta, seed)
+    gen_seconds = time.perf_counter() - t0
+
+    # Exact baseline: inverted-CSR greedy, exactly evaluated coverage.
+    t0 = time.perf_counter()
+    exact = max_coverage_greedy(pool, select=k, topk=k)
+    exact_seconds = time.perf_counter() - t0
+    exact_bytes = exact_structure_bytes(pool, k)
+    exact_spread = graph.n * exact.coverage / pool.num_rr
+
+    # Sketch frontier: one rung per precision, each re-ingesting the pool
+    # at its own resolution (what a ladder escalation costs end to end).
+    rungs = []
+    for p in PRECISIONS:
+        sketch = CoverageSketch(graph.n, precision=p)
+        t0 = time.perf_counter()
+        sketch.ingest_range(pool, 0, pool.num_rr)
+        ingest_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        picked = sketch_max_coverage(
+            sketch.registers, k, num_rr=pool.num_rr, topk=k
+        )
+        select_seconds = time.perf_counter() - t0
+        # The honest yardstick: the sketch-picked seeds' *exact* coverage.
+        true_cov = exact_coverage_scan(pool, picked.seeds)
+        spread = graph.n * true_cov / pool.num_rr
+        epsilon = CONFIDENCE * relative_std_error(p)
+        shortfall = (exact_spread - spread) / exact_spread if exact_spread else 0.0
+        rungs.append({
+            "precision": p,
+            "registers_per_node": 1 << p,
+            "sketch_bytes": int(sketch.nbytes()),
+            "memory_reduction": round(exact_bytes / sketch.nbytes(), 4),
+            "ingest_seconds": round(ingest_seconds, 6),
+            "select_seconds": round(select_seconds, 6),
+            "estimated_coverage": int(picked.coverage),
+            "exact_coverage_of_picked": int(true_cov),
+            "spread": round(spread, 4),
+            "spread_shortfall_vs_exact": round(shortfall, 6),
+            "epsilon_sketch": round(epsilon, 6),
+            "within_certified_epsilon": bool(shortfall <= epsilon),
+        })
+
+    default = next(r for r in rungs if r["precision"] == DEFAULT_PRECISION)
+    return {
+        "benchmark": "sketch",
+        "quick": quick,
+        "graph": {"model": "pa+wc", "n": graph.n, "m": graph.m},
+        "theta": int(pool.num_rr),
+        "k": k,
+        "seed": seed,
+        "generation_seconds": round(gen_seconds, 6),
+        "exact": {
+            "coverage_bytes": exact_bytes,
+            "select_seconds": round(exact_seconds, 6),
+            "coverage": int(exact.coverage),
+            "spread": round(exact_spread, 4),
+        },
+        "frontier": rungs,
+        "memory_reduction": default["memory_reduction"],
+        "accuracy": {
+            "precision": DEFAULT_PRECISION,
+            "spread_shortfall_vs_exact": default["spread_shortfall_vs_exact"],
+            "epsilon_sketch": default["epsilon_sketch"],
+            "pass": default["within_certified_epsilon"],
+        },
+    }
+
+
+def write_report(report: dict, path: Path = RESULTS_PATH) -> Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small graph and pool; for CI smoke runs")
+    parser.add_argument("--n", type=int, default=10_000)
+    parser.add_argument("--theta", type=int, default=1_000_000,
+                        help="pool size (RR sets)")
+    parser.add_argument("--k", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="result file (default: BENCH_sketch.json, or "
+                             "BENCH_sketch_quick.json with --quick)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = QUICK_RESULTS_PATH if args.quick else RESULTS_PATH
+
+    report = run_benchmark(
+        n=args.n, theta=args.theta, k=args.k, seed=args.seed,
+        quick=args.quick,
+    )
+    path = write_report(report, args.output)
+    ex = report["exact"]
+    print(
+        f"pool: theta={report['theta']:,} on n={report['graph']['n']:,} "
+        f"({report['generation_seconds']:.1f}s to generate)"
+    )
+    print(
+        f"exact: {ex['coverage_bytes'] / 1e6:.1f} MB coverage structures, "
+        f"select {ex['select_seconds']:.2f}s, spread {ex['spread']:.1f}"
+    )
+    for r in report["frontier"]:
+        print(
+            f"  p={r['precision']:>2}: {r['sketch_bytes'] / 1e6:6.2f} MB "
+            f"({r['memory_reduction']:5.1f}x smaller), "
+            f"spread {r['spread']:.1f} "
+            f"(shortfall {r['spread_shortfall_vs_exact'] * 100:.2f}% vs "
+            f"eps {r['epsilon_sketch'] * 100:.1f}%) -> "
+            f"{'ok' if r['within_certified_epsilon'] else 'MISS'}"
+        )
+    print(
+        f"headline: {report['memory_reduction']:.1f}x memory reduction at "
+        f"p={DEFAULT_PRECISION}, accuracy "
+        f"{'pass' if report['accuracy']['pass'] else 'FAIL'}"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Pluggable coverage backends: the selection-facing surface of the pool.
+
+Every seed-selection consumer — greedy, CELF, the OPIM bounds' coverage
+inputs — now goes through a :class:`CoverageBackend` instead of reaching
+into :class:`~repro.rrsets.collection.RRCollection` directly.  Two
+implementations ship:
+
+* :class:`ExactBackend` (the default) delegates verbatim to
+  :func:`~repro.coverage.greedy.max_coverage_greedy` /
+  :func:`~repro.coverage.celf.celf_max_coverage` and the collection's
+  inverted-CSR surface (``coverage_counts`` / ``uncovered_counts`` /
+  ``rrs_containing`` / ``per_set_sums``).  It is bit-identical to the
+  pre-backend code path — same selections, same counters, same bounds.
+* :class:`~repro.coverage.sketch.SketchBackend` replaces exact membership
+  with per-node HyperLogLog rows (see :mod:`repro.coverage.sketch`): the
+  inverted index never materializes, selection runs on register rows, and
+  an error-adaptive precision ladder tightens the registers only when the
+  OPIM-C bound gap demands it.
+
+``resolve_backend`` maps the user-facing ``coverage_backend`` spec
+(``"exact"`` / ``"sketch"`` / ``"auto"`` / a ready backend instance) to an
+instance; ``"auto"`` picks the sketch tier only when the expected pool size
+clears :data:`AUTO_SKETCH_THETA`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.coverage.celf import celf_max_coverage
+from repro.coverage.greedy import GreedyResult, max_coverage_greedy
+from repro.utils.exceptions import ConfigurationError
+
+#: accepted ``coverage_backend`` spec strings
+COVERAGE_BACKENDS = ("exact", "sketch", "auto")
+
+#: ``"auto"`` switches to the sketch tier when the expected pool size
+#: (e.g. OPIM-C's ``theta_max``) reaches this many RR sets — below it the
+#: exact structures are cheap enough that exactness wins.
+AUTO_SKETCH_THETA = 1_000_000
+
+
+class CoverageBackend(abc.ABC):
+    """Protocol every coverage implementation serves selection through."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def max_coverage(
+        self,
+        pool,
+        select: int,
+        *,
+        topk: Optional[int] = None,
+        out_degree: Optional[np.ndarray] = None,
+        initial_covered=None,
+        track_upper_bound: bool = True,
+        excluded: Optional[List[int]] = None,
+        metrics=None,
+    ) -> GreedyResult:
+        """Greedy max coverage over ``pool`` (see
+        :func:`~repro.coverage.greedy.max_coverage_greedy`)."""
+
+    @abc.abstractmethod
+    def celf(
+        self,
+        pool,
+        select: int,
+        *,
+        out_degree: Optional[np.ndarray] = None,
+        initial_covered=None,
+        metrics=None,
+        batch: int = 64,
+    ) -> GreedyResult:
+        """CELF lazy greedy over ``pool`` (see
+        :func:`~repro.coverage.celf.celf_max_coverage`)."""
+
+    @abc.abstractmethod
+    def coverage(self, pool, seeds: Iterable[int]) -> int:
+        """``Lambda_R(S)`` — how many stored sets the seeds hit (exact in
+        every backend: the Eq. 1 lower bound never carries sketch error)."""
+
+    def certified_upper_coverage(
+        self, coverage_upper: float, num_rr: int
+    ) -> float:
+        """Adjust an Eq. 2 coverage bound for backend estimation error.
+
+        Exact backends return it unchanged; estimating backends inflate it
+        so the downstream influence bound stays valid within their error
+        model.
+        """
+        return coverage_upper
+
+    def certificate(self) -> dict:
+        """Approximation-certificate block for ``IMResult.extras``."""
+        return {"backend": self.name}
+
+
+class ExactBackend(CoverageBackend):
+    """The inverted-CSR exact path, extracted behind the protocol.
+
+    Pure delegation — every call forwards to the historical function with
+    the caller's exact arguments, so selections, metrics, and bounds are
+    bit-identical to the pre-refactor code (the counter baseline's ten
+    original workloads pin this down).
+    """
+
+    name = "exact"
+
+    def max_coverage(
+        self,
+        pool,
+        select: int,
+        *,
+        topk: Optional[int] = None,
+        out_degree: Optional[np.ndarray] = None,
+        initial_covered=None,
+        track_upper_bound: bool = True,
+        excluded: Optional[List[int]] = None,
+        metrics=None,
+    ) -> GreedyResult:
+        return max_coverage_greedy(
+            pool,
+            select,
+            topk=topk,
+            out_degree=out_degree,
+            initial_covered=initial_covered,
+            track_upper_bound=track_upper_bound,
+            excluded=excluded,
+            metrics=metrics,
+        )
+
+    def celf(
+        self,
+        pool,
+        select: int,
+        *,
+        out_degree: Optional[np.ndarray] = None,
+        initial_covered=None,
+        metrics=None,
+        batch: int = 64,
+    ) -> GreedyResult:
+        return celf_max_coverage(
+            pool,
+            select,
+            out_degree=out_degree,
+            initial_covered=initial_covered,
+            metrics=metrics,
+            batch=batch,
+        )
+
+    def coverage(self, pool, seeds: Iterable[int]) -> int:
+        return int(pool.coverage(seeds))
+
+    # -- exact selection surface (the RRCollection methods that moved
+    # behind the backend; greedy/celf call them through the pool they are
+    # handed, these passthroughs are the protocol's documented face) ------
+    def coverage_counts(self, pool) -> np.ndarray:
+        return pool.coverage_counts()
+
+    def uncovered_counts(
+        self, pool, nodes: np.ndarray, covered: np.ndarray
+    ) -> np.ndarray:
+        return pool.uncovered_counts(nodes, covered)
+
+    def rrs_containing(self, pool, node: int) -> np.ndarray:
+        return pool.rrs_containing(node)
+
+    def per_set_sums(
+        self, pool, values: np.ndarray, stop: Optional[int] = None
+    ) -> np.ndarray:
+        return pool.per_set_sums(values, stop=stop)
+
+
+BackendSpec = Union[None, str, CoverageBackend]
+
+
+def resolve_backend(
+    spec: BackendSpec,
+    *,
+    theta_hint: Optional[int] = None,
+    allow_sketch: bool = True,
+    metrics=None,
+    auto_threshold: int = AUTO_SKETCH_THETA,
+) -> CoverageBackend:
+    """Materialize a ``coverage_backend`` spec.
+
+    ``theta_hint`` is the caller's expected final pool size (OPIM-C passes
+    ``theta_max``); ``"auto"`` resolves to the sketch tier only when the
+    hint clears ``auto_threshold``.  ``allow_sketch=False`` (an algorithm
+    whose selection shape the sketch cannot serve, e.g. HIST's sentinel
+    phases) degrades non-explicit sketch requests to exact — an *explicit*
+    ``coverage_backend="sketch"`` on such an algorithm is rejected earlier,
+    at ``run()`` validation.
+    """
+    if isinstance(spec, CoverageBackend):
+        return spec
+    if spec is None:
+        spec = "exact"
+    if spec not in COVERAGE_BACKENDS:
+        raise ConfigurationError(
+            f"coverage_backend must be one of "
+            f"{', '.join(repr(b) for b in COVERAGE_BACKENDS)}, got {spec!r}"
+        )
+    if spec == "auto":
+        spec = (
+            "sketch"
+            if (
+                allow_sketch
+                and theta_hint is not None
+                and theta_hint >= auto_threshold
+            )
+            else "exact"
+        )
+    if spec == "sketch" and allow_sketch:
+        from repro.coverage.sketch import SketchBackend
+
+        backend: CoverageBackend = SketchBackend()
+        if metrics is not None:
+            metrics.set_gauge(
+                "coverage.sketch_precision", backend.precision
+            )
+        return backend
+    return ExactBackend()

@@ -1,0 +1,601 @@
+"""Count-distinct coverage sketches: the memory tier behind ``coverage_backend="sketch"``.
+
+At production theta the exact coverage structures — the inverted CSR index
+plus the per-node gain vector — dominate resident memory and drive
+``byte_cap`` eviction of warm banks.  Following "Fast and Error-Adaptive
+Influence Maximization based on Count-Distinct Sketches" (arXiv 2105.04023),
+this module replaces exact RR-set membership with one HyperLogLog register
+row per node: node ``v``'s row sketches the *set of RR-set ids containing
+v*, so
+
+* the per-node singleton coverage is the row's cardinality estimate,
+* the marginal gain of ``v`` against an already-covered collection is
+  ``est(max(row_v, covered_row)) - est(covered_row)`` (HLL union is the
+  elementwise register maximum, which is lossless for set union), and
+* merging shards is the same elementwise maximum — a partitioned pool's
+  rows union exactly, so scatter-gather selection ships ``n * m`` register
+  bytes once instead of per-round gain vectors.
+
+Registers are ``(n, m=2**precision)`` uint8, maintained *incrementally*
+from :meth:`~repro.rrsets.collection.RRCollection.add` /
+``add_batch`` (hash each new set id once, scatter-max into its members'
+rows), so in sketch mode the inverted index never materializes.  Hashing
+is a fixed seeded splitmix64 finalizer — fully deterministic, no
+``PYTHONHASHSEED`` dependence — and the estimator is the standard HLL
+harmonic mean with linear-counting small-range correction, giving relative
+standard error ``1.04 / sqrt(m)``.
+
+:class:`SketchBackend` is the :class:`~repro.coverage.backend
+.CoverageBackend` built on these sketches, including the error-adaptive
+precision ladder (:meth:`SketchBackend.escalate`) that OPIM-C's doubling
+loop pulls only when the sketch error band overlaps its stopping bound gap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.coverage.backend import CoverageBackend
+from repro.utils.exceptions import ConfigurationError
+
+#: default number of register index bits (m = 256 registers/node, ~6.5%
+#: relative standard error) — the memory/accuracy sweet spot bench_sketch
+#: measures against the exact structures.
+DEFAULT_PRECISION = 8
+
+#: the ladder never escalates past this many index bits by default
+#: (m = 4096, ~1.6% error) — beyond it the registers stop being the small
+#: side of the memory trade.
+DEFAULT_MAX_PRECISION = 12
+
+#: fixed hash salt; changing it reshuffles every estimate, so it is part of
+#: the deterministic sketch identity recorded in bank state.
+DEFAULT_HASH_SEED = 0x5EEDC0DE
+
+#: sets ingested per vectorized scatter-max chunk
+_INGEST_CHUNK = 1 << 16
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D4ECDA8F1E82DB)
+
+#: 2**-r lookup for the harmonic mean (register values never exceed 64)
+_POW2_NEG = np.float64(2.0) ** -np.arange(65, dtype=np.float64)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a uint64 array."""
+    x = (x ^ (x >> np.uint64(30))) * _MIX1
+    x = (x ^ (x >> np.uint64(27))) * _MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+def _bit_length64(x: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for uint64 values.
+
+    Split into 32-bit halves so ``log2`` runs on integers float64 holds
+    exactly — the full 64-bit value would round near the top bits.
+    """
+    hi = (x >> np.uint64(32)).astype(np.int64)
+    lo = (x & np.uint64(0xFFFFFFFF)).astype(np.int64)
+    bl_hi = np.floor(np.log2(np.maximum(hi, 1))).astype(np.int64) + 1
+    bl_lo = np.floor(np.log2(np.maximum(lo, 1))).astype(np.int64) + 1
+    bl_lo = np.where(lo > 0, bl_lo, 0)
+    return np.where(hi > 0, bl_hi + 32, bl_lo)
+
+
+def hash_set_ids(ids: np.ndarray, precision: int, hash_seed: int):
+    """Deterministic (register index, rank) pair per RR-set id.
+
+    The low ``precision`` bits of the mixed hash pick the register; the
+    rank is the leading-zero count of the remaining ``64 - precision`` bits
+    plus one (the classic HLL rho), capped implicitly by the field width.
+    """
+    x = np.asarray(ids, dtype=np.uint64)
+    h = _mix64((x + np.uint64(1)) * _GOLDEN + np.uint64(hash_seed))
+    j = (h & np.uint64((1 << precision) - 1)).astype(np.int64)
+    w = h >> np.uint64(precision)
+    rho = (64 - precision) - _bit_length64(w) + 1
+    return j, rho.astype(np.uint8)
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+def estimate_distinct(registers: np.ndarray) -> np.ndarray:
+    """HLL cardinality estimate along the last axis of a register array.
+
+    Accepts a single ``(m,)`` row or an ``(n, m)`` stack; returns a float64
+    array one dimension smaller.  Standard bias-corrected harmonic mean
+    with the linear-counting small-range correction.
+    """
+    regs = np.asarray(registers)
+    m = regs.shape[-1]
+    inv_sum = _POW2_NEG[regs].sum(axis=-1)
+    raw = _alpha(m) * m * m / inv_sum
+    zeros = m - np.count_nonzero(regs, axis=-1)
+    linear = m * np.log(m / np.maximum(zeros, 1))
+    return np.where((raw <= 2.5 * m) & (zeros > 0), linear, raw)
+
+
+def relative_std_error(precision: int) -> float:
+    """The HLL relative standard error ``1.04 / sqrt(2**precision)``."""
+    return 1.04 / math.sqrt(1 << precision)
+
+
+class CoverageSketch:
+    """Per-node HyperLogLog rows over the RR-set ids containing each node.
+
+    Attach one to an :class:`~repro.rrsets.collection.RRCollection` via
+    ``attach_sketch`` and the collection keeps it current on every append;
+    ``replace_sets`` (repair rewrites set contents in place) marks it stale
+    and :meth:`sync` rebuilds from the flat pool — HLLs cannot delete.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        precision: int = DEFAULT_PRECISION,
+        hash_seed: int = DEFAULT_HASH_SEED,
+    ) -> None:
+        if not 4 <= precision <= 16:
+            raise ConfigurationError(
+                f"sketch precision must lie in [4, 16], got {precision}"
+            )
+        self.n = int(n)
+        self.precision = int(precision)
+        self.m = 1 << self.precision
+        self.hash_seed = int(hash_seed)
+        self.registers = np.zeros((self.n, self.m), dtype=np.uint8)
+        #: RR-set ids ``[0, num_ingested)`` are reflected in the registers
+        self.num_ingested = 0
+        #: set when stored sets were rewritten in place (repair): the
+        #: registers over-count until :meth:`sync` rebuilds them
+        self.stale = False
+
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        return int(self.registers.nbytes)
+
+    def fresh(self) -> "CoverageSketch":
+        """An empty sketch with the same identity (precision, salt)."""
+        return CoverageSketch(self.n, self.precision, self.hash_seed)
+
+    def spec(self) -> dict:
+        """JSON-able identity; registers re-derive deterministically from
+        the pool, so only the identity travels in bank state."""
+        return {
+            "precision": self.precision,
+            "hash_seed": self.hash_seed,
+            "num_ingested": int(self.num_ingested),
+        }
+
+    @classmethod
+    def from_spec(cls, n: int, spec: dict) -> "CoverageSketch":
+        return cls(
+            int(n), int(spec["precision"]), int(spec.get("hash_seed", DEFAULT_HASH_SEED))
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def _scatter(
+        self, set_ids: np.ndarray, nodes: np.ndarray, sizes: np.ndarray
+    ) -> None:
+        j, rho = hash_set_ids(set_ids, self.precision, self.hash_seed)
+        j_flat = np.repeat(j, sizes)
+        rho_flat = np.repeat(rho, sizes)
+        flat = nodes.astype(np.int64) * self.m + j_flat
+        np.maximum.at(self.registers.reshape(-1), flat, rho_flat)
+
+    def observe(self, rr_id: int, nodes: np.ndarray) -> None:
+        """Incremental hook for a single appended set."""
+        self.observe_batch(rr_id, np.asarray(nodes), np.array([len(nodes)]))
+
+    def observe_batch(
+        self, first_id: int, nodes: np.ndarray, sizes: np.ndarray
+    ) -> None:
+        """Incremental hook for a contiguous appended batch.
+
+        A non-contiguous append (should not happen on an append-only pool)
+        degrades to staleness rather than corrupting the estimates.
+        """
+        if self.stale:
+            return
+        if first_id != self.num_ingested:
+            self.stale = True
+            return
+        sizes = np.asarray(sizes, dtype=np.int64)
+        count = len(sizes)
+        ids = np.arange(first_id, first_id + count, dtype=np.int64)
+        self._scatter(ids, np.asarray(nodes), sizes)
+        self.num_ingested += count
+
+    def mark_stale(self) -> None:
+        self.stale = True
+
+    def ingest_range(
+        self,
+        coll,
+        start: int,
+        stop: int,
+        *,
+        id_stride: int = 1,
+        id_offset: int = 0,
+    ) -> None:
+        """Ingest stored sets ``[start, stop)`` straight from the flat pool.
+
+        ``id_stride``/``id_offset`` remap local set ids before hashing —
+        shard workers use ``(stride=shards, offset=rank)`` so ids stay
+        globally distinct and the merged (elementwise-max) registers count
+        the union of a partitioned pool exactly.
+        """
+        indptr = coll.rr_indptr
+        nodes = coll.rr_nodes
+        for lo in range(start, stop, _INGEST_CHUNK):
+            hi = min(lo + _INGEST_CHUNK, stop)
+            sizes = np.diff(indptr[lo: hi + 1]).astype(np.int64)
+            chunk = nodes[indptr[lo]: indptr[hi]]
+            ids = (
+                np.arange(lo, hi, dtype=np.int64) * id_stride + id_offset
+            )
+            self._scatter(ids, chunk, sizes)
+        self.num_ingested = max(self.num_ingested, int(stop))
+
+    def sync(self, coll) -> bool:
+        """Bring the sketch up to date with ``coll``; True if rebuilt.
+
+        A stale (or rewound) sketch zeroes its registers and re-ingests the
+        whole pool; otherwise only the un-ingested tail is scattered in.
+        """
+        rebuilt = False
+        if self.stale or self.num_ingested > coll.num_rr:
+            self.registers.fill(0)
+            self.num_ingested = 0
+            self.stale = False
+            rebuilt = True
+        if self.num_ingested < coll.num_rr:
+            self.ingest_range(coll, self.num_ingested, coll.num_rr)
+        return rebuilt
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def node_estimates(self) -> np.ndarray:
+        """Estimated per-node singleton coverages (the sketch gain vector)."""
+        return estimate_distinct(self.registers)
+
+    def merge(self, other: "CoverageSketch") -> None:
+        """Union another sketch in (elementwise register max)."""
+        if (other.precision, other.hash_seed) != (self.precision, self.hash_seed):
+            raise ConfigurationError(
+                "cannot merge sketches with different precision or salt"
+            )
+        np.maximum(self.registers, other.registers, out=self.registers)
+
+
+def _topk_sum_float(gains: np.ndarray, topk: int) -> float:
+    if topk >= len(gains):
+        top = gains
+    else:
+        top = np.partition(gains, len(gains) - topk)[len(gains) - topk:]
+    return float(np.maximum(top, 0.0).sum())
+
+
+def _argmax_float(gains: np.ndarray, out_degree: Optional[np.ndarray]) -> int:
+    if out_degree is None:
+        return int(np.argmax(gains))
+    best_gain = gains.max()
+    candidates = np.flatnonzero(gains == best_gain)
+    if len(candidates) == 1:
+        return int(candidates[0])
+    return int(candidates[np.argmax(out_degree[candidates])])
+
+
+def sketch_max_coverage(
+    registers: np.ndarray,
+    select: int,
+    *,
+    num_rr: int,
+    topk: Optional[int] = None,
+    out_degree: Optional[np.ndarray] = None,
+    track_upper_bound: bool = True,
+    metrics=None,
+):
+    """Greedy max coverage over HLL register rows (no inverted index).
+
+    The marginal gain of ``v`` is ``est(max(row_v, covered)) -
+    est(covered)`` where ``covered`` is the running union row of the
+    selected seeds.  Estimates are clamped to the pool size (an HLL can
+    overshoot it); the Eq. 2-shaped upper bound is tracked on the
+    *estimated* gains and certified by the caller's error inflation.
+    Returns a :class:`~repro.coverage.greedy.GreedyResult` whose
+    ``covered`` is ``None`` — sketch mode has no per-set membership.
+    """
+    from repro.coverage.greedy import GreedyResult
+
+    n = len(registers)
+    if not 1 <= select <= n:
+        raise ConfigurationError(f"select must lie in [1, {n}], got {select}")
+    if topk is None:
+        topk = select
+    if topk < 1:
+        raise ConfigurationError(f"topk must be positive, got {topk}")
+
+    m = registers.shape[1]
+    covered_row = np.zeros(m, dtype=np.uint8)
+    gains = estimate_distinct(registers)
+    coverage = 0.0
+    coverage_history: List[int] = [0]
+    upper = float(num_rr) if track_upper_bound else float("inf")
+    seeds: List[int] = []
+
+    for _ in range(select):
+        if track_upper_bound:
+            upper = min(upper, coverage + _topk_sum_float(gains, topk))
+        best = _argmax_float(gains, out_degree)
+        seeds.append(best)
+        np.maximum(covered_row, registers[best], out=covered_row)
+        coverage = min(float(estimate_distinct(covered_row)), float(num_rr))
+        coverage_history.append(int(round(coverage)))
+        union = np.maximum(registers, covered_row[np.newaxis, :])
+        gains = estimate_distinct(union) - coverage
+        np.maximum(gains, 0.0, out=gains)
+        gains[seeds] = -1.0
+    if track_upper_bound:
+        upper = min(upper, coverage + _topk_sum_float(gains, topk))
+
+    if metrics is not None:
+        metrics.inc("coverage.selections", len(seeds))
+        metrics.inc("coverage.sketch_selections", len(seeds))
+
+    return GreedyResult(
+        seeds=seeds,
+        coverage=int(round(coverage)),
+        coverage_history=coverage_history,
+        upper_bound_coverage=float(min(upper, float(num_rr))),
+        covered=None,
+    )
+
+
+def exact_coverage_scan(pool, seeds: Iterable[int]) -> int:
+    """Exact ``Lambda_R(S)`` without the inverted index.
+
+    One node-indicator ``per_set_sums`` pass over the flat pool (or the
+    sharded scatter-gather equivalent): a set is covered iff its seed-hit
+    count is positive.  This is how sketch mode validates seed sets — the
+    Eq. 1 lower bound stays exact while the inverted CSR never builds.
+    """
+    indicator = np.zeros(pool.n, dtype=np.int64)
+    idx = sorted({int(s) for s in seeds})
+    if not idx:
+        return 0
+    indicator[idx] = 1
+    sums = pool.per_set_sums(indicator)
+    return int(np.count_nonzero(sums))
+
+
+class SketchBackend(CoverageBackend):
+    """Coverage backend over per-node HLL sketches with a precision ladder.
+
+    Selection and the Eq. 2 coverage upper bound run on register rows; seed
+    validation (:meth:`coverage`) stays exact via an index-free pool scan,
+    so the Eq. 1 lower bound carries no sketch error.  The backend owns the
+    current ladder rung: :meth:`escalate` raises the precision one bit, and
+    the next selection re-ingests the pool at the finer resolution.
+    """
+
+    name = "sketch"
+
+    def __init__(
+        self,
+        precision: int = DEFAULT_PRECISION,
+        max_precision: int = DEFAULT_MAX_PRECISION,
+        hash_seed: int = DEFAULT_HASH_SEED,
+        confidence: float = 3.0,
+    ) -> None:
+        if not 4 <= precision <= 16:
+            raise ConfigurationError(
+                f"sketch precision must lie in [4, 16], got {precision}"
+            )
+        if max_precision < precision or max_precision > 16:
+            raise ConfigurationError(
+                f"max_precision must lie in [{precision}, 16], "
+                f"got {max_precision}"
+            )
+        if confidence <= 0:
+            raise ConfigurationError(
+                f"confidence must be positive, got {confidence}"
+            )
+        self.precision = int(precision)
+        self.max_precision = int(max_precision)
+        self.hash_seed = int(hash_seed)
+        self.confidence = float(confidence)
+        self.escalations = 0
+        #: raw (uninflated) Eq. 2 coverage bound of the latest selection —
+        #: what the ladder's overlap test reads
+        self.last_upper_coverage: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return 1 << self.precision
+
+    @property
+    def rel_std_error(self) -> float:
+        return relative_std_error(self.precision)
+
+    @property
+    def epsilon_sketch(self) -> float:
+        """The certified relative error band: ``confidence * rel_std_error``."""
+        return self.confidence * self.rel_std_error
+
+    def can_escalate(self) -> bool:
+        return self.precision < self.max_precision
+
+    def escalate(self, metrics=None) -> int:
+        """Climb one ladder rung; the next selection re-ingests at 2x m."""
+        if not self.can_escalate():
+            raise ConfigurationError(
+                f"sketch precision ladder exhausted at {self.precision} bits"
+            )
+        self.precision += 1
+        self.escalations += 1
+        if metrics is not None:
+            metrics.inc("coverage.sketch_escalations")
+            metrics.set_gauge("coverage.sketch_precision", self.precision)
+        return self.precision
+
+    # ------------------------------------------------------------------
+    def _registers_for(self, pool, metrics=None) -> np.ndarray:
+        """Current-precision registers for a pool, reusing attached state.
+
+        A full collection keeps its incrementally maintained sketch (tail
+        sets are scattered in; precision changes and staleness trigger a
+        rebuild).  A strict prefix view gets a transient re-ingest — its
+        registers must not see the sets beyond the prefix.
+        """
+        from repro.rrsets.collection import RRCollection, RRPrefixView
+
+        if isinstance(pool, RRCollection):
+            sketch = pool.coverage_sketch
+            if (
+                sketch is None
+                or sketch.precision != self.precision
+                or sketch.hash_seed != self.hash_seed
+            ):
+                sketch = pool.attach_sketch(
+                    CoverageSketch(pool.n, self.precision, self.hash_seed)
+                )
+                sketch.ingest_range(pool, 0, pool.num_rr)
+                if metrics is not None:
+                    metrics.inc("coverage.sketch_reingests")
+            elif sketch.sync(pool) and metrics is not None:
+                metrics.inc("coverage.sketch_reingests")
+            registers = sketch.registers
+        elif isinstance(pool, RRPrefixView):
+            transient = CoverageSketch(pool.n, self.precision, self.hash_seed)
+            transient.ingest_range(pool._coll, 0, pool.num_rr)
+            if metrics is not None:
+                metrics.inc("coverage.sketch_reingests")
+            registers = transient.registers
+        else:
+            raise ConfigurationError(
+                f"sketch backend cannot serve pool type "
+                f"{type(pool).__name__}"
+            )
+        if metrics is not None:
+            metrics.set_gauge(
+                "coverage.sketch_register_bytes", int(registers.nbytes)
+            )
+            metrics.set_gauge("coverage.sketch_precision", self.precision)
+        return registers
+
+    # ------------------------------------------------------------------
+    # CoverageBackend surface
+    # ------------------------------------------------------------------
+    def max_coverage(
+        self,
+        pool,
+        select: int,
+        *,
+        topk: Optional[int] = None,
+        out_degree: Optional[np.ndarray] = None,
+        initial_covered=None,
+        track_upper_bound: bool = True,
+        excluded: Optional[List[int]] = None,
+        metrics=None,
+    ):
+        if initial_covered is not None or excluded:
+            raise ConfigurationError(
+                "the sketch coverage backend supports plain greedy "
+                "selection only; initial_covered/excluded (HIST's "
+                "sentinel machinery) require coverage_backend='exact'"
+            )
+        if getattr(pool, "is_sharded", False):
+            registers = pool.sketch_registers(self.precision, self.hash_seed)
+            if metrics is not None:
+                metrics.inc("coverage.sketch_shard_gathers")
+                metrics.set_gauge(
+                    "coverage.sketch_register_bytes", int(registers.nbytes)
+                )
+                metrics.set_gauge(
+                    "coverage.sketch_precision", self.precision
+                )
+        else:
+            registers = self._registers_for(pool, metrics)
+        result = sketch_max_coverage(
+            registers,
+            select,
+            num_rr=pool.num_rr,
+            topk=topk,
+            out_degree=out_degree,
+            track_upper_bound=track_upper_bound,
+            metrics=metrics,
+        )
+        self.last_upper_coverage = (
+            result.upper_bound_coverage if track_upper_bound else None
+        )
+        return result
+
+    def celf(
+        self,
+        pool,
+        select: int,
+        *,
+        out_degree: Optional[np.ndarray] = None,
+        initial_covered=None,
+        metrics=None,
+        batch: int = 64,
+    ):
+        raise ConfigurationError(
+            "CELF's lazy-gain invariant needs exact decremental marginals; "
+            "use coverage_backend='exact' or plain greedy selection"
+        )
+
+    def coverage(self, pool, seeds: Iterable[int]) -> int:
+        return exact_coverage_scan(pool, seeds)
+
+    def certified_upper_coverage(
+        self, coverage_upper: float, num_rr: int
+    ) -> float:
+        """Inflate an estimated Eq. 2 coverage bound by the error band.
+
+        The true bound exceeds the estimate by more than ``epsilon_sketch``
+        (relatively) only outside the ``confidence``-sigma band; the pool
+        size remains a hard cap either way.
+        """
+        if not math.isfinite(coverage_upper):
+            return coverage_upper
+        return min(coverage_upper * (1.0 + self.epsilon_sketch), float(num_rr))
+
+    def certificate(self) -> dict:
+        """The paper-style approximation certificate for ``IMResult.extras``.
+
+        Records the sketch identity and the first-order error model backing
+        the certified bound ratio: the Eq. 1 lower bound is exact, the
+        Eq. 2 upper bound was inflated by ``epsilon_sketch = confidence *
+        1.04/sqrt(m)``, so the reported ratio holds whenever the register
+        estimates stayed within their ``confidence``-sigma band.
+        """
+        return {
+            "backend": self.name,
+            "precision": self.precision,
+            "registers_per_node": self.m,
+            "hash_seed": self.hash_seed,
+            "rel_std_error": self.rel_std_error,
+            "confidence": self.confidence,
+            "epsilon_sketch": self.epsilon_sketch,
+            "escalations": self.escalations,
+            "lower_bound_exact": True,
+        }

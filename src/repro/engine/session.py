@@ -72,15 +72,28 @@ class BankProvider:
         byte_cap: Optional[int] = None,
         session_metrics: Optional[MetricsRegistry] = None,
         shard_pool: Optional[Any] = None,
+        coverage_backend: Optional[str] = None,
     ) -> None:
         if (rng is None) == (entropy is None):
             raise ConfigurationError(
                 "a BankProvider needs exactly one of a shared rng "
                 "(transient mode) or an entropy (session mode)"
             )
+        if coverage_backend is not None:
+            from repro.coverage.backend import COVERAGE_BACKENDS
+
+            if coverage_backend not in COVERAGE_BACKENDS:
+                raise ConfigurationError(
+                    f"coverage_backend must be one of "
+                    f"{', '.join(repr(b) for b in COVERAGE_BACKENDS)}, "
+                    f"got {coverage_backend!r}"
+                )
         self.graph = graph
         self.reuse = reuse
         self.byte_cap = byte_cap
+        #: default coverage backend for every run served from this provider
+        #: (a run-level ``coverage_backend=`` argument overrides it)
+        self.coverage_backend = coverage_backend
         self.metrics = session_metrics
         self.entropy = entropy
         #: when set, every bank this provider hands out is shard-resident
@@ -204,9 +217,13 @@ class BankProvider:
                 gen.batched_mode = batched_mode
             if self._control is not None:
                 self._control.adopt_generator(gen)
-        sinks = [
-            m for m in (self._run_metrics, self.metrics) if m is not None
-        ]
+        sinks: List[MetricsRegistry] = []
+        for m in (self._run_metrics, self.metrics):
+            # Identity-dedupe: when the run registry IS the session
+            # registry (maximize's default), one sink, not two, or every
+            # bank counter would double.
+            if m is not None and all(m is not existing for existing in sinks):
+                sinks.append(m)
         bank.begin_query(sinks)
         self._active.append(bank)
         return bank
@@ -289,6 +306,7 @@ class QuerySession:
         byte_cap: Optional[int] = None,
         shards: Optional[int] = None,
         spill_dir: Optional[str] = None,
+        coverage_backend: Optional[str] = None,
         **algorithm_kwargs: Any,
     ) -> None:
         self.graph = graph
@@ -314,6 +332,7 @@ class QuerySession:
             byte_cap=byte_cap,
             session_metrics=self.metrics,
             shard_pool=self._shard_pool,
+            coverage_backend=coverage_backend,
         )
         self.queries_served = 0
 
@@ -351,6 +370,7 @@ class QuerySession:
         batched_mode: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
+        coverage_backend: Optional[str] = None,
     ) -> Any:
         """Serve one query against the session's banks.
 
@@ -377,9 +397,13 @@ class QuerySession:
             batch_size=batch_size,
             workers=workers,
             batched_mode=batched_mode,
-            metrics=metrics,
+            # Default the run registry to the session's so per-query
+            # observability (coverage.sketch_* counters, rr_pool_bytes)
+            # survives the query and shows up in serving /metrics.
+            metrics=metrics if metrics is not None else self.metrics,
             trace=trace,
             banks=self.provider,
+            coverage_backend=coverage_backend,
         )
         self.queries_served += 1
         result.extras["session"] = {

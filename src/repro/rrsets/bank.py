@@ -32,6 +32,7 @@ so the next query regenerates the identical prefix from scratch.
 
 from __future__ import annotations
 
+import sys
 import zlib
 from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
@@ -57,6 +58,24 @@ REPAIR_KEY = 0x5250
 
 def _zero_mark() -> Dict[str, int]:
     return counters_to_dict(GenerationCounters())
+
+
+def _approx_nbytes(obj: Any) -> int:
+    """Deep ``sys.getsizeof`` for the plain-data journal entries.
+
+    Journal entries are small nested dicts of ints/strings (one RNG
+    bit-generator state each); a recursive shallow-size sum is an honest
+    resident-byte estimate for them — no cycles, no shared substructure
+    worth deduplicating.
+    """
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(
+            _approx_nbytes(k) + _approx_nbytes(v) for k, v in obj.items()
+        )
+    elif isinstance(obj, (list, tuple)):
+        size += sum(_approx_nbytes(item) for item in obj)
+    return size
 
 
 def replay_units(
@@ -170,6 +189,9 @@ class RRBank:
         #: per-unit RNG states captured during generation (reusable banks
         #: only) — the seed specs :meth:`repair` replays.
         self._journal: list = []
+        #: cached per-entry size estimate for :meth:`nbytes` (entries are
+        #: homogeneous; one deep measurement amortizes over the journal)
+        self._journal_entry_nbytes: Optional[int] = None
         self.pool = RRCollection(graph.n)
         # The stream origin: eviction rewinds here so the regenerated
         # prefix is identical to the evicted one.
@@ -215,6 +237,12 @@ class RRBank:
                 self._marks[self.pool.num_rr] = counters_to_dict(
                     self.generator.counters
                 )
+            metrics = getattr(self.generator, "metrics", None)
+            if metrics is not None:
+                # extend() published the pool-only figure; overwrite with
+                # the bank-level total (journal + sketch registers) so the
+                # gauge matches what byte_cap eviction accounts.
+                metrics.set_gauge("rr_pool_bytes", self.nbytes())
         self._account(min(theta, self.pool.num_rr), self.pool.num_rr - have)
         return self.view(theta)
 
@@ -324,8 +352,24 @@ class RRBank:
             return self.generator.counters
         return self.counters_at(self._used)
 
+    def journal_nbytes(self) -> int:
+        """Approximate resident bytes of the per-unit RNG journal."""
+        if not self._journal:
+            return 0
+        if self._journal_entry_nbytes is None:
+            self._journal_entry_nbytes = _approx_nbytes(self._journal[0])
+        return len(self._journal) * self._journal_entry_nbytes
+
     def nbytes(self) -> int:
-        return self.pool.nbytes()
+        """Resident bytes the bank pins: pool buffers (including any
+        attached sketch registers) plus the repair journal.
+
+        The journal grows one entry per generation unit and was previously
+        invisible to ``byte_cap`` accounting, letting a "capped" bank hold
+        arbitrarily more memory than its pool; the gauge and eviction now
+        see the full figure.
+        """
+        return self.pool.nbytes() + self.journal_nbytes()
 
     @property
     def over_cap(self) -> bool:
@@ -475,11 +519,17 @@ class RRBank:
             raise ConfigurationError("only reusable banks can be evicted")
         for sink in self._sinks:
             sink.inc("bank.evictions")
+        sketch = self.pool.coverage_sketch
         self.pool = RRCollection(self.graph.n)
+        if sketch is not None:
+            # Keep the sketch identity across eviction: the regenerated
+            # prefix re-ingests into empty registers of the same shape.
+            self.pool.attach_sketch(sketch.fresh())
         self.generator.counters = GenerationCounters()
         self.generator._reported_edges = 0
         self.rng.bit_generator.state = self._rng_state0
         self._journal = []
+        self._journal_entry_nbytes = None
         self._marks = {0: _zero_mark()}
         self._used = 0
         self._query_base = 0
@@ -536,6 +586,13 @@ class RRBank:
             "rng_state0": self._rng_state0,
             "repair_epoch": int(self._repair_epoch),
             "journal": list(self._journal),
+            # Sketch identity only: registers are a deterministic function
+            # of (pool, precision, salt) and re-derive on restore.
+            "sketch": (
+                self.pool.coverage_sketch.spec()
+                if self.pool.coverage_sketch is not None
+                else None
+            ),
         }
 
     def restore_state(
@@ -565,4 +622,13 @@ class RRBank:
         self.rng.bit_generator.state = payload["rng_state"]
         self._repair_epoch = int(payload.get("repair_epoch", 0))
         self._journal = list(payload.get("journal", []))
+        self._journal_entry_nbytes = None
+        sketch_spec = payload.get("sketch")
+        if sketch_spec is not None:
+            from repro.coverage.sketch import CoverageSketch
+
+            sketch = pool.attach_sketch(
+                CoverageSketch.from_spec(pool.n, sketch_spec)
+            )
+            sketch.sync(pool)
         self._dirty = False

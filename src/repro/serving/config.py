@@ -9,7 +9,7 @@ snapshot directory is configured.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.runtime.budget import Budget
 from repro.utils.exceptions import ConfigurationError
@@ -42,6 +42,16 @@ class ServerConfig:
     byte_cap:
         Per-session RR-bank byte cap (the cache tier); eviction runs
         strictly between queries.
+    tenant_byte_caps:
+        Per-tenant overrides of ``byte_cap`` keyed by tenant name.  A
+        tenant listed here gets its own cap (which may be larger or
+        smaller than the global default); everyone else falls back to
+        ``byte_cap``.
+    coverage_backend:
+        Default coverage backend for every tenant session: ``"exact"``
+        (inverted-CSR selection, the historical behavior), ``"sketch"``
+        (per-node HLL coverage rows — far smaller resident footprint at
+        huge theta, certified-approximate bounds), or ``"auto"``.
     default_deadline:
         Deadline (seconds) applied to queries that do not send one;
         ``None`` means no implicit deadline.
@@ -90,6 +100,8 @@ class ServerConfig:
     eps: float = 0.3
     seed: int = 0
     byte_cap: Optional[int] = None
+    tenant_byte_caps: Dict[str, int] = field(default_factory=dict)
+    coverage_backend: str = "exact"
     default_deadline: Optional[float] = None
     deadline_grace: float = 2.0
     lifetime_budget: Budget = field(default_factory=Budget)
@@ -135,3 +147,16 @@ class ServerConfig:
             )
         if self.spill_dir is not None and self.shards is None:
             raise ConfigurationError("spill_dir requires shards")
+        from repro.coverage.backend import COVERAGE_BACKENDS
+
+        if self.coverage_backend not in COVERAGE_BACKENDS:
+            raise ConfigurationError(
+                f"coverage_backend must be one of "
+                f"{', '.join(repr(b) for b in COVERAGE_BACKENDS)}, "
+                f"got {self.coverage_backend!r}"
+            )
+        for tenant, cap in self.tenant_byte_caps.items():
+            if cap < 1:
+                raise ConfigurationError(
+                    f"tenant_byte_caps[{tenant!r}] must be >= 1, got {cap}"
+                )

@@ -609,24 +609,27 @@ class QueryServer:
         )
         with self._reports_lock:
             self._reports[f"{job.tenant}/{job.graph_name}"] = report.canonical()
-        job.respond(
-            200,
-            {
-                "status": result.status,
-                "stop_reason": result.stop_reason,
-                "tenant": job.tenant,
-                "graph": job.graph_name,
-                "algorithm": result.algorithm,
-                "k": result.k,
-                "eps": result.eps,
-                "seeds": [int(s) for s in result.seeds],
-                "num_rr_sets": int(result.num_rr_sets),
-                "edges_examined": int(result.edges_examined),
-                "runtime_seconds": float(result.runtime_seconds),
-                "certificate": _certificate_block(certificate),
-                "session": result.extras.get("session", {}),
-            },
-        )
+        payload = {
+            "status": result.status,
+            "stop_reason": result.stop_reason,
+            "tenant": job.tenant,
+            "graph": job.graph_name,
+            "algorithm": result.algorithm,
+            "k": result.k,
+            "eps": result.eps,
+            "seeds": [int(s) for s in result.seeds],
+            "num_rr_sets": int(result.num_rr_sets),
+            "edges_examined": int(result.edges_examined),
+            "runtime_seconds": float(result.runtime_seconds),
+            "certificate": _certificate_block(certificate),
+            "session": result.extras.get("session", {}),
+        }
+        backend_cert = result.extras.get("coverage_backend")
+        if backend_cert is not None:
+            # Present only for non-exact backends, mirroring the CLI
+            # payload: exact answers carry no sketch error model.
+            payload["coverage_backend"] = dict(backend_cert)
+        job.respond(200, payload)
 
     # ------------------------------------------------------------------
     # observability endpoints

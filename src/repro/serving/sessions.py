@@ -110,13 +110,20 @@ class SessionManager:
 
     # ------------------------------------------------------------------
     def _build(self, tenant: str, graph_name: str, graph: CSRGraph) -> SessionEntry:
+        # A tenant-specific byte cap overrides the server-wide default, so
+        # one noisy tenant's bank budget can be pinned without starving
+        # (or inflating) everyone else's.
+        byte_cap = self.config.tenant_byte_caps.get(
+            tenant, self.config.byte_cap
+        )
         session = QuerySession(
             graph,
             self.config.algorithm,
             seed=tenant_entropy(self.config.seed, tenant, graph_name),
-            byte_cap=self.config.byte_cap,
+            byte_cap=byte_cap,
             shards=self.config.shards,
             spill_dir=self.spill_path(tenant, graph_name),
+            coverage_backend=self.config.coverage_backend,
         )
         entry = SessionEntry((tenant, graph_name), session)
         path = self.snapshot_path(tenant, graph_name)

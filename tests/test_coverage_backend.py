@@ -1,0 +1,212 @@
+"""Backend resolution, exact-path parity, and end-to-end sketch runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.registry import get_algorithm
+from repro.coverage.backend import (
+    AUTO_SKETCH_THETA,
+    COVERAGE_BACKENDS,
+    ExactBackend,
+    resolve_backend,
+)
+from repro.coverage.greedy import max_coverage_greedy
+from repro.coverage.sketch import SketchBackend
+from repro.observability import MetricsRegistry
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ConfigurationError
+
+
+def _pool(graph, count, seed=5):
+    pool = RRCollection(graph.n)
+    pool.extend(count, VanillaICGenerator(graph), np.random.default_rng(seed))
+    return pool
+
+
+class TestResolveBackend:
+    def test_default_is_exact(self):
+        assert resolve_backend(None).name == "exact"
+        assert isinstance(resolve_backend("exact"), ExactBackend)
+
+    def test_explicit_sketch(self):
+        metrics = MetricsRegistry()
+        backend = resolve_backend("sketch", metrics=metrics)
+        assert isinstance(backend, SketchBackend)
+        assert metrics.gauge("coverage.sketch_precision") == backend.precision
+
+    def test_auto_thresholds_on_theta_hint(self):
+        assert resolve_backend("auto", theta_hint=1000).name == "exact"
+        assert (
+            resolve_backend("auto", theta_hint=AUTO_SKETCH_THETA).name
+            == "sketch"
+        )
+        assert resolve_backend("auto", theta_hint=None).name == "exact"
+
+    def test_allow_sketch_false_degrades_to_exact(self):
+        assert (
+            resolve_backend(
+                "sketch", theta_hint=10**9, allow_sketch=False
+            ).name
+            == "exact"
+        )
+
+    def test_backend_instance_passes_through(self):
+        backend = SketchBackend(precision=9)
+        assert resolve_backend(backend) is backend
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="coverage_backend"):
+            resolve_backend("bogus")
+
+
+class TestExactBackendParity:
+    def test_max_coverage_matches_greedy(self, wc_graph):
+        pool = _pool(wc_graph, 300)
+        backend = ExactBackend()
+        ours = backend.max_coverage(pool, select=6, topk=6)
+        ref = max_coverage_greedy(pool, select=6, topk=6)
+        assert ours.seeds == ref.seeds
+        assert ours.coverage == ref.coverage
+        assert ours.upper_bound_coverage == ref.upper_bound_coverage
+
+    def test_coverage_matches_pool(self, wc_graph):
+        pool = _pool(wc_graph, 120)
+        backend = ExactBackend()
+        seeds = backend.max_coverage(pool, select=4, topk=4).seeds
+        assert backend.coverage(pool, seeds) == pool.coverage(seeds)
+
+    def test_certified_upper_is_identity(self):
+        backend = ExactBackend()
+        assert backend.certified_upper_coverage(37.5, 100) == 37.5
+        assert backend.certificate() == {"backend": "exact"}
+
+
+class TestRunValidation:
+    def test_invalid_backend_string_rejected(self, wc_graph):
+        algo = get_algorithm("opim-c", wc_graph)
+        with pytest.raises(ConfigurationError, match="coverage_backend"):
+            algo.run(4, eps=0.3, seed=1, coverage_backend="bogus")
+
+    def test_sketch_with_checkpoint_rejected(self, wc_graph, tmp_path):
+        algo = get_algorithm("opim-c", wc_graph)
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            algo.run(
+                4,
+                eps=0.3,
+                seed=1,
+                coverage_backend="sketch",
+                checkpoint=str(tmp_path / "ck.npz"),
+            )
+
+    def test_explicit_sketch_on_hist_rejected(self, wc_graph):
+        algo = get_algorithm("hist", wc_graph)
+        assert algo.supports_sketch_coverage is False
+        with pytest.raises(ConfigurationError, match="sketch"):
+            algo.run(4, eps=0.3, seed=1, coverage_backend="sketch")
+
+    def test_auto_on_hist_degrades_to_exact(self, wc_graph):
+        algo = get_algorithm("hist", wc_graph)
+        exact = algo.run(4, eps=0.4, seed=1)
+        auto = get_algorithm("hist", wc_graph).run(
+            4, eps=0.4, seed=1, coverage_backend="auto"
+        )
+        assert auto.seeds == exact.seeds
+        assert auto.extras.get("coverage_backend") is None
+
+    def test_all_specs_exported(self):
+        assert COVERAGE_BACKENDS == ("exact", "sketch", "auto")
+
+
+class TestEndToEndSketch:
+    @pytest.mark.parametrize(
+        "name", ["opim-c", "subsim", "imm", "tim+", "d-ssa"]
+    )
+    def test_sketch_run_within_certified_band(self, wc_graph, name):
+        exact = get_algorithm(name, wc_graph).run(6, eps=0.3, seed=11)
+        sketch = get_algorithm(name, wc_graph).run(
+            6, eps=0.3, seed=11, coverage_backend="sketch"
+        )
+        cert = sketch.extras["coverage_backend"]
+        assert cert["backend"] == "sketch"
+        assert cert["lower_bound_exact"] is True
+        assert len(sketch.seeds) == 6
+        # Certified accuracy: score both seed sets on one independent
+        # held-out RR pool (shared pool, so the sampling noise cancels);
+        # the sketch seeds may trail by at most the certified relative
+        # error plus a little held-out estimation slack.
+        holdout = _pool(wc_graph, 3000, seed=99)
+        cov_exact = holdout.coverage(exact.seeds)
+        cov_sketch = holdout.coverage(sketch.seeds)
+        shortfall = (cov_exact - cov_sketch) / max(cov_exact, 1)
+        assert shortfall <= cert["epsilon_sketch"] + 0.05
+
+    def test_exact_run_attaches_no_certificate(self, wc_graph):
+        result = get_algorithm("opim-c", wc_graph).run(6, eps=0.3, seed=11)
+        assert result.extras.get("coverage_backend") is None
+        explicit = get_algorithm("opim-c", wc_graph).run(
+            6, eps=0.3, seed=11, coverage_backend="exact"
+        )
+        assert explicit.extras.get("coverage_backend") is None
+        assert explicit.seeds == result.seeds
+
+    def test_explicit_exact_is_bit_identical_to_default(self, wc_graph):
+        default = get_algorithm("subsim", wc_graph).run(5, eps=0.3, seed=3)
+        explicit = get_algorithm("subsim", wc_graph).run(
+            5, eps=0.3, seed=3, coverage_backend="exact"
+        )
+        assert explicit.seeds == default.seeds
+        assert explicit.num_rr_sets == default.num_rr_sets
+        assert explicit.rng_draws == default.rng_draws
+
+    def test_sketch_counters_and_ladder(self, wc_graph):
+        metrics = MetricsRegistry()
+        get_algorithm("opim-c", wc_graph).run(
+            6, eps=0.3, seed=11, metrics=metrics, coverage_backend="sketch"
+        )
+        assert metrics.value("coverage.sketch_selections") > 0
+        # The ladder only escalates when the error band overlaps the OPIM-C
+        # stopping gap, so escalations are bounded by the ladder height.
+        assert 0 <= metrics.value("coverage.sketch_escalations") <= 4
+        assert metrics.gauge("coverage.sketch_precision") >= 8
+
+
+class TestSessionWiring:
+    def test_session_default_backend(self, wc_graph):
+        from repro.engine.session import QuerySession
+
+        session = QuerySession(
+            wc_graph, "subsim", seed=17, coverage_backend="sketch"
+        )
+        result = session.maximize(5, eps=0.4)
+        assert result.extras["coverage_backend"]["backend"] == "sketch"
+
+    def test_run_level_override_beats_session_default(self, wc_graph):
+        from repro.engine.session import QuerySession
+
+        session = QuerySession(
+            wc_graph, "subsim", seed=17, coverage_backend="sketch"
+        )
+        result = session.maximize(5, eps=0.4, coverage_backend="exact")
+        assert result.extras.get("coverage_backend") is None
+
+    def test_invalid_session_backend_rejected(self, wc_graph):
+        from repro.engine.session import QuerySession
+
+        with pytest.raises(ConfigurationError, match="coverage_backend"):
+            QuerySession(wc_graph, "subsim", seed=17, coverage_backend="bad")
+
+    def test_sharded_sketch_query(self, wc_graph):
+        from repro.engine.session import QuerySession
+
+        session = QuerySession(
+            wc_graph, "subsim", seed=17, shards=2, coverage_backend="sketch"
+        )
+        try:
+            result = session.maximize(5, eps=0.4)
+            assert len(result.seeds) == 5
+            assert result.extras["coverage_backend"]["backend"] == "sketch"
+        finally:
+            session.close()

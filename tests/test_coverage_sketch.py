@@ -1,0 +1,239 @@
+"""Unit tests for the per-node HLL coverage sketch primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage.greedy import max_coverage_greedy
+from repro.coverage.sketch import (
+    CoverageSketch,
+    SketchBackend,
+    estimate_distinct,
+    exact_coverage_scan,
+    hash_set_ids,
+    relative_std_error,
+    sketch_max_coverage,
+)
+from repro.rrsets.collection import RRCollection
+from repro.rrsets.vanilla import VanillaICGenerator
+from repro.utils.exceptions import ConfigurationError
+
+
+def _pool(graph, count, seed=5):
+    pool = RRCollection(graph.n)
+    pool.extend(count, VanillaICGenerator(graph), np.random.default_rng(seed))
+    return pool
+
+
+class TestHashing:
+    def test_deterministic(self):
+        ids = np.arange(1000, dtype=np.int64)
+        j1, r1 = hash_set_ids(ids, 8, 42)
+        j2, r2 = hash_set_ids(ids, 8, 42)
+        np.testing.assert_array_equal(j1, j2)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_seed_changes_layout(self):
+        ids = np.arange(1000, dtype=np.int64)
+        j1, _ = hash_set_ids(ids, 8, 1)
+        j2, _ = hash_set_ids(ids, 8, 2)
+        assert not np.array_equal(j1, j2)
+
+    def test_bucket_range_and_rho_positive(self):
+        ids = np.arange(5000, dtype=np.int64)
+        j, rho = hash_set_ids(ids, 6, 7)
+        assert j.min() >= 0 and j.max() < 64
+        assert rho.min() >= 1
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("true_count", [50, 500, 5000])
+    def test_estimate_within_error_band(self, true_count):
+        # One "node" observed in true_count distinct RR sets.
+        sketch = CoverageSketch(1, precision=10)
+        for start in range(0, true_count, 256):
+            stop = min(start + 256, true_count)
+            for rr_id in range(start, stop):
+                sketch.observe(rr_id, np.zeros(1, dtype=np.int64))
+        est = float(estimate_distinct(sketch.registers)[0])
+        tol = 5 * relative_std_error(10) * true_count
+        assert abs(est - true_count) <= max(tol, 5)
+
+    def test_empty_registers_estimate_zero(self):
+        sketch = CoverageSketch(4, precision=8)
+        np.testing.assert_allclose(
+            estimate_distinct(sketch.registers), np.zeros(4)
+        )
+
+    def test_relative_std_error_halves_per_two_bits(self):
+        assert relative_std_error(10) == pytest.approx(
+            relative_std_error(8) / 2
+        )
+
+
+class TestIncrementalMaintenance:
+    def test_observe_batch_matches_ingest_range(self, wc_graph):
+        pool = _pool(wc_graph, 200)
+        batch = CoverageSketch(wc_graph.n, precision=8)
+        batch.ingest_range(pool, 0, pool.num_rr)
+
+        incr = CoverageSketch(wc_graph.n, precision=8)
+        sizes = np.diff(pool.rr_indptr[: pool.num_rr + 1])
+        incr.observe_batch(
+            0, pool.rr_nodes[: int(sizes.sum())], sizes.astype(np.int64)
+        )
+        np.testing.assert_array_equal(batch.registers, incr.registers)
+
+    def test_attached_sketch_tracks_extend(self, wc_graph):
+        pool = _pool(wc_graph, 100)
+        sketch = pool.attach_sketch(CoverageSketch(wc_graph.n, precision=8))
+        sketch.sync(pool)
+        pool.extend(
+            50, VanillaICGenerator(wc_graph), np.random.default_rng(9)
+        )
+        # The appended batch was scattered in incrementally — no rebuild.
+        assert not sketch.stale
+        assert sketch.num_ingested == pool.num_rr
+        reference = CoverageSketch(wc_graph.n, precision=8)
+        reference.ingest_range(pool, 0, pool.num_rr)
+        np.testing.assert_array_equal(sketch.registers, reference.registers)
+
+    def test_mid_pool_attach_degrades_to_stale(self, wc_graph):
+        # A fresh sketch attached to a non-empty pool sees a non-contiguous
+        # first append and must mark itself stale, never mis-count.
+        pool = _pool(wc_graph, 100)
+        sketch = pool.attach_sketch(CoverageSketch(wc_graph.n, precision=8))
+        pool.extend(
+            10, VanillaICGenerator(wc_graph), np.random.default_rng(9)
+        )
+        assert sketch.stale
+        assert sketch.sync(pool)
+        reference = CoverageSketch(wc_graph.n, precision=8)
+        reference.ingest_range(pool, 0, pool.num_rr)
+        np.testing.assert_array_equal(sketch.registers, reference.registers)
+
+    def test_replace_sets_marks_stale_and_sync_rebuilds(self, wc_graph):
+        pool = _pool(wc_graph, 100)
+        sketch = CoverageSketch(wc_graph.n, precision=8)
+        sketch.ingest_range(pool, 0, pool.num_rr)
+        pool.attach_sketch(sketch)
+        pool.replace_sets(
+            np.array([3], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.array([2], dtype=np.int64),
+        )
+        assert sketch.stale
+        assert sketch.sync(pool)
+        reference = CoverageSketch(wc_graph.n, precision=8)
+        reference.ingest_range(pool, 0, pool.num_rr)
+        np.testing.assert_array_equal(sketch.registers, reference.registers)
+
+    def test_merge_is_register_max(self):
+        a = CoverageSketch(2, precision=6)
+        b = CoverageSketch(2, precision=6)
+        a.observe(0, np.array([0], dtype=np.int64))
+        b.observe(1, np.array([1], dtype=np.int64))
+        expected = np.maximum(a.registers, b.registers)
+        a.merge(b)
+        np.testing.assert_array_equal(a.registers, expected)
+
+
+class TestShardedUnion:
+    def test_stride_offset_ingest_merges_losslessly(self, wc_graph):
+        """Workers hash globally-distinct ids; register max = exact union.
+
+        Splitting a pool round-robin across two "shards" and ingesting
+        each with ``id_stride=2, id_offset=rank`` must merge to exactly
+        the registers of one sketch over the unsplit pool — the property
+        ShardPool.sketch_registers relies on.
+        """
+        full = _pool(wc_graph, 180)
+        shards = [RRCollection(wc_graph.n), RRCollection(wc_graph.n)]
+        for i in range(full.num_rr):
+            shards[i % 2].add(full.set_nodes(i))
+        parts = []
+        for rank, coll in enumerate(shards):
+            sketch = CoverageSketch(wc_graph.n, precision=8)
+            sketch.ingest_range(
+                coll, 0, coll.num_rr, id_stride=2, id_offset=rank
+            )
+            parts.append(sketch.registers)
+        merged = np.maximum.reduce(parts)
+        reference = CoverageSketch(wc_graph.n, precision=8)
+        reference.ingest_range(full, 0, full.num_rr)
+        np.testing.assert_array_equal(merged, reference.registers)
+
+
+class TestSketchSelection:
+    def test_close_to_exact_greedy(self, wc_graph):
+        pool = _pool(wc_graph, 400)
+        exact = max_coverage_greedy(pool, select=5, topk=5)
+        sketch = CoverageSketch(wc_graph.n, precision=10)
+        sketch.ingest_range(pool, 0, pool.num_rr)
+        picked = sketch_max_coverage(
+            sketch.registers, 5, num_rr=pool.num_rr, topk=5
+        )
+        assert len(picked.seeds) == 5
+        assert picked.covered is None
+        true_cov = exact_coverage_scan(pool, picked.seeds)
+        # The sketch-picked seeds' exact coverage must land within the
+        # certified band of the exact optimum.
+        eps = 3.0 * relative_std_error(10)
+        assert true_cov >= exact.coverage * (1 - eps)
+
+    def test_exact_scan_matches_pool_coverage(self, wc_graph):
+        pool = _pool(wc_graph, 150)
+        seeds = max_coverage_greedy(pool, select=4, topk=4).seeds
+        assert exact_coverage_scan(pool, seeds) == pool.coverage(seeds)
+
+    def test_coverage_capped_at_num_rr(self, wc_graph):
+        pool = _pool(wc_graph, 60)
+        sketch = CoverageSketch(wc_graph.n, precision=6)
+        sketch.ingest_range(pool, 0, pool.num_rr)
+        picked = sketch_max_coverage(
+            sketch.registers, 8, num_rr=pool.num_rr, topk=8
+        )
+        assert 0 <= picked.coverage <= pool.num_rr
+
+
+class TestSketchBackendLadder:
+    def test_escalate_walks_the_ladder(self):
+        backend = SketchBackend(precision=8, max_precision=10)
+        assert backend.can_escalate()
+        assert backend.escalate() == 9
+        assert backend.escalate() == 10
+        assert not backend.can_escalate()
+        assert backend.escalations == 2
+
+    def test_epsilon_tightens_with_precision(self):
+        coarse = SketchBackend(precision=6)
+        fine = SketchBackend(precision=12)
+        assert fine.epsilon_sketch < coarse.epsilon_sketch
+
+    def test_certified_upper_inflates_and_caps(self, wc_graph):
+        pool = _pool(wc_graph, 50)
+        backend = SketchBackend(precision=8)
+        inflated = backend.certified_upper_coverage(40.0, pool.num_rr)
+        assert inflated == pytest.approx(40.0 * (1 + backend.epsilon_sketch))
+        assert backend.certified_upper_coverage(1e9, pool.num_rr) == pool.num_rr
+
+    def test_certificate_shape(self):
+        backend = SketchBackend(precision=8, max_precision=12)
+        cert = backend.certificate()
+        assert cert["backend"] == "sketch"
+        assert cert["precision"] == 8
+        assert cert["epsilon_sketch"] == pytest.approx(backend.epsilon_sketch)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError, match="precision"):
+            SketchBackend(precision=2)
+        with pytest.raises(ConfigurationError, match="max_precision"):
+            SketchBackend(precision=10, max_precision=8)
+        with pytest.raises(ConfigurationError, match="confidence"):
+            SketchBackend(confidence=0.0)
+
+    def test_celf_unsupported(self, wc_graph):
+        pool = _pool(wc_graph, 30)
+        with pytest.raises(ConfigurationError, match="CELF"):
+            SketchBackend().celf(pool, 3)

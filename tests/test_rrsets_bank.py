@@ -492,3 +492,138 @@ class TestRepair:
         assert bank._journal == []
         bank.ensure(40)
         assert len(bank._journal) == 40
+
+
+class TestBankMemoryAccounting:
+    """RRBank.nbytes() must cover everything the bank pins (satellite S1)."""
+
+    def test_nbytes_includes_journal(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True, entropy=7)
+        bank.ensure(120)
+        assert bank.journal_nbytes() > 0
+        assert bank.nbytes() == bank.pool.nbytes() + bank.journal_nbytes()
+
+    def test_nbytes_includes_sketch_registers(self, wc_graph):
+        from repro.coverage.sketch import CoverageSketch
+
+        bank = _bank(wc_graph, reusable=True, entropy=7)
+        bank.ensure(80)
+        before = bank.nbytes()
+        sketch = bank.pool.attach_sketch(
+            CoverageSketch(wc_graph.n, precision=8)
+        )
+        sketch.sync(bank.pool)
+        assert bank.nbytes() == before + sketch.nbytes()
+
+    def test_pool_bytes_gauge_reports_bank_total(self, wc_graph):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        bank = _bank(wc_graph, reusable=True, entropy=7)
+        bank.generator.metrics = metrics
+        bank.ensure(100)
+        # The gauge must carry the bank-level figure (pool + journal),
+        # not the pool-only number extend() published mid-way.
+        assert metrics.gauge("rr_pool_bytes") == bank.nbytes()
+        assert bank.nbytes() > bank.pool.nbytes()
+
+    def test_byte_cap_eviction_sees_journal_bytes(self, wc_graph):
+        bank = _bank(wc_graph, reusable=True, entropy=7)
+        bank.ensure(100)
+        # Cap between pool-only and pool+journal: eviction must trigger.
+        bank.byte_cap = bank.pool.nbytes() + bank.journal_nbytes() // 2
+        assert bank.over_cap
+        bank.begin_query()
+        bank.ensure(100)
+        assert bank.end_query()
+        assert bank.pool.num_rr == 0
+
+
+class TestEvictionRepairInterplay:
+    """Eviction, graph deltas, and fallback repair compose (satellite S3)."""
+
+    def _graph(self):
+        from repro.graphs.generators import preferential_attachment
+        from repro.graphs.weights import wc_weights
+
+        return wc_weights(
+            preferential_attachment(300, 3, seed=1, reciprocal=0.3)
+        )
+
+    def _covered_edge(self, graph, pool):
+        coverage = pool.coverage_counts()
+        for v in np.argsort(coverage)[::-1]:
+            lo, hi = graph.in_indptr[v], graph.in_indptr[v + 1]
+            if coverage[v] > 0 and hi > lo:
+                return (int(graph.in_indices[lo]), int(v))
+        raise AssertionError("no covered node with in-edges")
+
+    def test_journal_loss_repair_uses_fallback_and_stays_distributed(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        from repro.engine.session import QuerySession
+        from repro.graphs.dynamic import GraphDelta
+
+        graph = self._graph()
+        session = QuerySession(graph, "subsim", seed=17)
+        session.maximize(5, eps=0.4)
+        banks = session.provider.persistent_banks()
+        role, bank = max(
+            banks.items(), key=lambda item: item[1].pool.num_rr
+        )
+        edge = self._covered_edge(graph, bank.pool)
+        for b in banks.values():
+            b._journal.clear()  # simulate adopted / pre-journal pools
+
+        info = session.apply_delta(GraphDelta(deletes=[edge]))
+        dirty = sum(s["num_dirty"] for s in info["banks"].values())
+        fallback = sum(s["num_fallback"] for s in info["banks"].values())
+        # Every dirty set fell back to an entropy-derived stream, and the
+        # session surfaces the figure instead of swallowing it.
+        assert fallback == dirty > 0
+        assert info["banks"][role]["num_fallback"] > 0
+
+        # The fallback-repaired pool must stay distributed like a cold
+        # pool on the mutated graph: KS on the RR-size distributions.
+        cold = QuerySession(graph, "subsim", seed=99)
+        cold.maximize(5, eps=0.4)
+        cold_bank = max(
+            cold.provider.persistent_banks().values(),
+            key=lambda b: b.pool.num_rr,
+        )
+        theta = min(bank.pool.num_rr, cold_bank.pool.num_rr)
+        stat = scipy_stats.ks_2samp(
+            bank.pool.set_sizes()[:theta],
+            cold_bank.pool.set_sizes()[:theta],
+        )
+        assert stat.pvalue > 0.01
+
+        # And the repaired session still answers queries.
+        result = session.maximize(5, eps=0.4)
+        assert len(result.seeds) == 5
+
+    def test_evicted_bank_delta_then_requery_matches_cold(self):
+        from repro.engine.session import QuerySession
+        from repro.graphs.dynamic import GraphDelta
+
+        graph = self._graph()
+        capped = QuerySession(graph, "subsim", seed=17, byte_cap=1)
+        capped.maximize(5, eps=0.4)  # eviction runs after the query
+        banks = capped.provider.persistent_banks()
+        for bank in banks.values():
+            assert bank.pool.num_rr == 0 and bank._journal == []
+
+        edge = (int(graph.in_indices[graph.in_indptr[1]]), 1)
+        info = capped.apply_delta(GraphDelta(deletes=[edge]))
+        # Nothing resident, nothing to repair — and nothing to fall back.
+        for stats in info["banks"].values():
+            assert stats["num_dirty"] == 0
+            assert stats["num_fallback"] == 0
+
+        warm = capped.maximize(5, eps=0.4)
+
+        cold_graph = self._graph()
+        cold_graph.apply_delta(GraphDelta(deletes=[edge]))
+        cold = QuerySession(cold_graph, "subsim", seed=17)
+        # Same entropy, same mutated graph: the evicted session's rewound
+        # stream regenerates the identical pool, so answers must match.
+        assert cold.maximize(5, eps=0.4).seeds == warm.seeds

@@ -45,6 +45,7 @@ HEADLINES: List[Tuple[str, str, str]] = [
     ("BENCH_serving.json", "warm_speedup", "higher"),
     ("BENCH_sharded.json", "warm_vs_fanout.speedup", "higher"),
     ("BENCH_dynamic.json", "repair_speedup", "higher"),
+    ("BENCH_sketch.json", "memory_reduction", "higher"),
 ]
 
 
