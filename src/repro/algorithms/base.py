@@ -82,6 +82,7 @@ class IMAlgorithm:
         self._batched_mode: Optional[str] = None
         self._coverage_spec = None
         self._coverage_used = None
+        self._prefetch_spec: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -106,6 +107,7 @@ class IMAlgorithm:
         shards: Union[None, int, "ShardPool"] = None,
         spill_dir: Optional[str] = None,
         coverage_backend: Optional[str] = None,
+        prefetch: Optional[str] = None,
     ) -> IMResult:
         """Select ``k`` seeds with a ``(1 - 1/e - eps)`` guarantee w.p. ``1 - delta``.
 
@@ -174,6 +176,13 @@ class IMAlgorithm:
           inherits the session provider's default (``"exact"`` outside a
           session).  A sketch-mode run records its approximation
           certificate in ``result.extras["coverage_backend"]``.
+        * ``prefetch`` — speculative pipelining of the doubling loop:
+          ``"next-round"`` issues the round-``i+1`` pool extensions while
+          round ``i``'s select/validate runs (bit-identical results; see
+          :mod:`repro.engine.prefetch`), ``"off"`` keeps the serial loop.
+          ``None`` inherits the session provider's default (``"off"``
+          outside a session).  Incompatible with ``checkpoint``/``resume``
+          — speculation skips the synchronous round save points.
         """
         n = self.graph.n
         if not 1 <= k <= n:
@@ -235,6 +244,16 @@ class IMAlgorithm:
                     "checkpoint/resume: the precision ladder's state is "
                     "not part of round checkpoints"
                 )
+        if prefetch is not None:
+            from repro.engine.prefetch import validate_prefetch_mode
+
+            validate_prefetch_mode(prefetch)
+            if prefetch != "off" and (checkpoint is not None or resume):
+                raise ConfigurationError(
+                    "prefetch='next-round' cannot be combined with "
+                    "checkpoint/resume: speculative extensions skip the "
+                    "synchronous round save points"
+                )
         store = coerce_store(checkpoint, every=checkpoint_every)
         if banks is not None and (store is not None or resume):
             raise ConfigurationError(
@@ -292,6 +311,7 @@ class IMAlgorithm:
         self._batched_mode = batched_mode
         self._coverage_spec = coverage_backend
         self._coverage_used = None
+        self._prefetch_spec = prefetch
         if resume and store.exists():
             meta, pools = store.load()
             self._validate_resume(meta, k, eps, delta)
@@ -352,6 +372,7 @@ class IMAlgorithm:
             self._workers = 1
             self._batched_mode = None
             self._coverage_spec = None
+            self._prefetch_spec = None
         result.runtime_seconds = time.perf_counter() - begin
         if (
             self._coverage_used is not None
@@ -447,6 +468,29 @@ class IMAlgorithm:
         )
         self._coverage_used = backend
         return backend
+
+    def _prefetch_controller(self):
+        """This run's speculative-pipeline controller, or ``None``.
+
+        Resolution mirrors :meth:`_coverage_backend`: the run-level
+        ``prefetch`` argument wins; absent that, a session bank provider
+        may carry a default; absent both, off.  A fresh controller is
+        built per call because one controller serves exactly one
+        ``run_doubling`` invocation.
+        """
+        spec = self._prefetch_spec
+        if spec is None and self._banks is not None:
+            spec = getattr(self._banks, "prefetch", None)
+        if spec is None or spec == "off":
+            return None
+        from repro.engine.prefetch import PrefetchController
+
+        return PrefetchController(metrics=self._metrics)
+
+    @property
+    def _has_checkpoint(self) -> bool:
+        """True when a round-checkpoint store is attached to this run."""
+        return self._control is not None and self._control.checkpoint is not None
 
     # ------------------------------------------------------------------
     # checkpoint / resume plumbing

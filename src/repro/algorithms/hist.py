@@ -328,12 +328,16 @@ class IMSentinelPhase:
         resume=None,
         checkpoint: Optional[Callable[[dict, dict], None]] = None,
         banks: Optional[BankProvider] = None,
+        phase=None,
+        prefetch=None,
     ) -> IMSentinelResult:
         """Execute the phase.
 
         ``resume`` is a ``(meta, pools)`` pair from a round checkpoint taken
         by ``checkpoint`` (a callback receiving round state + pools); both
-        are wired by :class:`HIST`.
+        are wired by :class:`HIST`, as are ``phase`` (trace-span factory for
+        the per-round spans) and ``prefetch`` (the speculative-pipeline
+        controller; mutually exclusive with ``checkpoint``).
         """
         graph = self.graph
         n = graph.n
@@ -410,8 +414,10 @@ class IMSentinelPhase:
                 pool.coverage(seeds), pool.num_rr, n, delta_iter
             )
 
-        def checkpointer(i, seeds, lower, upper):
-            if checkpoint is not None:
+        checkpointer = None
+        if checkpoint is not None:
+
+            def checkpointer(i, seeds, lower, upper):
                 checkpoint(
                     {
                         "round": i,
@@ -436,6 +442,8 @@ class IMSentinelPhase:
             initial_seeds=sentinel_seeds,
             resume=doubling_resume,
             checkpointer=checkpointer,
+            phase=phase,
+            prefetch=prefetch,
         )
         if outcome.interrupted:
             return self._interrupted(
@@ -602,8 +610,12 @@ class HIST(IMAlgorithm):
                 k, eps, sentinel.seeds, eps2, delta2, rng,
                 control=self._control,
                 resume=im_resume,
-                checkpoint=im_checkpoint,
+                # A no-op checkpoint callback would force the serial round
+                # extension; only wire it when a store is attached.
+                checkpoint=im_checkpoint if self._has_checkpoint else None,
                 banks=self._banks,
+                phase=self._phase,
+                prefetch=self._prefetch_controller(),
             )
         generators.extend(im.generators)
         phases["im_sentinel"] = t_im.elapsed

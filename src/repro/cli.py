@@ -286,7 +286,8 @@ def cmd_run(args) -> int:
                 session = QuerySession(
                     graph, args.algorithm, seed=args.seed,
                     shards=args.shards, spill_dir=args.spill_dir,
-                    coverage_backend=args.coverage_backend, **kwargs
+                    coverage_backend=args.coverage_backend,
+                    prefetch=args.prefetch, **kwargs
                 )
                 try:
                     for k in ks:
@@ -333,6 +334,7 @@ def cmd_run(args) -> int:
                             metrics=metrics,
                             shards=pool,
                             coverage_backend=args.coverage_backend,
+                            prefetch=args.prefetch,
                         )
                         entry = _run_payload(result, args, graph)
                         entry["k"] = k
@@ -371,6 +373,7 @@ def cmd_run(args) -> int:
             shards=args.shards,
             spill_dir=args.spill_dir,
             coverage_backend=args.coverage_backend,
+            prefetch=args.prefetch,
         )
     if args.metrics_out:
         _write_json(args.metrics_out, metrics.snapshot())
@@ -568,6 +571,7 @@ def cmd_serve(args) -> int:
         byte_cap=args.byte_cap,
         tenant_byte_caps=_parse_tenant_byte_caps(args.tenant_byte_cap),
         coverage_backend=args.coverage_backend,
+        prefetch=args.prefetch,
         default_deadline=args.default_deadline,
         lifetime_budget=Budget(
             max_edges_examined=args.max_edges,
@@ -769,6 +773,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(per-node HLL rows — much smaller at huge theta, "
                         "certified-approximate bounds), or auto (sketch "
                         "only when the expected pool size is large)")
+    p.add_argument("--prefetch", default=None,
+                   choices=["off", "next-round"],
+                   help="speculative pipelining of the doubling loop: "
+                        "next-round overlaps next-round RR generation with "
+                        "this round's selection/validation (bit-identical "
+                        "results); off keeps the serial loop")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's metrics-registry snapshot "
                         "(counters, gauges, histograms) as JSON")
@@ -867,6 +877,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["exact", "sketch", "auto"],
                    help="coverage backend for every tenant session: exact "
                         "inverted-CSR selection, sketch HLL rows, or auto")
+    p.add_argument("--prefetch", default="off",
+                   choices=["off", "next-round"],
+                   help="speculative pipelining for every tenant query: "
+                        "next-round overlaps RR generation with selection "
+                        "(bit-identical results); off keeps the serial loop")
     p.add_argument("--default-deadline", type=float, default=None,
                    metavar="SECONDS")
     p.add_argument("--max-edges", type=int, default=None,

@@ -1,0 +1,489 @@
+"""Speculative pipelined doubling: overlap RR generation with selection.
+
+The doubling loop (:func:`~repro.engine.schedule.run_doubling`) is serial
+by construction: round ``i`` blocks on ``bank.ensure`` while the parent
+sits idle, then the parent runs select/validate while the generation
+capacity (shard workers, fan-out processes) sits idle.  This module adds
+the *speculation* layer that overlaps the two: a
+:class:`PrefetchController` launches the round-``i+1`` extension of both
+banks while round ``i``'s select/validate runs, and commits ("lands") the
+speculatively generated sets at the top of the next round.
+
+**Determinism is preserved by construction**, never by luck:
+
+* A speculative extension runs only when the two banks' generation
+  streams are provably independent (:func:`banks_independent`): session
+  banks own private per-role streams, sharded banks derive self-contained
+  per-request seeds, while default transient banks interleave both pools'
+  draws on the run's single RNG — those stay serial and are bit-identical
+  to the historical loop by virtue of not speculating at all.
+* An unsharded extension is *staged*: a background thread runs the exact
+  generation-unit loop of :meth:`RRCollection.extend
+  <repro.rrsets.collection.RRCollection.extend>` against the bank's own
+  RNG but buffers the produced sets privately; the main thread later
+  installs them with a single ``add_batch``.  The committed pool is
+  therefore byte-identical to what a synchronous ``ensure`` would have
+  produced, and a discarded speculation rewinds the RNG and counters to
+  the pre-launch snapshot so the serial fallback regenerates the same
+  prefix.
+* On early convergence the in-flight extension is cancelled at a
+  generation-unit boundary; completed units are committed as warm
+  inventory (an unsharded bank's pool content is a pure stream prefix,
+  so partial commits keep prefix stability; sharded reusable banks
+  instead wait for the full request — their seeds are request-granular).
+
+**Budget awareness.**  Speculation never starts past ``theta_max`` (the
+caller clamps), past a byte cap (projected doubling that would overflow
+the cap skips), or past a known-remaining ``max_rr_sets`` budget; edge
+and wall-clock budgets disable speculation outright because their spend
+cannot be predicted per set.  During staging the generator's run control
+is detached and the spend is folded back at the commit boundary — the
+same boundary-grain enforcement the multiprocess fan-out already uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.runtime.checkpoint import counters_from_dict, counters_to_dict
+from repro.utils.exceptions import ExecutionInterrupted
+
+#: accepted values for the ``--prefetch`` knob.
+PREFETCH_MODES = ("off", "next-round")
+
+
+def validate_prefetch_mode(mode: str) -> str:
+    """Validate a prefetch knob value, returning it unchanged."""
+    from repro.utils.exceptions import ConfigurationError
+
+    if mode not in PREFETCH_MODES:
+        raise ConfigurationError(
+            f"unknown prefetch mode {mode!r}; expected one of "
+            f"{', '.join(PREFETCH_MODES)}"
+        )
+    return mode
+
+
+def banks_independent(bank1: Any, bank2: Any) -> bool:
+    """True when the two banks draw from provably independent streams.
+
+    Sharded banks have no parent-side RNG (per-request ``SeedSequence``
+    specs are self-contained) and are always independent.  Unsharded
+    banks are independent exactly when they do not share one RNG object —
+    the default transient pair wraps the run's single stream and must
+    stay serial to remain bit-identical.
+    """
+    r1 = getattr(bank1, "rng", None)
+    r2 = getattr(bank2, "rng", None)
+    if r1 is None or r2 is None:
+        return True
+    return r1 is not r2
+
+
+def _bank_size(bank: Any) -> int:
+    pool = getattr(bank, "pool", None)
+    num = getattr(pool, "num_rr", None)
+    if num is None:
+        num = getattr(bank, "num_rr", 0)
+    return int(num)
+
+
+def _budget_allows(control: Any, bank: Any, count: int, theta: int) -> bool:
+    """Conservative pre-launch gate: may this speculation even start?
+
+    Skipping is always *correct* (the serial fallback generates the
+    identical sets later); this gate only refuses launches whose spend
+    could overshoot a configured cap in a way boundary enforcement would
+    notice too late.
+    """
+    if control is not None:
+        budget = control.budget
+        if (
+            budget.max_edges_examined is not None
+            or budget.wall_clock_seconds is not None
+            or budget.max_rr_nodes is not None
+        ):
+            # Per-set edge/node/time spend is unpredictable; mid-generation
+            # enforcement needs the synchronous path.
+            return False
+        if budget.max_rr_sets is not None:
+            if budget.max_rr_sets - control.rr_sets < count:
+                return False
+    byte_cap = getattr(bank, "byte_cap", None)
+    if byte_cap is not None:
+        have = _bank_size(bank)
+        if have > 0:
+            projected = bank.nbytes() * theta / have
+            if projected > byte_cap:
+                return False
+    return True
+
+
+class _ThreadSpeculation:
+    """One staged background extension of an unsharded :class:`RRBank`.
+
+    The background thread mirrors :meth:`RRCollection.extend`'s unit loop
+    (sequential sets, batched chunks, or fan-out calls) against the
+    bank's own RNG, but stages nodes/sizes/journal entries privately.
+    The generator's run control is detached for the duration and its
+    metrics redirected to a private registry, so nothing observable
+    happens until :meth:`wait_and_commit` installs the units on the main
+    thread.  A cancel stops the loop at the next unit boundary; completed
+    units still commit — the pool content is a pure prefix of the bank's
+    stream either way.
+    """
+
+    def __init__(self, bank: Any, theta: int) -> None:
+        from repro.observability.registry import MetricsRegistry
+
+        self.bank = bank
+        self.theta = int(theta)
+        self.count = self.theta - bank.pool.num_rr
+        gen = bank.generator
+        self._saved_control = gen.control
+        self._saved_metrics = gen.metrics
+        self._metrics = MetricsRegistry() if gen.metrics is not None else None
+        self._rng_state0 = bank.rng.bit_generator.state
+        self._counters0 = counters_to_dict(gen.counters)
+        self._reported_edges0 = gen._reported_edges
+        gen.control = None
+        gen.metrics = self._metrics
+        self.cancel = threading.Event()
+        self.error: Optional[BaseException] = None
+        self._base = bank.pool.num_rr
+        self._nodes: List[np.ndarray] = []
+        self._sizes: List[np.ndarray] = []
+        self._journal: List[dict] = []
+        self._staged = 0
+        self.committed = 0
+        self._done = False
+        self.t_launch = time.monotonic()
+        self.t_done: Optional[float] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"prefetch-{getattr(bank, 'role', 'bank')}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- background thread ---------------------------------------------
+    def _stage(self, nodes: np.ndarray, sizes: np.ndarray, entry) -> None:
+        self._nodes.append(np.asarray(nodes, dtype=np.int64))
+        self._sizes.append(np.asarray(sizes, dtype=np.int64))
+        if entry is not None:
+            self._journal.append(entry)
+        self._staged += int(len(sizes))
+
+    def _run(self) -> None:
+        bank = self.bank
+        gen = bank.generator
+        rng = bank.rng
+        mask = bank.stop_mask
+        journaled = bank.reusable
+        try:
+            workers = int(getattr(gen, "workers", 1) or 1)
+            batch_size = int(getattr(gen, "batch_size", 1) or 1)
+            remaining = self.count
+            if workers > 1:
+                from repro.rrsets.fanout import generate_multiprocess
+
+                while remaining > 0 and not self.cancel.is_set():
+                    nodes, sizes = generate_multiprocess(
+                        gen, remaining, rng, workers, stop_mask=mask
+                    )
+                    self._stage(nodes, sizes, None)
+                    remaining -= len(sizes)
+            elif batch_size > 1:
+                while remaining > 0 and not self.cancel.is_set():
+                    b = min(batch_size, remaining)
+                    state = rng.bit_generator.state if journaled else None
+                    nodes, sizes = gen.generate_batch(rng, b, stop_mask=mask)
+                    self._stage(nodes, sizes, {
+                        "start": self._base + self._staged,
+                        "count": int(len(sizes)),
+                        "requested": int(b),
+                        "mode": "batch",
+                        "state": state,
+                    })
+                    remaining -= len(sizes)
+            else:
+                while remaining > 0 and not self.cancel.is_set():
+                    state = rng.bit_generator.state if journaled else None
+                    rr = np.asarray(
+                        gen.generate(rng, stop_mask=mask), dtype=np.int64
+                    )
+                    self._stage(rr, np.array([len(rr)], dtype=np.int64), {
+                        "start": self._base + self._staged,
+                        "count": 1,
+                        "requested": 1,
+                        "mode": "seq",
+                        "state": state,
+                    })
+                    remaining -= 1
+        except BaseException as exc:  # surfaced at commit, never swallowed
+            self.error = exc
+        finally:
+            self.t_done = time.monotonic()
+
+    # -- main thread ----------------------------------------------------
+    def overlap_until(self, now: float) -> float:
+        end = self.t_done if self.t_done is not None else now
+        return max(0.0, min(end, now) - self.t_launch)
+
+    def _discard(self) -> None:
+        """Rewind the bank to the pre-launch snapshot (nothing happened)."""
+        bank = self.bank
+        gen = bank.generator
+        bank.rng.bit_generator.state = self._rng_state0
+        gen.counters = counters_from_dict(self._counters0)
+        gen._reported_edges = self._reported_edges0
+        self._nodes = []
+        self._sizes = []
+        self._journal = []
+
+    def _commit(self) -> int:
+        """Install every staged unit into the bank (main thread only)."""
+        if self._done:
+            return self.committed
+        self._done = True
+        bank = self.bank
+        gen = bank.generator
+        gen.control = self._saved_control
+        gen.metrics = self._saved_metrics
+        if self.error is not None:
+            # A failed speculation leaves no trace: the synchronous
+            # fallback regenerates the identical prefix (and resurfaces
+            # the error with proper mid-generation semantics).
+            self._discard()
+            return 0
+        total = int(sum(len(s) for s in self._sizes))
+        if total:
+            bank.pool.add_batch(
+                np.concatenate(self._nodes), np.concatenate(self._sizes)
+            )
+            if bank.reusable:
+                bank._journal.extend(self._journal)
+                bank._marks[bank.pool.num_rr] = counters_to_dict(gen.counters)
+            if self._saved_metrics is not None:
+                if self._metrics is not None:
+                    self._saved_metrics.merge_snapshot(self._metrics.snapshot())
+                self._saved_metrics.set_gauge("rr_pool_bytes", bank.nbytes())
+                self._saved_metrics.inc("generation.speculative_sets", total)
+            control = self._saved_control
+            interrupt: Optional[BaseException] = None
+            if control is not None:
+                # Fold the staged spend into the run at the commit
+                # boundary — the fan-out's boundary-grain enforcement.
+                # A cancellation raised by the fold is deferred until the
+                # bank's accounting is complete: the pool is a pure
+                # stream prefix either way, so the commit must finish.
+                try:
+                    gen._tick()
+                    for size in np.concatenate(self._sizes):
+                        control.on_rr_complete(int(size))
+                except ExecutionInterrupted as exc:
+                    interrupt = exc
+            bank._account(0, total)
+            if interrupt is not None:
+                self.committed = total
+                raise interrupt
+        self.committed = total
+        return total
+
+    def wait_and_commit(self) -> int:
+        self._thread.join()
+        return self._commit()
+
+    def abort(self, interrupted: bool = False) -> int:
+        """Stop at the next unit boundary and commit the completed units."""
+        self.cancel.set()
+        self._thread.join()
+        try:
+            return self._commit()
+        except ExecutionInterrupted:
+            # Already on the interrupted unwind path (the pipeline's
+            # ``finally``): the commit's bookkeeping completed before the
+            # deferred raise, so swallow it rather than mask the original.
+            return self.committed
+
+
+def _speculate(
+    bank: Any, theta: int, control: Any, reserved: int = 0
+) -> Optional[Any]:
+    """Launch one bank's speculative growth toward ``theta`` (or refuse).
+
+    ``reserved`` is the set count already committed to sibling
+    speculations against the same run control, so a pair of launches
+    cannot jointly overshoot a ``max_rr_sets`` budget that each fits
+    individually.
+    """
+    theta = int(theta)
+    count = theta - _bank_size(bank)
+    if count <= 0:
+        return None
+    if not _budget_allows(control, bank, count + int(reserved), theta):
+        return None
+    extend_async = getattr(bank, "extend_async", None)
+    if extend_async is not None:
+        return extend_async(theta)
+    if getattr(bank, "rng", None) is None:  # unknown bank kind
+        return None
+    return _ThreadSpeculation(bank, theta)
+
+
+def ensure_pair(
+    bank1: Any,
+    bank2: Any,
+    theta: int,
+    *,
+    prefetch_on: bool = False,
+) -> None:
+    """Grow both banks to ``theta``, concurrently when provably safe.
+
+    The bootstrap counterpart of speculation (and available even with
+    ``--prefetch off``): the two ``ensure(theta0)`` calls are independent
+    whenever the banks own independent streams, so they run concurrently
+    — sharded banks via non-blocking command pipelining, unsharded ones
+    via staged background threads.  Serial fallbacks (same committed
+    state, bit-identical): a shared run RNG, or an *active* run control
+    (budget/cancel/faults) without prefetch explicitly enabled — serial
+    growth enforces caps mid-generation and produces the exact partial
+    states the budget tests pin down.
+    """
+    control = getattr(bank1.generator, "control", None)
+    if control is None:
+        control = getattr(bank2.generator, "control", None)
+    parallel = (
+        bank1 is not bank2
+        and banks_independent(bank1, bank2)
+        and (prefetch_on or control is None or not control.active)
+    )
+    specs: List[Any] = []
+    if parallel:
+        reserved = 0
+        for bank in (bank1, bank2):
+            spec = _speculate(bank, theta, control, reserved=reserved)
+            if spec is not None:
+                specs.append(spec)
+                reserved += spec.count
+    for spec in specs:
+        spec.wait_and_commit()
+    bank1.ensure(theta)
+    bank2.ensure(theta)
+
+
+class PrefetchController:
+    """Overlap next-round RR generation with this round's select/validate.
+
+    One controller serves one :func:`~repro.engine.schedule.run_doubling`
+    invocation.  The loop calls :meth:`land` at the top of each round
+    (commit any in-flight speculation, then top up serially if needed),
+    :meth:`launch` right after (start growing both banks toward the
+    *next* round's theta), and :meth:`finish` on the way out (cancel or
+    warm-commit whatever is still in flight).
+    """
+
+    def __init__(self, metrics: Any = None) -> None:
+        self.metrics = metrics
+        self._pending: List[Any] = []
+        #: cumulative seconds during which speculative generation ran
+        #: concurrently with parent-side work (reported as the
+        #: ``pipeline_overlap_seconds`` gauge; wall-clock, non-canonical).
+        self.overlap_seconds = 0.0
+        #: the most recent :meth:`land`'s overlap contribution.
+        self.last_overlap = 0.0
+        self.launches = 0
+        self.hits = 0
+        self.cancelled = 0
+
+    def launch(self, bank1: Any, bank2: Any, theta: int) -> bool:
+        """Start speculative growth of both banks toward ``theta``."""
+        if self._pending:
+            return False
+        if not banks_independent(bank1, bank2):
+            return False
+        control = getattr(bank1.generator, "control", None)
+        if control is None:
+            control = getattr(bank2.generator, "control", None)
+        reserved = 0
+        for bank in (bank1, bank2):
+            spec = _speculate(bank, theta, control, reserved=reserved)
+            if spec is not None:
+                self._pending.append(spec)
+                reserved += spec.count
+        if self._pending:
+            self.launches += 1
+        return bool(self._pending)
+
+    def land(self, bank1: Any, bank2: Any, theta: int) -> float:
+        """Commit in-flight speculation and guarantee both banks ≥ theta.
+
+        Returns this round's overlap seconds.  Extensions that have not
+        finished are waited for (the pipeline's sync point); banks whose
+        speculation was skipped or fell short are topped up by a plain
+        synchronous ``ensure`` — so the call leaves exactly the state the
+        serial loop would have, every time.
+        """
+        control = getattr(bank1.generator, "control", None)
+        if control is None:
+            control = getattr(bank2.generator, "control", None)
+        if control is not None:
+            # The serial loop notices cancellation at every ensure's
+            # request boundary; with speculation covering the extensions,
+            # this sync point takes over that duty.  Raising here leaves
+            # ``_pending`` intact for ``finish(interrupted=True)``, which
+            # aborts the in-flight requests (committing delivered work and
+            # dirty-marking sharded reusable banks).
+            control.check()
+        now = time.monotonic()
+        pending, self._pending = self._pending, []
+        overlap = 0.0
+        for idx, spec in enumerate(pending):
+            overlap += spec.overlap_until(now)
+            try:
+                committed = spec.wait_and_commit()
+            except ExecutionInterrupted:
+                # The fold surfaced a cancellation after this spec's
+                # bookkeeping completed; hand the uncommitted siblings
+                # back so ``finish(interrupted=True)`` aborts them.
+                self._pending = list(pending[idx + 1:])
+                self.last_overlap = overlap
+                self.overlap_seconds += overlap
+                raise
+            if committed > 0:
+                self.hits += 1
+                if self.metrics is not None:
+                    self.metrics.inc("generation.speculation_hits")
+        bank1.ensure(theta)
+        bank2.ensure(theta)
+        self.last_overlap = overlap
+        self.overlap_seconds += overlap
+        if self.metrics is not None and overlap > 0.0:
+            self.metrics.set_gauge(
+                "pipeline_overlap_seconds", self.overlap_seconds
+            )
+        return overlap
+
+    def finish(self, *, interrupted: bool = False) -> None:
+        """Resolve whatever is still in flight (convergence or interrupt).
+
+        Converged runs commit completed work as warm inventory for the
+        next session query; interrupted runs additionally mark sharded
+        reusable banks dirty (their request-granular seeding cannot keep
+        a partial request prefix-stable, so end-of-query eviction
+        restores determinism).
+        """
+        pending, self._pending = self._pending, []
+        for spec in pending:
+            spec.abort(interrupted=interrupted)
+            self.cancelled += 1
+            if self.metrics is not None:
+                self.metrics.inc("generation.speculation_cancelled")
+        if self.metrics is not None and self.overlap_seconds > 0.0:
+            self.metrics.set_gauge(
+                "pipeline_overlap_seconds", self.overlap_seconds
+            )

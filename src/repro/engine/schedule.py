@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.coverage.greedy import max_coverage_greedy
+from repro.engine.prefetch import PrefetchController, ensure_pair
 from repro.rrsets.bank import PoolLike, RRBank
 from repro.utils.exceptions import ExecutionInterrupted
 
@@ -93,6 +94,26 @@ def _no_phase(name: str) -> contextlib.AbstractContextManager:
     return contextlib.nullcontext()
 
 
+def _annotate_round(
+    span: Any, theta: int, outcome: "DoublingOutcome", overlap: float
+) -> None:
+    """Record the round's theta/bounds/overlap on its trace span."""
+    if span is None or not hasattr(span, "annotate"):
+        return
+    upper = outcome.upper
+    span.annotate(
+        theta=int(theta),
+        lower=float(outcome.lower),
+        upper=float(upper),
+        bound_ratio=(
+            float(outcome.lower / upper)
+            if upper > 0 and upper != float("inf")
+            else 0.0
+        ),
+        overlap_seconds=round(float(overlap), 6),
+    )
+
+
 def run_doubling(
     schedule: SamplingSchedule,
     bank1: RRBank,
@@ -106,6 +127,7 @@ def run_doubling(
     checkpointer: Optional[CheckpointFn] = None,
     phase: Optional[Callable[[str], Any]] = None,
     refine: Optional[RefineFn] = None,
+    prefetch: Optional[PrefetchController] = None,
 ) -> DoublingOutcome:
     """Run the bootstrap-select-validate-double loop over two banks.
 
@@ -129,9 +151,19 @@ def run_doubling(
     not the sample size, blocked convergence.  Returning False accepts the
     round and the loop doubles as usual; a refine that cannot help anymore
     must return False or the round would spin.
+
+    ``prefetch`` enables the speculative pipeline: the round-``i+1``
+    extension of both banks is issued *before* round ``i``'s select runs
+    and committed at the top of round ``i+1``, so generation overlaps
+    selection/validation.  Results are bit-identical with or without it
+    (see :mod:`repro.engine.prefetch`).  Checkpointing requires the
+    synchronous save points, so a ``checkpointer`` disables speculation
+    (callers reject the combination up front); either way the bootstrap
+    pair still runs concurrently when the banks' streams are independent.
     """
     span = phase if phase is not None else _no_phase
     outcome = DoublingOutcome(seeds=list(initial_seeds))
+    pipeline = prefetch if checkpointer is None else None
     start = 1
     if resume is not None:
         outcome.rounds = int(resume.round_index)
@@ -142,8 +174,12 @@ def run_doubling(
     else:
         try:
             with span("bootstrap"):
-                bank1.ensure(schedule.theta0)
-                bank2.ensure(schedule.theta0)
+                ensure_pair(
+                    bank1,
+                    bank2,
+                    schedule.theta0,
+                    prefetch_on=pipeline is not None,
+                )
         except ExecutionInterrupted as exc:
             outcome.interrupted = True
             outcome.stop_reason = exc.reason
@@ -151,8 +187,15 @@ def run_doubling(
     try:
         for i in range(start, schedule.rounds + 1):
             outcome.rounds = i
-            with span(f"round-{i}"):
+            with span(f"round-{i}") as sp:
                 theta = schedule.theta_at(i)
+                overlap = 0.0
+                if pipeline is not None:
+                    overlap = pipeline.land(bank1, bank2, theta)
+                    if i < schedule.rounds:
+                        next_theta = schedule.theta_at(i + 1)
+                        if next_theta > theta:
+                            pipeline.launch(bank1, bank2, next_theta)
                 while True:
                     seeds, upper = select(bank1.view(theta))
                     outcome.seeds = seeds
@@ -160,12 +203,14 @@ def run_doubling(
                     outcome.lower = validate(bank2.view(theta), seeds)
                     if upper > 0 and outcome.lower / upper > target:
                         outcome.converged = True
+                        _annotate_round(sp, theta, outcome, overlap)
                         return outcome
                     if refine is None or not refine(
                         i, theta, seeds, outcome.lower, outcome.upper
                     ):
                         break
-                if i < schedule.rounds:
+                _annotate_round(sp, theta, outcome, overlap)
+                if i < schedule.rounds and pipeline is None:
                     bank1.ensure(2 * theta)
                     bank2.ensure(2 * theta)
                     if checkpointer is not None:
@@ -175,6 +220,9 @@ def run_doubling(
     except ExecutionInterrupted as exc:
         outcome.interrupted = True
         outcome.stop_reason = exc.reason
+    finally:
+        if pipeline is not None:
+            pipeline.finish(interrupted=outcome.interrupted)
     return outcome
 
 

@@ -73,6 +73,7 @@ class BankProvider:
         session_metrics: Optional[MetricsRegistry] = None,
         shard_pool: Optional[Any] = None,
         coverage_backend: Optional[str] = None,
+        prefetch: Optional[str] = None,
     ) -> None:
         if (rng is None) == (entropy is None):
             raise ConfigurationError(
@@ -88,12 +89,19 @@ class BankProvider:
                     f"{', '.join(repr(b) for b in COVERAGE_BACKENDS)}, "
                     f"got {coverage_backend!r}"
                 )
+        if prefetch is not None:
+            from repro.engine.prefetch import validate_prefetch_mode
+
+            validate_prefetch_mode(prefetch)
         self.graph = graph
         self.reuse = reuse
         self.byte_cap = byte_cap
         #: default coverage backend for every run served from this provider
         #: (a run-level ``coverage_backend=`` argument overrides it)
         self.coverage_backend = coverage_backend
+        #: default speculative-pipelining mode for every run served from
+        #: this provider (a run-level ``prefetch=`` argument overrides it)
+        self.prefetch = prefetch
         self.metrics = session_metrics
         self.entropy = entropy
         #: when set, every bank this provider hands out is shard-resident
@@ -307,6 +315,7 @@ class QuerySession:
         shards: Optional[int] = None,
         spill_dir: Optional[str] = None,
         coverage_backend: Optional[str] = None,
+        prefetch: Optional[str] = None,
         **algorithm_kwargs: Any,
     ) -> None:
         self.graph = graph
@@ -333,6 +342,7 @@ class QuerySession:
             session_metrics=self.metrics,
             shard_pool=self._shard_pool,
             coverage_backend=coverage_backend,
+            prefetch=prefetch,
         )
         self.queries_served = 0
 
@@ -371,6 +381,7 @@ class QuerySession:
         metrics: Optional[MetricsRegistry] = None,
         trace: bool = False,
         coverage_backend: Optional[str] = None,
+        prefetch: Optional[str] = None,
     ) -> Any:
         """Serve one query against the session's banks.
 
@@ -404,6 +415,7 @@ class QuerySession:
             trace=trace,
             banks=self.provider,
             coverage_backend=coverage_backend,
+            prefetch=prefetch,
         )
         self.queries_served += 1
         result.extras["session"] = {

@@ -31,13 +31,50 @@ SCHEMA_VERSION = 1
 
 #: gauge names excluded from the canonical projection (buffer growth, and
 #: hence resident bytes, legitimately differs between a fresh run and a
-#: checkpoint-resumed one rebuilding its pools in a single append)
-_NONDETERMINISTIC_GAUGES = ("rr_pool_bytes",)
+#: checkpoint-resumed one rebuilding its pools in a single append; pipeline
+#: overlap is pure wall clock)
+_NONDETERMINISTIC_GAUGES = ("rr_pool_bytes", "pipeline_overlap_seconds")
 
 #: counter namespaces excluded from the canonical projection: the runtime
 #: budget tallies are *per-process* spend (they restart at zero when a run
 #: resumes from a checkpoint) and duplicate the ``generation.*`` totals
 _PROCESS_LOCAL_COUNTER_PREFIXES = ("runtime.",)
+
+#: per-round annotation keys dropped from the canonical projection (wall
+#: clock; everything else in a round record — theta, bounds, bound ratio —
+#: is deterministic and stays)
+_NONDETERMINISTIC_ROUND_KEYS = ("overlap_seconds",)
+
+
+def _round_records(trace: Optional[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Lift the doubling loop's per-round span annotations out of a trace.
+
+    Walks the phase tree for ``round-{i}`` spans carrying annotations
+    (theta, lower/upper bounds, bound ratio, pipeline overlap) and returns
+    them as an ordered list of ``{"round": i, ...}`` records — the
+    round-by-round story ``--report`` surfaces without forcing readers to
+    dig through the span tree.
+    """
+    records: List[Dict[str, Any]] = []
+    if not trace:
+        return records
+
+    def walk(span: Dict[str, Any]) -> None:
+        name = span.get("name", "")
+        annotations = span.get("annotations")
+        if annotations and name.startswith("round-"):
+            try:
+                index = int(name[len("round-"):])
+            except ValueError:
+                index = len(records) + 1
+            records.append({"round": index, **annotations})
+        for child in span.get("children", ()):
+            walk(child)
+
+    for root in trace.get("phases", ()):
+        walk(root)
+    records.sort(key=lambda record: record["round"])
+    return records
 
 
 @dataclass
@@ -56,6 +93,7 @@ class RunReport:
     histograms: Dict[str, Any] = field(default_factory=dict)
     budget: Dict[str, Any] = field(default_factory=dict)
     phases: Dict[str, Any] = field(default_factory=dict)
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
     runtime_seconds: float = 0.0
     schema_version: int = SCHEMA_VERSION
 
@@ -82,7 +120,7 @@ class RunReport:
             for name, value in self.counters.items()
             if not name.startswith(_PROCESS_LOCAL_COUNTER_PREFIXES)
         }
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "algorithm": self.algorithm,
             "graph": dict(self.graph),
@@ -98,6 +136,19 @@ class RunReport:
             },
             "budget": budget,
         }
+        if self.rounds:
+            # Only present on traced runs (the baseline workloads run
+            # untraced, so the committed baseline document is unchanged);
+            # wall-clock overlap is stripped — theta/bounds/ratio remain.
+            payload["rounds"] = [
+                {
+                    key: value
+                    for key, value in record.items()
+                    if key not in _NONDETERMINISTIC_ROUND_KEYS
+                }
+                for record in self.rounds
+            ]
+        return payload
 
     # ------------------------------------------------------------------
     def to_json(self, indent: int = 2) -> str:
@@ -212,5 +263,6 @@ def build_run_report(
         histograms=snapshot["histograms"],
         budget=budget,
         phases=trace if trace is not None else {},
+        rounds=_round_records(trace),
         runtime_seconds=result.runtime_seconds,
     )

@@ -37,6 +37,7 @@ class PhaseSpan:
         "wall_seconds",
         "counter_deltas",
         "rr_pool_bytes",
+        "annotations",
         "children",
         "_started_at",
         "_counters_at_entry",
@@ -47,18 +48,28 @@ class PhaseSpan:
         self.wall_seconds = 0.0
         self.counter_deltas: Dict[str, int] = {}
         self.rr_pool_bytes = 0.0
+        #: caller-supplied span facts (round theta, bound ratio, overlap
+        #: seconds, ...) — emitted verbatim under ``"annotations"``.
+        self.annotations: Dict[str, Any] = {}
         self.children: List["PhaseSpan"] = []
         self._started_at = 0.0
         self._counters_at_entry: Dict[str, int] = {}
 
+    def annotate(self, **facts: Any) -> None:
+        """Attach structured facts to this span (merged, last write wins)."""
+        self.annotations.update(facts)
+
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "counters": dict(self.counter_deltas),
             "rr_pool_bytes": self.rr_pool_bytes,
             "children": [child.as_dict() for child in self.children],
         }
+        if self.annotations:
+            payload["annotations"] = dict(self.annotations)
+        return payload
 
 
 class _SpanContext:

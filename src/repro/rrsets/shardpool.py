@@ -20,22 +20,51 @@ and merges every shard back into one parent-resident pool.  A
   checkpoints its state through the :class:`~repro.runtime.checkpoint
   .CheckpointStore` after mutating commands.
 
+**Command pipelining.**  Every message carries a per-worker monotone
+*tag* — parent to worker ``(cmd, tag, payload)``, worker to parent
+``(tag, status, reply)`` — so the parent can issue a command (notably
+``generate``) and collect its reply later while sending other commands in
+between.  Workers *interleave*: between generation chunks a worker polls
+its pipe and serves non-mutating commands (coverage, selection,
+sketches, stats) inline, which is what lets the parent run a greedy
+selection over round ``i``'s prefix while the same workers generate round
+``i+1``'s sets.  Mutating commands and ``shutdown`` that arrive during a
+generate are deferred FIFO and execute after it, preserving journal
+order.  A generate stages its chunks privately and installs them with
+one ``add_batch`` at the end, so interleaved coverage reads see a stable
+pool (no per-chunk inverted-index rebuilds) and a mid-generate crash
+leaves the pool untouched.  An in-flight generate can be *cancelled* at
+a chunk boundary (``generate_cancel``); the parent then truncates the
+journaled request to the delivered count, which keeps crash replay
+bit-identical because chunk sequences are prefix-stable.
+
 **Determinism and crash recovery.**  Every mutating command carries a
 monotone per-worker sequence number and (for generation) a self-contained
 ``SeedSequence`` spec, so a worker's entire pool state is a pure function
-of the command journal the parent keeps.  When a worker dies mid-request
-the parent respawns it, restores the newest checkpoint (if any), replays
-the journal suffix — bit-identical, because requests are independently
-seeded — re-establishes any in-progress selection state, and re-issues the
-in-flight request.  A worker that already applied a replayed sequence
-number answers from its cached reply instead of re-executing, so recovery
-is idempotent.
+of the command journal the parent keeps.  When a worker dies the parent
+drains the dead pipe (already-sent replies are still readable and are
+stashed by tag), respawns the worker, restores the newest checkpoint (if
+any), replays the journal suffix — bit-identical, because requests are
+independently seeded — caching each replayed reply by sequence number,
+and re-establishes any in-progress selection state.  A pending reply is
+therefore always recoverable: checkpoints are taken only *after* a reply
+ships, so a lost reply is either in the drained pipe or owned by a
+replayed command.
+
+**Journal compaction.**  Once a worker's checkpoint covers a sequence
+number, the journal prefix up to it can never be replayed again (recovery
+resumes from the checkpoint); the parent truncates it when the journal
+exceeds ``journal_compact_threshold`` entries, so long sessions stop
+growing journals unboundedly.  Checkpoint writes are atomic
+(``os.replace``), so the newest loadable checkpoint always covers the
+compacted prefix.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -101,6 +130,9 @@ class _ShardWorker:
         self.roles: Dict[str, _RoleState] = {}
         self.selections: Dict[str, _Selection] = {}
         self.seq = 0
+        #: sequence number covered by the newest on-disk checkpoint; the
+        #: parent compacts its replay journal up to this point.
+        self.checkpoint_seq = 0
         self.last_reply: Optional[Tuple[int, Any]] = None
         self.crash_next = False
         self.spilled_roles: set = set()
@@ -110,6 +142,13 @@ class _ShardWorker:
         #: journal replay touches the graph.
         self.deltas: List[dict] = []
         self._dirty = False
+        #: the parent pipe, for mid-generate interleaving.
+        self.conn: Any = None
+        #: commands deferred during a generate (mutations + shutdown),
+        #: drained by the main loop in arrival order.
+        self.deferred: deque = deque()
+        self.active_generate_seq: Optional[int] = None
+        self.cancel_generate = False
 
     # -- durability ----------------------------------------------------
     def _store(self):
@@ -135,6 +174,7 @@ class _ShardWorker:
             # the journal origin reproduces the same state.
             return
         self.seq = int(meta["seq"])
+        self.checkpoint_seq = self.seq
         # Graph first: role generators built below derive caches from it.
         from repro.graphs.dynamic import GraphDelta
 
@@ -188,6 +228,7 @@ class _ShardWorker:
             },
         }
         store.save(meta, {role: s.pool for role, s in self.roles.items()})
+        self.checkpoint_seq = self.seq
 
     # -- role plumbing -------------------------------------------------
     def _role(
@@ -250,11 +291,49 @@ class _ShardWorker:
             self._dirty = False
             self.checkpoint()
 
+    def _poll_commands(self) -> None:
+        """Serve commands that arrived while a generate is running.
+
+        Non-mutating commands (coverage, selection, cancellation, stats)
+        run inline against the stable pre-generate pool and reply
+        immediately — this is the worker half of generation/selection
+        overlap.  Mutating commands and ``shutdown`` are deferred FIFO;
+        once one is deferred, everything behind it defers too, so the
+        order the parent journaled is the order state advances.
+        """
+        conn = self.conn
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                cmd, tag, payload = conn.recv()
+                if (
+                    cmd == "shutdown"
+                    or cmd in _MUTATING_COMMANDS
+                    or self.deferred
+                ):
+                    self.deferred.append((cmd, tag, payload))
+                    continue
+                try:
+                    reply = self.dispatch(cmd, payload)
+                except ShardPoolError as exc:
+                    conn.send((tag, "error", str(exc)))
+                    continue
+                except Exception as exc:
+                    conn.send((tag, "error", f"{type(exc).__name__}: {exc}"))
+                    continue
+                conn.send((tag, "ok", reply))
+        except _LINK_ERRORS:  # parent gone: finish quietly, exit in main loop
+            self.conn = None
+
     def _cmd_hello(self, payload):
         return {
             "seq": self.seq,
             "roles": {role: s.pool.num_rr for role, s in self.roles.items()},
         }
+
+    def _cmd_checkpoint_seq(self, payload):
+        return {"seq": int(self.checkpoint_seq)}
 
     def _cmd_generate(self, payload):
         from repro.observability.registry import MetricsRegistry
@@ -272,29 +351,51 @@ class _ShardWorker:
         stop_mask = payload.get("stop_mask")
         count = int(payload["count"])
         batch = max(1, int(payload.get("batch_size", 1)))
+        self.active_generate_seq = int(payload["seq"])
+        self.cancel_generate = False
+        node_chunks: List[np.ndarray] = []
         sizes_chunks: List[np.ndarray] = []
+        entries: List[dict] = []
+        base = state.pool.num_rr
+        produced = 0
         remaining = count
         midpoint = count // 2
-        while remaining > 0:
-            b = min(batch, remaining)
-            start = state.pool.num_rr
-            rng_state = rng.bit_generator.state
-            nodes, sizes = gen.generate_batch(rng, b, stop_mask=stop_mask)
-            state.pool.add_batch(nodes, sizes)
-            state.journal.append({
-                "start": start,
-                "count": int(len(sizes)),
-                "requested": int(b),
-                "mode": "batch",
-                "state": rng_state,
-            })
-            sizes_chunks.append(sizes)
-            remaining -= len(sizes)
-            if self.crash_next and count - remaining >= midpoint:
-                # Chaos hook: die mid-generate with the pool half-advanced
-                # and no reply sent — exactly the failure recovery must
-                # absorb.  ``os._exit`` skips every cleanup path.
-                os._exit(17)
+        try:
+            while remaining > 0:
+                b = min(batch, remaining)
+                rng_state = rng.bit_generator.state
+                nodes, sizes = gen.generate_batch(rng, b, stop_mask=stop_mask)
+                node_chunks.append(nodes)
+                sizes_chunks.append(sizes)
+                entries.append({
+                    "start": base + produced,
+                    "count": int(len(sizes)),
+                    "requested": int(b),
+                    "mode": "batch",
+                    "state": rng_state,
+                })
+                produced += len(sizes)
+                remaining -= len(sizes)
+                if self.crash_next and count - remaining >= midpoint:
+                    # Chaos hook: die mid-generate with chunks staged but
+                    # uncommitted and no reply sent — exactly the failure
+                    # recovery must absorb.  ``os._exit`` skips every
+                    # cleanup path.
+                    os._exit(17)
+                self._poll_commands()
+                if self.cancel_generate:
+                    break
+        finally:
+            self.active_generate_seq = None
+            self.cancel_generate = False
+        # Stage-then-commit: one add_batch keeps interleaved coverage
+        # reads on a stable pool and makes a mid-generate crash leave the
+        # pool untouched (replay re-runs the whole request).
+        if produced:
+            state.pool.add_batch(
+                np.concatenate(node_chunks), np.concatenate(sizes_chunks)
+            )
+            state.journal.extend(entries)
         sizes = (
             np.concatenate(sizes_chunks)
             if sizes_chunks
@@ -311,7 +412,17 @@ class _ShardWorker:
             "totals": delta,
             "metrics": metrics_payload,
             "num_rr": state.pool.num_rr,
+            "delivered": int(produced),
         }
+
+    def _cmd_generate_cancel(self, payload):
+        armed = (
+            self.active_generate_seq is not None
+            and self.active_generate_seq == int(payload["target_seq"])
+        )
+        if armed:
+            self.cancel_generate = True
+        return {"cancelled": armed}
 
     def _cmd_adopt(self, payload):
         state = self._role(payload["role"], payload["generator_cls"], None, 1)
@@ -552,30 +663,34 @@ def _shard_worker_main(rank, conn, handle, spill_dir, checkpoint_every,
     """
     graph = CSRGraph.from_shared(handle)
     worker = _ShardWorker(rank, graph, spill_dir, checkpoint_every)
+    worker.conn = conn
     if restore:
         worker.restore()
     else:
         worker.discard_checkpoint()
     while True:
-        try:
-            cmd, payload = conn.recv()
-        except _LINK_ERRORS:  # parent is gone
-            break
+        if worker.deferred:
+            cmd, tag, payload = worker.deferred.popleft()
+        else:
+            try:
+                cmd, tag, payload = conn.recv()
+            except _LINK_ERRORS:  # parent is gone
+                break
         if cmd == "shutdown":
             try:
-                conn.send(("ok", None))
+                conn.send((tag, "ok", None))
             except _LINK_ERRORS:  # pragma: no cover - teardown race
                 pass
             break
         try:
             reply = worker.dispatch(cmd, payload)
         except ShardPoolError as exc:
-            conn.send(("error", str(exc)))
+            conn.send((tag, "error", str(exc)))
             continue
         except Exception as exc:  # surface, don't die silently
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send((tag, "error", f"{type(exc).__name__}: {exc}"))
             continue
-        conn.send(("ok", reply))
+        conn.send((tag, "ok", reply))
         worker.maybe_checkpoint()
 
 
@@ -583,17 +698,106 @@ def _shard_worker_main(rank, conn, handle, spill_dir, checkpoint_every,
 # parent side
 # ----------------------------------------------------------------------
 
+class PendingGenerate:
+    """Handle for a generate broadcast whose replies are collected later.
+
+    Issued by :meth:`ShardPool.generate_async`.  :meth:`collect` gathers
+    the per-rank replies in rank order (recovering crashed workers along
+    the way) and retroactively truncates the journaled request counts for
+    cancelled partial deliveries; :meth:`cancel` asks every worker to
+    stop its in-flight request at the next chunk boundary.
+    """
+
+    def __init__(self, pool, tags, seqs, epochs, payloads) -> None:
+        self._pool = pool
+        self._tags = tags
+        self._seqs = seqs
+        self._epochs = epochs
+        self._payloads = payloads
+        self._cancel_tags: List[Optional[int]] = [None] * pool.shards
+        self._replies: Optional[List[dict]] = None
+
+    def cancel(self) -> None:
+        """Best-effort: stop each in-flight request at a chunk boundary."""
+        if self._replies is not None:
+            return
+        pool = self._pool
+        for rank in range(pool.shards):
+            if self._cancel_tags[rank] is not None:
+                continue
+            if self._epochs[rank] != pool._epochs[rank]:
+                continue  # worker respawned: replay already re-ran it
+            try:
+                self._cancel_tags[rank] = pool._send(
+                    rank, "generate_cancel",
+                    {"target_seq": self._seqs[rank]},
+                )
+            except _LINK_ERRORS:
+                pass  # collection recovers the rank
+
+    def collect(self) -> List[dict]:
+        """Per-rank generate replies in rank order (blocking)."""
+        if self._replies is not None:
+            return self._replies
+        pool = self._pool
+        replies: List[dict] = []
+        for rank in range(pool.shards):
+            reply = pool._finish_request(
+                rank,
+                self._tags[rank],
+                self._seqs[rank],
+                self._epochs[rank],
+                "generate",
+                self._payloads[rank],
+            )
+            self._absorb_cancel(rank)
+            delivered = int(reply.get("delivered", len(reply["sizes"])))
+            entry = pool._journal_payload(rank, self._seqs[rank])
+            if entry is not None and delivered < int(entry["count"]):
+                # Chunk-boundary truncation: replaying the request with
+                # the delivered count regenerates the identical chunk
+                # prefix, so recovery stays bit-identical.
+                entry["count"] = delivered
+            replies.append(reply)
+            pool._maybe_compact(rank)
+        self._replies = replies
+        return replies
+
+    def _absorb_cancel(self, rank: int) -> None:
+        tag = self._cancel_tags[rank]
+        if tag is None:
+            return
+        pool = self._pool
+        if pool._stash[rank].pop(tag, None) is not None:
+            return
+        conn = pool._conns[rank]
+        try:
+            while conn is not None and conn.poll(0):
+                rtag, status, reply = conn.recv()
+                if rtag == tag:
+                    return
+                pool._stash[rank][rtag] = (status, reply)
+        except _LINK_ERRORS:
+            pass
+        # Not arrived yet (cancel raced past the generate): drop it when
+        # it eventually shows up instead of stashing it forever.
+        pool._discard_tags[rank].add(tag)
+
+
 class ShardPool:
     """A fixed set of long-lived worker processes owning RR-pool shards.
 
     The pool is role-multiplexed: any number of RR banks (``"opimc.r1"``,
     ``"sentinel.r2"``, ...) share the same workers, each role owning one
-    resident :class:`RRCollection` shard per worker.  All communication is
-    strict request/reply over per-worker pipes, gathered in rank order.
+    resident :class:`RRCollection` shard per worker.  Communication is
+    tagged request/reply over per-worker pipes; most calls gather replies
+    in rank order immediately, while :meth:`generate_async` defers
+    collection so generation overlaps parent-side work.
 
-    ``spill_dir`` enables both spill-to-disk for cold shards and the
-    per-worker checkpoint that shortens crash-recovery replay; without it,
-    recovery replays the full journal (still bit-identical — just slower).
+    ``spill_dir`` enables spill-to-disk for cold shards, the per-worker
+    checkpoint that shortens crash-recovery replay, and journal
+    compaction; without it, recovery replays the full journal (still
+    bit-identical — just slower).
     """
 
     def __init__(
@@ -605,6 +809,7 @@ class ShardPool:
         checkpoint_every: int = 1,
         mp_context: Optional[str] = None,
         metrics=None,
+        journal_compact_threshold: int = 64,
     ) -> None:
         if shards < 1:
             raise ShardPoolError(f"shards must be >= 1, got {shards}")
@@ -614,6 +819,7 @@ class ShardPool:
         if self.spill_dir is not None:
             os.makedirs(self.spill_dir, exist_ok=True)
         self.checkpoint_every = int(checkpoint_every)
+        self.journal_compact_threshold = int(journal_compact_threshold)
         self.metrics = metrics
         self._ctx = multiprocessing.get_context(mp_context)
         self._handle, self._shm = graph.to_shared()
@@ -621,6 +827,27 @@ class ShardPool:
         self._procs: List[Any] = [None] * self.shards
         self._journal: List[List[Tuple[str, dict]]] = [
             [] for _ in range(self.shards)
+        ]
+        #: absolute seq of each rank's first retained journal entry
+        #: (compaction trims the prefix a shipped checkpoint covers).
+        self._journal_base: List[int] = [0] * self.shards
+        #: per-rank monotone message tags (never reset, even on respawn,
+        #: so stashed replies from a dead worker stay unambiguous).
+        self._tags: List[int] = [0] * self.shards
+        #: out-of-order replies keyed by tag, per rank.
+        self._stash: List[Dict[int, Tuple[str, Any]]] = [
+            {} for _ in range(self.shards)
+        ]
+        #: tags whose replies should be dropped on arrival (absorbed
+        #: cancellations that raced past their generate).
+        self._discard_tags: List[set] = [set() for _ in range(self.shards)]
+        #: bumped on every (re)spawn; a handle issued under an older epoch
+        #: resolves its reply from the stash or the replay cache.
+        self._epochs: List[int] = [0] * self.shards
+        #: replies of journal-replayed commands from the latest recovery,
+        #: keyed by absolute seq, per rank.
+        self._replay_cache: List[Dict[int, Any]] = [
+            {} for _ in range(self.shards)
         ]
         #: parent mirror of live selections: role -> (per-rank limits,
         #: [marked nodes]) — enough to rebuild worker selection state.
@@ -649,8 +876,8 @@ class ShardPool:
             conn = self._conns[rank]
             if conn is not None:
                 try:
-                    conn.send(("shutdown", {}))
-                    conn.recv()
+                    tag = self._send(rank, "shutdown", {})
+                    self._recv_tag(rank, tag)
                 except _LINK_ERRORS:
                     pass
                 conn.close()
@@ -673,6 +900,39 @@ class ShardPool:
         except Exception:
             pass
 
+    # -- wire primitives -----------------------------------------------
+    def _send(self, rank: int, cmd: str, payload: dict) -> int:
+        """Send one tagged command; returns the tag (may raise link errors)."""
+        tag = self._tags[rank]
+        self._tags[rank] += 1
+        self._conns[rank].send((cmd, tag, payload))
+        return tag
+
+    def _recv_tag(self, rank: int, tag: int) -> Tuple[str, Any]:
+        """Receive until ``tag``'s reply arrives, stashing out-of-order ones."""
+        stash = self._stash[rank]
+        hit = stash.pop(tag, None)
+        if hit is not None:
+            return hit
+        conn = self._conns[rank]
+        discard = self._discard_tags[rank]
+        while True:
+            rtag, status, reply = conn.recv()
+            if rtag == tag:
+                return status, reply
+            if rtag in discard:
+                discard.discard(rtag)
+                continue
+            stash[rtag] = (status, reply)
+
+    def _exchange(self, rank: int, cmd: str, payload: dict):
+        """One request/reply on an assumed-healthy link (may raise)."""
+        tag = self._send(rank, cmd, payload)
+        status, reply = self._recv_tag(rank, tag)
+        if status == "error":
+            raise ShardPoolError(f"shard {rank}: {reply}")
+        return reply
+
     # -- spawn / recovery ----------------------------------------------
     def _spawn(self, rank: int, *, restore: bool = False) -> int:
         parent_conn, child_conn = self._ctx.Pipe()
@@ -689,17 +949,30 @@ class ShardPool:
         child_conn.close()
         self._conns[rank] = parent_conn
         self._procs[rank] = proc
+        self._epochs[rank] += 1
         reply = self._exchange(rank, "hello", {})
         return int(reply["seq"])
 
-    def _exchange(self, rank: int, cmd: str, payload: dict):
-        """One raw request/reply on an assumed-healthy link (may raise)."""
+    def _drain_dead(self, rank: int) -> None:
+        """Stash every reply still buffered in a dead worker's pipe.
+
+        A reply that shipped before the crash survives in the pipe until
+        EOF; stashing it (keyed by its tag, which is never reused) lets a
+        pending handle resolve it after the respawn.
+        """
         conn = self._conns[rank]
-        conn.send((cmd, payload))
-        status, reply = conn.recv()
-        if status == "error":
-            raise ShardPoolError(f"shard {rank}: {reply}")
-        return reply
+        if conn is None:
+            return
+        discard = self._discard_tags[rank]
+        try:
+            while conn.poll(0):
+                rtag, status, reply = conn.recv()
+                if rtag in discard:
+                    discard.discard(rtag)
+                    continue
+                self._stash[rank][rtag] = (status, reply)
+        except _LINK_ERRORS:
+            pass
 
     def _recover(self, rank: int) -> None:
         """Respawn a dead worker and replay its journal suffix."""
@@ -711,12 +984,29 @@ class ShardPool:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
+        self._drain_dead(rank)
         conn = self._conns[rank]
         if conn is not None:
             conn.close()
         restored = self._spawn(rank, restore=True)
-        for cmd, payload in self._journal[rank][restored:]:
-            self._exchange(rank, cmd, payload)
+        base = self._journal_base[rank]
+        if restored < base:
+            raise ShardPoolError(
+                f"shard {rank}: restored checkpoint covers seq {restored} "
+                f"but the journal was compacted up to seq {base}; the "
+                "checkpoint that justified compaction is gone"
+            )
+        cache: Dict[int, Any] = {}
+        self._replay_cache[rank] = cache
+        try:
+            for offset, (cmd, payload) in enumerate(
+                self._journal[rank][restored - base:]
+            ):
+                cache[restored + offset] = self._exchange(rank, cmd, payload)
+        except _LINK_ERRORS:
+            raise ShardPoolError(
+                f"shard {rank} died again during recovery replay; giving up"
+            )
         # Selection state is not journaled (it is transient and cheap to
         # rebuild): re-open each live selection and re-mark its seeds.
         for role, (limits, marked) in self._selections.items():
@@ -730,25 +1020,94 @@ class ShardPool:
                     {"role": role, "node": node, "want_decrements": False},
                 )
 
+    def _journal_payload(self, rank: int, seq: int) -> Optional[dict]:
+        """The retained journal payload at absolute ``seq`` (None if
+        compacted away — a shipped checkpoint already covers it)."""
+        offset = seq - self._journal_base[rank]
+        if 0 <= offset < len(self._journal[rank]):
+            return self._journal[rank][offset][1]
+        return None
+
+    def _maybe_compact(self, rank: int) -> None:
+        """Trim the replay journal up to the worker's shipped checkpoint."""
+        if self.spill_dir is None or self.checkpoint_every <= 0:
+            return
+        if len(self._journal[rank]) < self.journal_compact_threshold:
+            return
+        try:
+            ck = int(self._exchange(rank, "checkpoint_seq", {})["seq"])
+        except _LINK_ERRORS:
+            return  # dead worker: the next real command recovers it
+        cut = ck - self._journal_base[rank]
+        if cut > 0:
+            del self._journal[rank][:cut]
+            self._journal_base[rank] = ck
+            if self.metrics is not None:
+                self.metrics.inc("shardpool.journal_compactions")
+
+    def _finish_request(
+        self,
+        rank: int,
+        tag: Optional[int],
+        seq: Optional[int],
+        epoch: int,
+        cmd: str,
+        payload: dict,
+    ):
+        """Collect one reply, absorbing a worker crash at any point.
+
+        The reply is taken from, in order: the live link; the stash (the
+        dead pipe was drained, or an earlier collect stashed it); the
+        replay cache (recovery re-ran the journaled command); or — for
+        non-journaled commands only — a fresh re-issue on the respawned
+        worker.
+        """
+        if tag is not None and epoch == self._epochs[rank]:
+            try:
+                status, reply = self._recv_tag(rank, tag)
+            except _LINK_ERRORS:
+                self._recover(rank)
+            else:
+                if status == "error":
+                    raise ShardPoolError(f"shard {rank}: {reply}")
+                return reply
+        elif epoch == self._epochs[rank]:
+            # The send itself failed on a live-looking link: recover now.
+            self._recover(rank)
+        if tag is not None:
+            stashed = self._stash[rank].pop(tag, None)
+            if stashed is not None:
+                status, reply = stashed
+                if status == "error":
+                    raise ShardPoolError(f"shard {rank}: {reply}")
+                return reply
+        if seq is not None:
+            reply = self._replay_cache[rank].get(seq)
+            if reply is not None:
+                return reply
+            raise ShardPoolError(
+                f"shard {rank}: reply for journaled seq {seq} was lost in "
+                "recovery (neither drained nor replayed)"
+            )
+        return self._exchange(rank, cmd, payload)
+
     def _request(self, rank: int, cmd: str, payload: dict, journal: bool):
         if self._closed:
             raise ShardPoolError("shard pool is closed")
+        seq: Optional[int] = None
         if journal:
-            payload = dict(payload, seq=len(self._journal[rank]))
+            seq = self._journal_base[rank] + len(self._journal[rank])
+            payload = dict(payload, seq=seq)
             self._journal[rank].append((cmd, payload))
-        for attempt in (0, 1):
-            try:
-                return self._exchange(rank, cmd, payload)
-            except _LINK_ERRORS:
-                if attempt:
-                    raise ShardPoolError(
-                        f"shard {rank} died twice on {cmd!r}; giving up"
-                    )
-                # _recover replays the journal, which now *includes* the
-                # failed command — the retry send then answers from the
-                # worker's cached reply (idempotent seq guard).
-                self._recover(rank)
-        raise AssertionError("unreachable")
+        epoch = self._epochs[rank]
+        try:
+            tag: Optional[int] = self._send(rank, cmd, payload)
+        except _LINK_ERRORS:
+            tag = None
+        reply = self._finish_request(rank, tag, seq, epoch, cmd, payload)
+        if journal:
+            self._maybe_compact(rank)
+        return reply
 
     def _request_all(
         self,
@@ -759,52 +1118,67 @@ class ShardPool:
         """Broadcast one command; gather replies in rank order.
 
         Sends are pipelined so multi-core hosts overlap worker execution;
-        any link failure routes that rank through single-request recovery.
+        any link failure routes that rank through recovery, resolving the
+        reply from the drained stash or the journal replay.
         """
         if self._closed:
             raise ShardPoolError("shard pool is closed")
         staged: List[dict] = []
-        pending: List[bool] = []
+        tags: List[Optional[int]] = []
+        seqs: List[Optional[int]] = []
+        epochs: List[int] = []
         for rank in range(self.shards):
             payload = payloads[rank]
+            seq: Optional[int] = None
             if journal:
-                payload = dict(payload, seq=len(self._journal[rank]))
+                seq = self._journal_base[rank] + len(self._journal[rank])
+                payload = dict(payload, seq=seq)
                 self._journal[rank].append((cmd, payload))
             staged.append(payload)
+            seqs.append(seq)
+            epochs.append(self._epochs[rank])
             try:
-                self._conns[rank].send((cmd, payload))
-                pending.append(True)
+                tags.append(self._send(rank, cmd, payload))
             except _LINK_ERRORS:
-                pending.append(False)
-        replies: List[Any] = []
-        for rank in range(self.shards):
-            reply = None
-            failed = not pending[rank]
-            if pending[rank]:
-                try:
-                    status, reply = self._conns[rank].recv()
-                    if status == "error":
-                        raise ShardPoolError(f"shard {rank}: {reply}")
-                except _LINK_ERRORS:
-                    failed = True
-            if failed:
-                # The journal already holds this command (when journaled),
-                # so recovery replays it; non-journaled commands are
-                # re-issued directly after the respawn.
-                self._recover(rank)
-                if journal:
-                    reply = self._journal_tail_reply(rank, cmd)
-                else:
-                    reply = self._exchange(rank, cmd, staged[rank])
-            replies.append(reply)
+                tags.append(None)
+        replies = [
+            self._finish_request(
+                rank, tags[rank], seqs[rank], epochs[rank], cmd, staged[rank]
+            )
+            for rank in range(self.shards)
+        ]
+        if journal:
+            for rank in range(self.shards):
+                self._maybe_compact(rank)
         return replies
 
-    def _journal_tail_reply(self, rank: int, cmd: str):
-        tail_cmd, tail_payload = self._journal[rank][-1]
-        assert tail_cmd == cmd
-        return self._exchange(rank, cmd, tail_payload)
-
     # -- generation ----------------------------------------------------
+    def _generate_payloads(
+        self,
+        role: str,
+        counts: Sequence[int],
+        seeds: Sequence[np.random.SeedSequence],
+        *,
+        generator_cls,
+        batched_mode: Optional[str],
+        batch_size: int,
+        stop_mask: Optional[np.ndarray],
+        want_metrics: bool,
+    ) -> List[dict]:
+        return [
+            {
+                "role": role,
+                "count": int(counts[rank]),
+                "seed": seeds[rank],
+                "generator_cls": generator_cls,
+                "batched_mode": batched_mode,
+                "batch_size": int(batch_size),
+                "stop_mask": stop_mask,
+                "want_metrics": bool(want_metrics),
+            }
+            for rank in range(self.shards)
+        ]
+
     def generate(
         self,
         role: str,
@@ -824,20 +1198,60 @@ class ShardPool:
         metrics snapshot.  Counts of zero still round-trip so every rank's
         journal advances in lockstep.
         """
-        payloads = [
-            {
-                "role": role,
-                "count": int(counts[rank]),
-                "seed": seeds[rank],
-                "generator_cls": generator_cls,
-                "batched_mode": batched_mode,
-                "batch_size": int(batch_size),
-                "stop_mask": stop_mask,
-                "want_metrics": bool(want_metrics),
-            }
-            for rank in range(self.shards)
-        ]
+        payloads = self._generate_payloads(
+            role, counts, seeds,
+            generator_cls=generator_cls, batched_mode=batched_mode,
+            batch_size=batch_size, stop_mask=stop_mask,
+            want_metrics=want_metrics,
+        )
         return self._request_all("generate", payloads, journal=True)
+
+    def generate_async(
+        self,
+        role: str,
+        counts: Sequence[int],
+        seeds: Sequence[np.random.SeedSequence],
+        *,
+        generator_cls,
+        batched_mode: Optional[str],
+        batch_size: int,
+        stop_mask: Optional[np.ndarray] = None,
+        want_metrics: bool = False,
+    ) -> PendingGenerate:
+        """Issue a generate broadcast without waiting for the replies.
+
+        The request is journaled exactly like :meth:`generate`; the
+        returned :class:`PendingGenerate` collects the replies later.
+        Until then the workers interleave: coverage, selection and stats
+        commands sent on the same pipes are served between generation
+        chunks, which is the mechanism behind speculative pipelining.
+        Reads of the *new* prefix must wait for :meth:`PendingGenerate
+        .collect` — interleaved reads see the pre-request pool.
+        """
+        if self._closed:
+            raise ShardPoolError("shard pool is closed")
+        payloads = self._generate_payloads(
+            role, counts, seeds,
+            generator_cls=generator_cls, batched_mode=batched_mode,
+            batch_size=batch_size, stop_mask=stop_mask,
+            want_metrics=want_metrics,
+        )
+        staged: List[dict] = []
+        tags: List[Optional[int]] = []
+        seqs: List[int] = []
+        epochs: List[int] = []
+        for rank in range(self.shards):
+            seq = self._journal_base[rank] + len(self._journal[rank])
+            payload = dict(payloads[rank], seq=seq)
+            self._journal[rank].append(("generate", payload))
+            staged.append(payload)
+            seqs.append(seq)
+            epochs.append(self._epochs[rank])
+            try:
+                tags.append(self._send(rank, "generate", payload))
+            except _LINK_ERRORS:
+                tags.append(None)
+        return PendingGenerate(self, tags, seqs, epochs, staged)
 
     def adopt(self, role: str, shards_data, generator_cls) -> None:
         """Scatter pre-generated ``(nodes, sizes)`` pairs into the shards
@@ -908,6 +1322,15 @@ class ShardPool:
 
     def stats(self) -> List[dict]:
         return self._request_all("stats", [{}] * self.shards)
+
+    def checkpoint_seqs(self) -> List[int]:
+        """Each rank's newest shipped checkpoint sequence number."""
+        replies = self._request_all("checkpoint_seq", [{}] * self.shards)
+        return [int(r["seq"]) for r in replies]
+
+    def journal_lengths(self) -> List[int]:
+        """Retained (post-compaction) journal entries per rank."""
+        return [len(journal) for journal in self._journal]
 
     def crash_next_generate(self, rank: int) -> None:
         """Arm the chaos hook: ``rank`` dies mid-way through its next

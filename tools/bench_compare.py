@@ -46,6 +46,7 @@ HEADLINES: List[Tuple[str, str, str]] = [
     ("BENCH_sharded.json", "warm_vs_fanout.speedup", "higher"),
     ("BENCH_dynamic.json", "repair_speedup", "higher"),
     ("BENCH_sketch.json", "memory_reduction", "higher"),
+    ("BENCH_pipeline.json", "hard_query.speedup", "higher"),
 ]
 
 
